@@ -1,0 +1,61 @@
+// CPLX-CHAIN: microbenchmarks of the chain algorithm — the paper claims
+// O(n·p²); the n-sweep must scale linearly and the p-sweep quadratically
+// (see exp_scaling for the fitted exponents).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "mst/common/rng.hpp"
+#include "mst/schedule/feasibility.hpp"
+#include "mst/core/chain_scheduler.hpp"
+#include "mst/platform/generator.hpp"
+
+namespace {
+
+mst::Chain make_chain(std::size_t p) {
+  mst::Rng rng(0xC4A1F + p);
+  return mst::random_chain(rng, p, {1, 10, mst::PlatformClass::kUniform});
+}
+
+void BM_ChainScheduleTasksSweep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const mst::Chain chain = make_chain(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mst::ChainScheduler::schedule(chain, n));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ChainScheduleTasksSweep)->RangeMultiplier(2)->Range(64, 4096)->Complexity();
+
+void BM_ChainScheduleProcsSweep(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const mst::Chain chain = make_chain(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mst::ChainScheduler::schedule(chain, 256));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(p));
+}
+BENCHMARK(BM_ChainScheduleProcsSweep)->RangeMultiplier(2)->Range(2, 128)->Complexity(benchmark::oNSquared);
+
+void BM_ChainDecisionForm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const mst::Chain chain = make_chain(16);
+  const mst::Time window = chain.t_infinity(n) / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mst::ChainScheduler::max_tasks(chain, window, n));
+  }
+}
+BENCHMARK(BM_ChainDecisionForm)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_ChainFeasibilityCheck(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const mst::Chain chain = make_chain(16);
+  const mst::ChainSchedule s = mst::ChainScheduler::schedule(chain, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mst::check_feasibility(s));
+  }
+}
+BENCHMARK(BM_ChainFeasibilityCheck)->RangeMultiplier(4)->Range(64, 1024);
+
+}  // namespace

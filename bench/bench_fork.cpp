@@ -1,0 +1,63 @@
+// Microbenchmarks of the fork (star) scheduler: decision form, makespan
+// binary search, Moore–Hodgson selection and the ascending-c greedy.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "mst/common/rng.hpp"
+#include "mst/core/fork_scheduler.hpp"
+#include "mst/core/moore_hodgson.hpp"
+#include "mst/platform/generator.hpp"
+
+namespace {
+
+mst::Fork make_fork(std::size_t p) {
+  mst::Rng rng(0xF0A4 + p);
+  return mst::random_fork(rng, p, {1, 10, mst::PlatformClass::kUniform});
+}
+
+void BM_ForkDecisionForm(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const mst::Fork fork = make_fork(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mst::ForkScheduler::max_tasks(fork, 2000, 1024));
+  }
+}
+BENCHMARK(BM_ForkDecisionForm)->RangeMultiplier(2)->Range(2, 64);
+
+void BM_ForkMakespanForm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const mst::Fork fork = make_fork(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mst::ForkScheduler::makespan(fork, n));
+  }
+}
+BENCHMARK(BM_ForkMakespanForm)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_ForkGreedySelector(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const mst::Fork fork = make_fork(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mst::ForkScheduler::greedy_max_tasks(fork, 2000, 1024));
+  }
+}
+BENCHMARK(BM_ForkGreedySelector)->RangeMultiplier(4)->Range(2, 32);
+
+void BM_MooreHodgsonSelection(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mst::Rng rng(0x3110);
+  std::vector<mst::DeadlineJob> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back({rng.uniform(1, 10), rng.uniform(1, static_cast<std::int64_t>(4 * n)), i});
+  }
+  for (auto _ : state) {
+    auto copy = jobs;
+    benchmark::DoNotOptimize(mst::moore_hodgson(std::move(copy)));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MooreHodgsonSelection)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+}  // namespace

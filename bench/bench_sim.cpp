@@ -1,0 +1,53 @@
+// Microbenchmarks of the simulator substrate: event engine throughput,
+// store-and-forward dispatch and static replay.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "mst/common/rng.hpp"
+#include "mst/core/chain_scheduler.hpp"
+#include "mst/platform/generator.hpp"
+#include "mst/sim/engine.hpp"
+#include "mst/sim/online.hpp"
+#include "mst/sim/platform_sim.hpp"
+#include "mst/sim/static_replay.hpp"
+
+namespace {
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    mst::sim::Engine engine;
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.at(static_cast<mst::Time>(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EngineEventThroughput)->RangeMultiplier(4)->Range(1024, 65536);
+
+void BM_SimulateOnlineEct(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mst::Rng rng(0x51D);
+  const mst::Tree tree = mst::random_tree(rng, 24, {1, 10, mst::PlatformClass::kUniform});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mst::sim::simulate_online(tree, n, mst::sim::OnlinePolicy::kEarliestCompletion, 1));
+  }
+}
+BENCHMARK(BM_SimulateOnlineEct)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_StaticReplayChain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mst::Rng rng(0x9E91A);
+  const mst::Chain chain = mst::random_chain(rng, 12, {1, 10, mst::PlatformClass::kUniform});
+  const mst::ChainSchedule s = mst::ChainScheduler::schedule(chain, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mst::sim::replay(s));
+  }
+}
+BENCHMARK(BM_StaticReplayChain)->RangeMultiplier(4)->Range(64, 1024);
+
+}  // namespace

@@ -1,0 +1,50 @@
+// CPLX-SPIDER: microbenchmarks of the spider algorithm (Theorem 2 claims a
+// polynomial bound below O(n²p²)).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "mst/common/rng.hpp"
+#include "mst/core/spider_scheduler.hpp"
+#include "mst/platform/generator.hpp"
+
+namespace {
+
+mst::Spider make_spider(std::size_t legs, std::size_t leg_len) {
+  mst::Rng rng(0x591D3 + legs * 131 + leg_len);
+  mst::GeneratorParams params{1, 10, mst::PlatformClass::kUniform};
+  std::vector<mst::Chain> chains;
+  for (std::size_t l = 0; l < legs; ++l) chains.push_back(mst::random_chain(rng, leg_len, params));
+  return mst::Spider(std::move(chains));
+}
+
+void BM_SpiderDecisionForm(benchmark::State& state) {
+  const auto legs = static_cast<std::size_t>(state.range(0));
+  const mst::Spider spider = make_spider(legs, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mst::SpiderScheduler::max_tasks(spider, 1000, 512));
+  }
+}
+BENCHMARK(BM_SpiderDecisionForm)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_SpiderMakespanTasksSweep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const mst::Spider spider = make_spider(6, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mst::SpiderScheduler::makespan(spider, n));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SpiderMakespanTasksSweep)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+
+void BM_SpiderTransformation(benchmark::State& state) {
+  const auto legs = static_cast<std::size_t>(state.range(0));
+  const mst::Spider spider = make_spider(legs, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mst::SpiderScheduler::transform(spider, 1000, 512));
+  }
+}
+BENCHMARK(BM_SpiderTransformation)->RangeMultiplier(2)->Range(2, 32);
+
+}  // namespace

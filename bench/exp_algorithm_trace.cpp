@@ -1,0 +1,46 @@
+// TRACE: replay of the paper's §3 construction on the Fig 2 instance,
+// decision by decision — the hull/occupancy bookkeeping and the p candidate
+// communication vectors of every backward step, exactly as Fig 3's
+// pseudo-code manipulates them.
+
+#include <iostream>
+
+#include "mst/common/table.hpp"
+#include "mst/core/chain_trace.hpp"
+#include "mst/schedule/gantt.hpp"
+
+int main() {
+  using namespace mst;
+  const Chain chain = Chain::from_vectors({2, 3}, {3, 5});
+  const std::size_t n = 5;
+
+  std::cout << "TRACE — backward construction on " << chain.describe() << ", n=" << n << "\n";
+  const ChainTrace trace = trace_schedule(chain, n);
+  std::cout << "horizon T∞ = " << trace.horizon << " (= c1 + (n-1)·max(w1,c1) + w1)\n\n";
+
+  for (std::size_t s = 0; s < trace.steps.size(); ++s) {
+    const ChainTraceStep& step = trace.steps[s];
+    std::cout << "step " << s + 1 << " (places task " << n - s << " of the final order):\n";
+
+    Table table({"quantity", "link/proc 1", "link/proc 2"});
+    auto row_of = [&table](const char* name, const std::vector<Time>& v) {
+      auto& r = table.row().cell(name);
+      for (Time t : v) r.cell(t);
+    };
+    row_of("hull h", step.hull_before);
+    row_of("occupancy o", step.occupancy_before);
+    table.print(std::cout);
+
+    for (std::size_t k = 0; k < step.candidates.size(); ++k) {
+      std::cout << "  candidate " << k + 1 << "C = " << to_string(step.candidates[k])
+                << (k == step.chosen ? "   <-- greatest (Def. 3)" : "") << "\n";
+    }
+    std::cout << "  => place on processor " << step.chosen + 1 << ", start T = "
+              << step.placed.start << ", C = " << to_string(step.placed.emissions) << "\n\n";
+  }
+
+  std::cout << "final schedule after the -C^1_1 shift (makespan "
+            << trace.schedule.makespan() << "):\n"
+            << render_gantt(trace.schedule);
+  return 0;
+}

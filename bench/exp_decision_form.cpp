@@ -1,0 +1,60 @@
+// TLIM: the §7 decision form.  tasks(T_lim) must be the exact inverse
+// staircase of the optimal makespan curve, for chains and spiders.
+
+#include <iostream>
+
+#include "mst/common/cli.hpp"
+#include "mst/common/rng.hpp"
+#include "mst/common/table.hpp"
+#include "mst/core/chain_scheduler.hpp"
+#include "mst/core/spider_scheduler.hpp"
+#include "mst/platform/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mst;
+  const Args args(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 12));
+
+  Rng rng(seed);
+  GeneratorParams params{1, 8, PlatformClass::kUniform};
+  const Chain chain = random_chain(rng, 4, params);
+  const Spider spider = random_spider(rng, 3, 2, params);
+
+  std::cout << "TLIM — decision form tasks(T) vs makespan form, chain edition\n";
+  std::cout << "chain: " << chain.describe() << "\n\n";
+
+  constexpr std::size_t kMax = 12;
+  bool consistent = true;
+
+  {
+    std::vector<Time> makespans(kMax + 1);
+    for (std::size_t k = 1; k <= kMax; ++k) makespans[k] = ChainScheduler::makespan(chain, k);
+    Table table({"k", "makespan(k)", "tasks(makespan(k))", "tasks(makespan(k)-1)"});
+    for (std::size_t k = 1; k <= kMax; ++k) {
+      const std::size_t at = ChainScheduler::max_tasks(chain, makespans[k], kMax + 2);
+      const std::size_t below = ChainScheduler::max_tasks(chain, makespans[k] - 1, kMax + 2);
+      table.row().cell(k).cell(makespans[k]).cell(at).cell(below);
+      consistent = consistent && at >= k && below < k;
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nspider: " << spider.describe() << "\n\n";
+  {
+    std::vector<Time> makespans(kMax + 1);
+    for (std::size_t k = 1; k <= kMax; ++k) makespans[k] = SpiderScheduler::makespan(spider, k);
+    Table table({"k", "makespan(k)", "tasks(makespan(k))", "tasks(makespan(k)-1)"});
+    for (std::size_t k = 1; k <= kMax; ++k) {
+      const std::size_t at = SpiderScheduler::max_tasks(spider, makespans[k], kMax + 2);
+      const std::size_t below = SpiderScheduler::max_tasks(spider, makespans[k] - 1, kMax + 2);
+      table.row().cell(k).cell(makespans[k]).cell(at).cell(below);
+      consistent = consistent && at >= k && below < k;
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << (consistent
+                    ? "\nRESULT: decision and makespan forms are exact duals everywhere\n"
+                    : "\nRESULT: DUALITY VIOLATION\n");
+  return consistent ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// ROBUST: sensitivity of the optimal plan to platform mis-estimation — an
+// extension beyond the paper's exactly-known-platform model.  For each
+// noise band ε, the plan computed on the *believed* platform is re-timed on
+// the *actual* (perturbed) platform and compared to re-planning.
+
+#include <iostream>
+
+#include "mst/analysis/robustness.hpp"
+#include "mst/common/cli.hpp"
+#include "mst/common/stats.hpp"
+#include "mst/common/table.hpp"
+#include "mst/platform/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mst;
+  const Args args(argc, argv);
+  const int trials = static_cast<int>(args.get_int("trials", 40));
+  const auto n = static_cast<std::size_t>(args.get_int("n", 20));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
+
+  std::cout << "ROBUST — stale plan vs re-planning under platform noise\n"
+            << "(" << trials << " random platforms per cell, n=" << n
+            << " tasks; degradation = stale makespan / optimal makespan)\n\n";
+
+  Table table({"shape", "class", "noise ±ε", "mean degr.", "p95 degr.", "max degr."});
+
+  const double epsilons[] = {0.1, 0.25, 0.5};
+  for (PlatformClass cls : {PlatformClass::kUniform, PlatformClass::kAntiCorrelated}) {
+    for (double eps : epsilons) {
+      Sample chain_degr;
+      Sample spider_degr;
+      Rng rng(seed);
+      for (int t = 0; t < trials; ++t) {
+        GeneratorParams params{2, 12, cls};
+        Rng inst = rng.split();
+        const Chain believed_chain = random_chain(inst, 4, params);
+        const Chain actual_chain = perturb(believed_chain, eps, rng);
+        chain_degr.add(evaluate_stale_plan(believed_chain, actual_chain, n).degradation());
+
+        Rng sinst = rng.split();
+        const Spider believed_spider = random_spider(sinst, 3, 2, params);
+        const Spider actual_spider = perturb(believed_spider, eps, rng);
+        spider_degr.add(evaluate_stale_plan(believed_spider, actual_spider, n).degradation());
+      }
+      table.row()
+          .cell("chain")
+          .cell(to_string(cls))
+          .cell(eps, 2)
+          .cell(chain_degr.mean(), 3)
+          .cell(chain_degr.quantile(0.95), 3)
+          .cell(chain_degr.max(), 3);
+      table.row()
+          .cell("spider")
+          .cell(to_string(cls))
+          .cell(eps, 2)
+          .cell(spider_degr.mean(), 3)
+          .cell(spider_degr.quantile(0.95), 3)
+          .cell(spider_degr.max(), 3);
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: degradation >= 1.000 always (re-planning is optimal by\n"
+               "Theorems 1/3); it grows with ε, and anti-correlated platforms are the\n"
+               "most sensitive — mis-ranking a fast-link/slow-cpu node is costly.\n";
+  return 0;
+}

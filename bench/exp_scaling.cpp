@@ -1,0 +1,104 @@
+// CPLX-CHAIN / CPLX-SPIDER: measured complexity of the algorithms.  The
+// paper claims O(n·p²) for the chain algorithm (§3) and a polynomial below
+// O(n²·p²) for the spider algorithm (Theorem 2).  This harness times the
+// implementations over geometric sweeps and fits log-log slopes: the chain
+// exponent in n must be ~1 and in p ~<=2.
+
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "mst/common/cli.hpp"
+#include "mst/common/rng.hpp"
+#include "mst/common/stats.hpp"
+#include "mst/common/table.hpp"
+#include "mst/core/chain_scheduler.hpp"
+#include "mst/core/spider_scheduler.hpp"
+#include "mst/platform/generator.hpp"
+
+namespace {
+
+double time_once(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) best = std::min(best, time_once(fn));
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mst;
+  const Args args(argc, argv);
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  GeneratorParams params{1, 10, PlatformClass::kUniform};
+
+  std::cout << "CPLX — measured scaling of the schedulers (best of " << reps << " runs)\n\n";
+
+  // Chain: sweep n at fixed p.
+  {
+    Table table({"n (p=16)", "time [us]", "us per task"});
+    Rng rng(0xA11CE);
+    const Chain chain = random_chain(rng, 16, params);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (std::size_t n = 128; n <= 8192; n *= 2) {
+      const double us =
+          time_best_of(reps, [&] { (void)ChainScheduler::schedule(chain, n); });
+      table.row().cell(n).cell(us, 1).cell(us / static_cast<double>(n), 4);
+      xs.push_back(static_cast<double>(n));
+      ys.push_back(us);
+    }
+    table.print(std::cout);
+    std::cout << "fitted exponent in n: " << fit_loglog_slope(xs, ys)
+              << "  (paper: 1.0 — O(n·p²))\n\n";
+  }
+
+  // Chain: sweep p at fixed n.
+  {
+    Table table({"p (n=512)", "time [us]"});
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (std::size_t p = 4; p <= 256; p *= 2) {
+      Rng rng(0xB0B + p);
+      const Chain chain = random_chain(rng, p, params);
+      const double us =
+          time_best_of(reps, [&] { (void)ChainScheduler::schedule(chain, 512); });
+      table.row().cell(p).cell(us, 1);
+      xs.push_back(static_cast<double>(p));
+      ys.push_back(us);
+    }
+    table.print(std::cout);
+    std::cout << "fitted exponent in p: " << fit_loglog_slope(xs, ys)
+              << "  (paper: 2.0 — O(n·p²))\n\n";
+  }
+
+  // Spider: sweep n.
+  {
+    Table table({"n (6 legs x 3)", "time [us]"});
+    std::vector<double> xs;
+    std::vector<double> ys;
+    Rng rng(0x5317);
+    std::vector<Chain> legs;
+    for (int l = 0; l < 6; ++l) legs.push_back(random_chain(rng, 3, params));
+    const Spider spider(legs);
+    for (std::size_t n = 32; n <= 1024; n *= 2) {
+      const double us =
+          time_best_of(reps, [&] { (void)SpiderScheduler::schedule(spider, n); });
+      table.row().cell(n).cell(us, 1);
+      xs.push_back(static_cast<double>(n));
+      ys.push_back(us);
+    }
+    table.print(std::cout);
+    std::cout << "fitted exponent in n: " << fit_loglog_slope(xs, ys)
+              << "  (paper: <= 2.0 — Theorem 2, incl. the binary search)\n";
+  }
+  return 0;
+}

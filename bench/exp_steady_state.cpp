@@ -1,0 +1,87 @@
+// STEADY: the divisible-load / steady-state link the paper draws in §1.
+// The optimal schedules must approach the bandwidth-centric steady-state
+// rate as n grows (and may never exceed it — it is a busy-time bound).
+
+#include <iostream>
+
+#include "mst/baselines/bounds.hpp"
+#include "mst/baselines/periodic.hpp"
+#include "mst/common/cli.hpp"
+#include "mst/common/rng.hpp"
+#include "mst/common/table.hpp"
+#include "mst/core/chain_scheduler.hpp"
+#include "mst/core/spider_scheduler.hpp"
+#include "mst/platform/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mst;
+  const Args args(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+
+  std::cout << "STEADY — optimal throughput vs bandwidth-centric steady-state rate\n\n";
+
+  {
+    Rng rng(seed);
+    GeneratorParams params{1, 9, PlatformClass::kUniform};
+    const Chain chain = random_chain(rng, 5, params);
+    const double rate = chain_steady_state_rate(chain);
+    std::cout << "chain: " << chain.describe() << "\n";
+    std::cout << "steady-state rate (LP): " << rate << " tasks/unit\n";
+    Table table({"n", "optimal makespan", "throughput n/makespan", "fraction of rate"});
+    for (std::size_t n : {4u, 16u, 64u, 256u, 1024u}) {
+      const Time m = ChainScheduler::makespan(chain, n);
+      const double tp = static_cast<double>(n) / static_cast<double>(m);
+      table.row().cell(n).cell(m).cell(tp, 4).cell(tp / rate, 4);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  {
+    Rng rng(seed + 1);
+    GeneratorParams params{1, 9, PlatformClass::kUniform};
+    const Spider spider = random_spider(rng, 4, 3, params);
+    const double rate = spider_steady_state_rate(spider);
+    std::cout << "spider: " << spider.describe() << "\n";
+    std::cout << "steady-state rate (one-port fill): " << rate << " tasks/unit\n";
+    Table table({"n", "optimal makespan", "throughput", "fraction of rate"});
+    for (std::size_t n : {4u, 16u, 64u, 256u}) {
+      const Time m = SpiderScheduler::makespan(spider, n);
+      const double tp = static_cast<double>(n) / static_cast<double>(m);
+      table.row().cell(n).cell(m).cell(tp, 4).cell(tp / rate, 4);
+    }
+    table.print(std::cout);
+  }
+
+  // Constructive counterpart: the periodic bandwidth-centric schedule.
+  {
+    Rng rng(seed);
+    GeneratorParams params{1, 9, PlatformClass::kUniform};
+    const Chain chain = random_chain(rng, 5, params);
+    const PeriodicPattern pattern = chain_periodic_pattern(chain);
+    std::cout << "\nperiodic construction on the same chain:\n";
+    std::cout << "exact LP rates:";
+    for (const Rational& r : pattern.rates) std::cout << ' ' << r.to_string();
+    std::cout << "  (hyperperiod " << pattern.hyperperiod << ", "
+              << pattern.tasks_per_period() << " tasks/period)\n";
+    Table table({"periods", "tasks", "makespan", "throughput", "fraction of LP rate"});
+    for (std::size_t reps : {1u, 4u, 16u, 64u}) {
+      const ChainSchedule s = periodic_chain_schedule(chain, pattern, reps);
+      const double tp =
+          static_cast<double>(s.num_tasks()) / static_cast<double>(s.makespan());
+      table.row()
+          .cell(reps)
+          .cell(s.num_tasks())
+          .cell(s.makespan())
+          .cell(tp, 4)
+          .cell(tp / pattern.rate(), 4);
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: 'fraction of rate' climbs toward 1.000 from below\n"
+               "as n grows — the finite-schedule startup/drain cost amortizes away;\n"
+               "the explicit periodic pattern converges to the same rate, from its\n"
+               "own (slightly larger) startup transient.\n";
+  return 0;
+}

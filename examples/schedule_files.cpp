@@ -1,0 +1,76 @@
+// Schedule files: the tooling workflow — platforms and schedules as
+// plain-text artifacts that survive outside the process.
+//
+//   $ ./example_schedule_files [--dir=.]
+//
+// Writes a platform file, plans a batch, saves the schedule, re-loads both,
+// re-validates with the analytic checker AND the discrete-event replay, and
+// demonstrates that a hand-corrupted schedule is rejected.  This is the
+// round-trip an external toolchain (dashboards, auditors) would use.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "mst/mst.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mst;
+  const Args args(argc, argv);
+  const std::string dir = args.get("dir", ".");
+  const std::string platform_path = dir + "/demo_platform.txt";
+  const std::string schedule_path = dir + "/demo_schedule.txt";
+
+  // 1. Author a platform file.
+  const Spider platform{Chain::from_vectors({2, 3}, {3, 5}), Chain::from_vectors({4}, {2})};
+  {
+    std::ofstream out(platform_path);
+    out << "# demo platform: the paper's Fig 2 chain plus a leaf pool\n";
+    out << write_spider(platform);
+  }
+  std::cout << "wrote " << platform_path << "\n";
+
+  // 2. Load it back and plan.
+  const Spider loaded = parse_spider(slurp(platform_path));
+  const SpiderSchedule plan = SpiderScheduler::schedule(loaded, 8);
+  std::cout << "planned 8 tasks, makespan " << plan.makespan() << "\n";
+
+  // 3. Persist the schedule and reload it.
+  {
+    std::ofstream out(schedule_path);
+    out << write_schedule(plan);
+  }
+  const SpiderSchedule reloaded = parse_spider_schedule(slurp(schedule_path));
+  std::cout << "reloaded " << schedule_path << ": " << reloaded.num_tasks() << " tasks\n";
+
+  // 4. Validate through both validators.
+  const FeasibilityReport analytic = check_feasibility(reloaded);
+  const sim::ReplayResult operational = sim::replay(reloaded);
+  std::cout << "analytic checker : " << analytic.summary() << "\n";
+  std::cout << "event replay     : " << (operational.ok ? "feasible" : "conflicts")
+            << ", makespan " << operational.makespan << "\n";
+
+  // 5. A corrupted file is loadable but rejected by validation.
+  SpiderSchedule corrupted = reloaded;
+  if (!corrupted.tasks.empty()) corrupted.tasks[0].start = 0;
+  const std::string corrupted_text = write_schedule(corrupted);
+  const SpiderSchedule loaded_corrupted = parse_spider_schedule(corrupted_text);
+  const FeasibilityReport verdict = check_feasibility(loaded_corrupted);
+  std::cout << "\ncorrupted variant loads structurally: yes\n";
+  std::cout << "corrupted variant passes validation : " << (verdict.ok() ? "yes" : "no") << "\n";
+  if (!verdict.ok()) {
+    std::cout << "first violation: " << verdict.violations().front() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+
+#include "mst/common/rng.hpp"
+#include "mst/platform/chain.hpp"
+#include "mst/platform/spider.hpp"
+
+/// \file robustness.hpp
+/// Sensitivity of the optimal plan to platform mis-estimation.
+///
+/// The paper's model assumes the latencies `c_i` and processing times `w_i`
+/// are known exactly; on real volunteer platforms they are estimates.  This
+/// module quantifies the cost of that assumption: take the optimal plan for
+/// the *believed* platform, keep only its decision content — the
+/// destination sequence in emission order — and execute it ASAP on the
+/// *actual* platform (timings are operational, so re-timing a fixed
+/// sequence is exactly what a runtime would do).  Compare against
+/// re-planning on the actual platform, which is optimal by Theorems 1/3.
+
+namespace mst {
+
+/// Outcome of one robustness evaluation.
+struct RobustnessResult {
+  Time stale_plan = 0;  ///< believed-platform plan executed on the actual one
+  Time replanned = 0;   ///< optimal makespan on the actual platform
+
+  /// >= 1; how much slower the stale plan is than re-planning.
+  [[nodiscard]] double degradation() const {
+    return replanned > 0 ? static_cast<double>(stale_plan) / static_cast<double>(replanned)
+                         : 1.0;
+  }
+};
+
+/// Each `c_i` / `w_i` is independently re-drawn uniformly within a relative
+/// band of `epsilon` (e.g. 0.25 = ±25%), clamped so platforms stay valid
+/// (`w >= 1`, `c >= 0`).  `epsilon` must be in [0, 1].
+Chain perturb(const Chain& chain, double epsilon, Rng& rng);
+Spider perturb(const Spider& spider, double epsilon, Rng& rng);
+
+/// Plan on `believed`, execute the destination sequence on `actual`.
+/// The two platforms must have identical shapes.
+RobustnessResult evaluate_stale_plan(const Chain& believed, const Chain& actual, std::size_t n);
+RobustnessResult evaluate_stale_plan(const Spider& believed, const Spider& actual,
+                                     std::size_t n);
+
+}  // namespace mst

@@ -1,0 +1,116 @@
+#include "mst/baselines/asap.hpp"
+
+#include <algorithm>
+
+#include "mst/common/assert.hpp"
+
+namespace mst {
+
+// ---------------------------------------------------------------------------
+// Chain
+// ---------------------------------------------------------------------------
+
+ChainAsapState::ChainAsapState(const Chain& chain)
+    : chain_(chain), link_free_(chain.size(), 0), proc_free_(chain.size(), 0) {}
+
+Time ChainAsapState::peek_completion(std::size_t dest) const {
+  MST_REQUIRE(dest < chain_.size(), "destination outside the chain");
+  Time emission = link_free_[0];
+  for (std::size_t k = 1; k <= dest; ++k) {
+    emission = std::max(emission + chain_.comm(k - 1), link_free_[k]);
+  }
+  const Time arrival = emission + chain_.comm(dest);
+  const Time start = std::max(arrival, proc_free_[dest]);
+  return start + chain_.work(dest);
+}
+
+ChainTask ChainAsapState::commit(std::size_t dest) {
+  MST_REQUIRE(dest < chain_.size(), "destination outside the chain");
+  ChainTask task;
+  task.proc = dest;
+  task.emissions.resize(dest + 1);
+  Time emission = link_free_[0];
+  task.emissions[0] = emission;
+  for (std::size_t k = 1; k <= dest; ++k) {
+    emission = std::max(emission + chain_.comm(k - 1), link_free_[k]);
+    task.emissions[k] = emission;
+  }
+  for (std::size_t k = 0; k <= dest; ++k) link_free_[k] = task.emissions[k] + chain_.comm(k);
+  const Time arrival = task.emissions[dest] + chain_.comm(dest);
+  task.start = std::max(arrival, proc_free_[dest]);
+  proc_free_[dest] = task.start + chain_.work(dest);
+  return task;
+}
+
+ChainSchedule asap_chain_schedule(const Chain& chain, const std::vector<std::size_t>& dests) {
+  ChainAsapState state(chain);
+  ChainSchedule schedule{chain, {}};
+  schedule.tasks.reserve(dests.size());
+  for (std::size_t dest : dests) schedule.tasks.push_back(state.commit(dest));
+  return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// Spider
+// ---------------------------------------------------------------------------
+
+SpiderAsapState::SpiderAsapState(const Spider& spider) : spider_(spider) {
+  link_free_.resize(spider.num_legs());
+  proc_free_.resize(spider.num_legs());
+  for (std::size_t l = 0; l < spider.num_legs(); ++l) {
+    link_free_[l].assign(spider.leg(l).size(), 0);
+    proc_free_[l].assign(spider.leg(l).size(), 0);
+  }
+}
+
+std::vector<Time> SpiderAsapState::emissions_for(const SpiderDest& dest) const {
+  MST_REQUIRE(dest.leg < spider_.num_legs(), "leg outside the spider");
+  const Chain& leg = spider_.leg(dest.leg);
+  MST_REQUIRE(dest.proc < leg.size(), "processor outside the leg");
+  std::vector<Time> emissions(dest.proc + 1);
+  // The master's out-port serializes first emissions across legs; the leg's
+  // own first link can only be busy through the port, so the port bound
+  // dominates.
+  Time emission = std::max(port_free_, link_free_[dest.leg][0]);
+  emissions[0] = emission;
+  for (std::size_t k = 1; k <= dest.proc; ++k) {
+    emission = std::max(emission + leg.comm(k - 1), link_free_[dest.leg][k]);
+    emissions[k] = emission;
+  }
+  return emissions;
+}
+
+Time SpiderAsapState::peek_completion(const SpiderDest& dest) const {
+  const std::vector<Time> emissions = emissions_for(dest);
+  const Chain& leg = spider_.leg(dest.leg);
+  const Time arrival = emissions.back() + leg.comm(dest.proc);
+  const Time start = std::max(arrival, proc_free_[dest.leg][dest.proc]);
+  return start + leg.work(dest.proc);
+}
+
+SpiderTask SpiderAsapState::commit(const SpiderDest& dest) {
+  std::vector<Time> emissions = emissions_for(dest);
+  const Chain& leg = spider_.leg(dest.leg);
+  SpiderTask task;
+  task.leg = dest.leg;
+  task.proc = dest.proc;
+  port_free_ = emissions[0] + leg.comm(0);
+  for (std::size_t k = 0; k <= dest.proc; ++k) {
+    link_free_[dest.leg][k] = emissions[k] + leg.comm(k);
+  }
+  const Time arrival = emissions.back() + leg.comm(dest.proc);
+  task.start = std::max(arrival, proc_free_[dest.leg][dest.proc]);
+  proc_free_[dest.leg][dest.proc] = task.start + leg.work(dest.proc);
+  task.emissions = std::move(emissions);
+  return task;
+}
+
+SpiderSchedule asap_spider_schedule(const Spider& spider, const std::vector<SpiderDest>& dests) {
+  SpiderAsapState state(spider);
+  SpiderSchedule schedule{spider, {}};
+  schedule.tasks.reserve(dests.size());
+  for (const SpiderDest& dest : dests) schedule.tasks.push_back(state.commit(dest));
+  return schedule;
+}
+
+}  // namespace mst

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mst/platform/chain.hpp"
+#include "mst/platform/spider.hpp"
+#include "mst/schedule/chain_schedule.hpp"
+#include "mst/schedule/spider_schedule.hpp"
+
+/// \file asap.hpp
+/// Forward as-soon-as-possible timing for a fixed destination sequence.
+///
+/// Given the ordered list of destinations (the order tasks leave the
+/// master), every emission, hop and execution is placed at its earliest
+/// feasible time, FIFO per link and per processor.  For identical tasks,
+/// per-link FIFO is without loss of generality (crossing communications can
+/// always be uncrossed by relabeling — the argument behind Lemma 1), so
+/// minimizing over all destination sequences with ASAP timing yields the
+/// exact optimum.  This is the engine of the exhaustive baseline and of the
+/// forward heuristics; the paper's algorithm, by contrast, never needs to
+/// enumerate sequences.
+
+namespace mst {
+
+/// ASAP schedule of the given chain destination sequence (`dest[i]` is the
+/// 0-based destination processor of the i-th emitted task).
+ChainSchedule asap_chain_schedule(const Chain& chain, const std::vector<std::size_t>& dests);
+
+/// Destination on a spider: leg plus processor position within the leg.
+struct SpiderDest {
+  std::size_t leg = 0;
+  std::size_t proc = 0;
+
+  friend bool operator==(const SpiderDest&, const SpiderDest&) = default;
+};
+
+/// ASAP schedule of the given spider destination sequence; the master's
+/// one-port serializes first emissions in sequence order.
+SpiderSchedule asap_spider_schedule(const Spider& spider, const std::vector<SpiderDest>& dests);
+
+/// Incremental ASAP state for chain construction — lets heuristics append
+/// one destination at a time and query the resulting completion time without
+/// recomputing the prefix (O(p) per append).
+class ChainAsapState {
+ public:
+  explicit ChainAsapState(const Chain& chain);
+
+  /// Completion time if the next task were sent to `dest`, without
+  /// committing.
+  [[nodiscard]] Time peek_completion(std::size_t dest) const;
+
+  /// Appends a task to `dest`; returns its placement.
+  ChainTask commit(std::size_t dest);
+
+  [[nodiscard]] const Chain& chain() const { return chain_; }
+
+ private:
+  Chain chain_;
+  std::vector<Time> link_free_;
+  std::vector<Time> proc_free_;
+};
+
+/// Same, for spiders (master port + per-leg chain state).
+class SpiderAsapState {
+ public:
+  explicit SpiderAsapState(const Spider& spider);
+
+  [[nodiscard]] Time peek_completion(const SpiderDest& dest) const;
+  SpiderTask commit(const SpiderDest& dest);
+
+  [[nodiscard]] const Spider& spider() const { return spider_; }
+
+ private:
+  /// Computes the emission chain for `dest`; shared by peek and commit.
+  [[nodiscard]] std::vector<Time> emissions_for(const SpiderDest& dest) const;
+
+  Spider spider_;
+  Time port_free_ = 0;
+  std::vector<std::vector<Time>> link_free_;  // per leg, per link
+  std::vector<std::vector<Time>> proc_free_;  // per leg, per processor
+};
+
+}  // namespace mst

@@ -1,0 +1,111 @@
+#include "mst/baselines/periodic.hpp"
+
+#include <algorithm>
+
+#include "mst/baselines/asap.hpp"
+#include "mst/common/assert.hpp"
+
+namespace mst {
+
+std::vector<Rational> chain_lp_rates(const Chain& chain) {
+  const std::size_t p = chain.size();
+  // residual[k]: remaining capacity of link k (1/c_k minus allocations);
+  // `unbounded[k]` marks zero-latency links.
+  std::vector<Rational> residual(p, Rational(0));
+  std::vector<bool> unbounded(p, false);
+  for (std::size_t k = 0; k < p; ++k) {
+    if (chain.comm(k) == 0) {
+      unbounded[k] = true;
+    } else {
+      residual[k] = Rational(1, chain.comm(k));
+    }
+  }
+
+  std::vector<Rational> rates(p, Rational(0));
+  for (std::size_t q = 0; q < p; ++q) {
+    // Processor q is capped by its speed and by every link on its path.
+    Rational x(1, chain.work(q));
+    for (std::size_t k = 0; k <= q; ++k) {
+      if (!unbounded[k]) x = Rational::min(x, residual[k]);
+    }
+    if (x.is_zero()) continue;
+    rates[q] = x;
+    for (std::size_t k = 0; k <= q; ++k) {
+      if (!unbounded[k]) residual[k] = residual[k] - x;
+    }
+  }
+  return rates;
+}
+
+double PeriodicPattern::rate() const {
+  double total = 0.0;
+  for (const Rational& r : rates) total += r.to_double();
+  return total;
+}
+
+PeriodicPattern chain_periodic_pattern(const Chain& chain) {
+  PeriodicPattern pattern;
+  pattern.rates = chain_lp_rates(chain);
+
+  // Hyperperiod: lcm of the denominators of the non-zero rates.
+  std::int64_t h = 1;
+  bool any = false;
+  for (const Rational& r : pattern.rates) {
+    if (!r.is_zero()) {
+      h = lcm64(h, r.den());
+      any = true;
+    }
+  }
+  MST_REQUIRE(any, "chain has zero steady-state rate");
+  pattern.hyperperiod = h;
+
+  pattern.counts.resize(pattern.rates.size(), 0);
+  std::size_t total = 0;
+  for (std::size_t q = 0; q < pattern.rates.size(); ++q) {
+    const Rational tasks = pattern.rates[q] * Rational(h);
+    MST_ASSERT(tasks.den() == 1 && tasks.num() >= 0);
+    pattern.counts[q] = static_cast<std::size_t>(tasks.num());
+    total += pattern.counts[q];
+  }
+  MST_ASSERT(total >= 1);
+
+  // Evenly interleave the counts (per-processor Bresenham): at block
+  // position i, emit processor q when its accumulated share crosses the
+  // next integer.  Smooth interleaving keeps every link's load spread out,
+  // which is what lets ASAP timing track the fluid schedule.
+  pattern.block.reserve(total);
+  std::vector<std::size_t> emitted(pattern.counts.size(), 0);
+  for (std::size_t i = 1; i <= total; ++i) {
+    // Pick the processor whose deficit (expected share - emitted) is
+    // largest; ties toward the nearer processor.
+    std::size_t best = pattern.counts.size();
+    double best_deficit = -1e300;
+    for (std::size_t q = 0; q < pattern.counts.size(); ++q) {
+      if (pattern.counts[q] == 0) continue;
+      const double expected = static_cast<double>(pattern.counts[q]) *
+                              static_cast<double>(i) / static_cast<double>(total);
+      const double deficit = expected - static_cast<double>(emitted[q]);
+      if (deficit > best_deficit + 1e-12) {
+        best_deficit = deficit;
+        best = q;
+      }
+    }
+    MST_ASSERT(best < pattern.counts.size());
+    ++emitted[best];
+    pattern.block.push_back(best);
+  }
+  return pattern;
+}
+
+ChainSchedule periodic_chain_schedule(const Chain& chain, const PeriodicPattern& pattern,
+                                      std::size_t repetitions) {
+  MST_REQUIRE(repetitions >= 1, "need at least one period");
+  std::vector<std::size_t> dests;
+  dests.reserve(pattern.block.size() * repetitions);
+  for (std::size_t r = 0; r < repetitions; ++r) {
+    dests.insert(dests.end(), pattern.block.begin(), pattern.block.end());
+  }
+  return asap_chain_schedule(chain, dests);
+}
+
+}  // namespace mst

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mst/common/rational.hpp"
+#include "mst/platform/chain.hpp"
+#include "mst/schedule/chain_schedule.hpp"
+
+/// \file periodic.hpp
+/// Exact steady-state rates and periodic schedule construction for chains —
+/// the bandwidth-centric program of Beaumont et al. [2] made concrete.
+///
+/// `bounds.hpp` computes the chain's aggregate LP rate in doubles (enough
+/// for bounds); this module solves the same LP *exactly* in rationals and
+/// per processor:
+///
+///     maximize   Σ_q x_q
+///     subject to x_q <= 1/w_q                    (processor speed)
+///                Σ_{j>=k} x_j <= 1/c_k  ∀k       (link k busy time)
+///
+/// The nested constraint structure makes a forward greedy optimal: allocate
+/// processors near the master first — they consume capacity on fewer links.
+/// From the exact rates a *periodic pattern* follows: over a hyperperiod of
+/// `H` time units (the lcm of the rate denominators) processor `q` receives
+/// exactly `x_q·H` tasks; interleaving those counts evenly and repeating
+/// the block yields an explicit schedule whose throughput converges to the
+/// LP optimum — the steady-state counterpart of the paper's exact finite
+/// construction.
+
+namespace mst {
+
+/// Exact per-processor LP rates; their sum equals `chain_steady_state_rate`
+/// up to floating-point rounding (asserted in tests).
+std::vector<Rational> chain_lp_rates(const Chain& chain);
+
+/// One period of the bandwidth-centric schedule.
+struct PeriodicPattern {
+  std::vector<Rational> rates;      ///< exact per-processor rates
+  Time hyperperiod = 0;             ///< H: lcm of rate denominators
+  std::vector<std::size_t> counts;  ///< tasks per processor per period (x_q·H)
+  std::vector<std::size_t> block;   ///< destination sequence of one period,
+                                    ///< counts interleaved evenly (Bresenham)
+
+  [[nodiscard]] std::size_t tasks_per_period() const { return block.size(); }
+  [[nodiscard]] double rate() const;  ///< Σ rates as a double
+};
+
+/// Builds the pattern; throws if the chain has zero total rate (impossible
+/// for valid platforms: w >= 1 gives every processor positive speed, only
+/// an all-zero-capacity link chain could stall, and c=0 means infinite
+/// capacity instead).
+PeriodicPattern chain_periodic_pattern(const Chain& chain);
+
+/// Materializes `repetitions` periods as an ASAP schedule (feasible by
+/// construction; used to measure convergence to the LP rate).
+ChainSchedule periodic_chain_schedule(const Chain& chain, const PeriodicPattern& pattern,
+                                      std::size_t repetitions);
+
+}  // namespace mst

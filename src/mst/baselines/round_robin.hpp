@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+
+#include "mst/platform/chain.hpp"
+#include "mst/platform/spider.hpp"
+#include "mst/schedule/chain_schedule.hpp"
+#include "mst/schedule/spider_schedule.hpp"
+
+/// \file round_robin.hpp
+/// Round-robin dispatch — the heterogeneity-blind baseline.
+///
+/// Tasks cycle over the processors in index order with ASAP timing.  On a
+/// heterogeneous platform this both overloads slow processors and starves
+/// fast ones; the HEUR experiment uses it as the "what if we ignore the
+/// paper entirely" reference point.
+
+namespace mst {
+
+ChainSchedule round_robin_chain(const Chain& chain, std::size_t n);
+SpiderSchedule round_robin_spider(const Spider& spider, std::size_t n);
+
+Time round_robin_chain_makespan(const Chain& chain, std::size_t n);
+Time round_robin_spider_makespan(const Spider& spider, std::size_t n);
+
+}  // namespace mst

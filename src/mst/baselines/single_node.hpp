@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+
+#include "mst/platform/chain.hpp"
+#include "mst/platform/spider.hpp"
+#include "mst/schedule/chain_schedule.hpp"
+#include "mst/schedule/spider_schedule.hpp"
+
+/// \file single_node.hpp
+/// Best-single-processor baseline — the generalization of the paper's `T∞`.
+///
+/// All `n` tasks are pipelined to one processor; the best such processor is
+/// chosen by exact evaluation.  The paper's `T∞ = c_1 + (n-1)·max(w_1,c_1)
+/// + w_1` is the first-processor member of this family and anchors the
+/// backward construction; the baseline is also a correct (if weak) upper
+/// bound on the optimum, used as the horizon in several experiments.
+
+namespace mst {
+
+/// Best single-processor schedule on a chain (ASAP pipeline to the
+/// minimizing processor).
+ChainSchedule single_node_chain(const Chain& chain, std::size_t n);
+Time single_node_chain_makespan(const Chain& chain, std::size_t n);
+
+/// Best single-processor schedule over all legs of a spider.
+SpiderSchedule single_node_spider(const Spider& spider, std::size_t n);
+Time single_node_spider_makespan(const Spider& spider, std::size_t n);
+
+}  // namespace mst

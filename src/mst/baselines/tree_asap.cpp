@@ -1,0 +1,125 @@
+#include "mst/baselines/tree_asap.hpp"
+
+#include <algorithm>
+
+#include "mst/common/assert.hpp"
+
+namespace mst {
+
+TreeAsapState::TreeAsapState(const Tree& tree)
+    : tree_(&tree), port_free_(tree.size(), 0), proc_free_(tree.size(), 0) {}
+
+Time TreeAsapState::peek_completion(NodeId dest) const {
+  MST_REQUIRE(dest != 0 && dest < tree_->size(), "destination must be a slave node");
+  Time ready = 0;
+  NodeId prev = 0;
+  for (NodeId hop : tree_->path_from_root(dest)) {
+    const Time emit = std::max(ready, port_free_[prev]);
+    ready = emit + tree_->proc(hop).comm;
+    prev = hop;
+  }
+  return std::max(ready, proc_free_[dest]) + tree_->proc(dest).work;
+}
+
+Time TreeAsapState::commit(NodeId dest) {
+  MST_REQUIRE(dest != 0 && dest < tree_->size(), "destination must be a slave node");
+  Time ready = 0;
+  NodeId prev = 0;
+  for (NodeId hop : tree_->path_from_root(dest)) {
+    const Time emit = std::max(ready, port_free_[prev]);
+    ready = emit + tree_->proc(hop).comm;
+    port_free_[prev] = ready;
+    prev = hop;
+  }
+  proc_free_[dest] = std::max(ready, proc_free_[dest]) + tree_->proc(dest).work;
+  return proc_free_[dest];
+}
+
+Time asap_tree_makespan(const Tree& tree, const std::vector<NodeId>& dests) {
+  TreeAsapState state(tree);
+  Time makespan = 0;
+  for (NodeId dest : dests) makespan = std::max(makespan, state.commit(dest));
+  return makespan;
+}
+
+std::vector<NodeId> forward_greedy_tree(const Tree& tree, std::size_t n) {
+  MST_REQUIRE(tree.num_slaves() >= 1, "tree has no slaves");
+  TreeAsapState state(tree);
+  std::vector<NodeId> dests;
+  dests.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeId best = 1;
+    Time best_completion = kTimeInfinity;
+    for (NodeId v = 1; v < tree.size(); ++v) {
+      const Time completion = state.peek_completion(v);
+      if (completion < best_completion) {
+        best_completion = completion;
+        best = v;
+      }
+    }
+    state.commit(best);
+    dests.push_back(best);
+  }
+  return dests;
+}
+
+Time forward_greedy_tree_makespan(const Tree& tree, std::size_t n) {
+  return asap_tree_makespan(tree, forward_greedy_tree(tree, n));
+}
+
+/// Branch-and-bound DFS over destination sequences, mirroring the chain /
+/// spider searches in brute_force.cpp but over tree paths.
+class TreeSearch {
+ public:
+  TreeSearch(const Tree& tree, std::size_t n) : state_(tree), n_(n) {}
+
+  Time run() {
+    dfs(0, 0);
+    return best_;
+  }
+
+ private:
+  void dfs(std::size_t placed, Time current_makespan) {
+    if (current_makespan >= best_) return;
+    if (placed == n_) {
+      best_ = current_makespan;
+      return;
+    }
+    const Tree& tree = state_.tree();
+    for (NodeId dest = 1; dest < tree.size(); ++dest) {
+      // Save the touched state slots (ports along the path + the cpu).
+      const std::vector<NodeId> path = tree.path_from_root(dest);
+      std::vector<Time> saved_ports;
+      saved_ports.reserve(path.size());
+      NodeId prev = 0;
+      for (NodeId hop : path) {
+        saved_ports.push_back(state_.port_free_[prev]);
+        prev = hop;
+      }
+      const Time saved_proc = state_.proc_free_[dest];
+
+      const Time end = state_.commit(dest);
+      dfs(placed + 1, std::max(current_makespan, end));
+
+      prev = 0;
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        state_.port_free_[prev] = saved_ports[i];
+        prev = path[i];
+      }
+      state_.proc_free_[dest] = saved_proc;
+    }
+  }
+
+  TreeAsapState state_;
+  std::size_t n_;
+  Time best_ = kTimeInfinity;
+};
+
+Time brute_force_tree_makespan(const Tree& tree, std::size_t n) {
+  MST_REQUIRE(n >= 1, "need at least one task");
+  MST_REQUIRE(tree.num_slaves() >= 1, "tree has no slaves");
+  TreeSearch search(tree, n);
+  return search.run();
+}
+
+}  // namespace mst

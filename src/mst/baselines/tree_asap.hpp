@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mst/platform/tree.hpp"
+
+/// \file tree_asap.hpp
+/// Forward ASAP timing on general trees — the tree-shaped sibling of
+/// `asap.hpp`.
+///
+/// Because the master is the only task source and every out-port forwards
+/// FIFO, the incremental estimate below predicts the discrete-event
+/// simulator's timing *exactly* (same argument as for chains; verified in
+/// the test suite).  It powers the tree forward-greedy baseline, the ECT
+/// online policy and the exhaustive tree optimum used to judge the §8
+/// covering heuristics.
+
+namespace mst {
+
+/// Incremental ASAP state over a tree: per node, when its out-port and its
+/// processor become free.
+class TreeAsapState {
+ public:
+  explicit TreeAsapState(const Tree& tree);
+
+  /// Completion time if the next task were sent to `dest` (a slave node),
+  /// without committing.
+  [[nodiscard]] Time peek_completion(NodeId dest) const;
+
+  /// Appends a task to `dest`; returns its completion time.
+  Time commit(NodeId dest);
+
+  [[nodiscard]] const Tree& tree() const { return *tree_; }
+
+ private:
+  friend class TreeSearch;  // exhaustive search needs save/restore access
+
+  const Tree* tree_;
+  std::vector<Time> port_free_;
+  std::vector<Time> proc_free_;
+};
+
+/// Makespan of dispatching the given destination sequence ASAP.
+Time asap_tree_makespan(const Tree& tree, const std::vector<NodeId>& dests);
+
+/// Earliest-completion-time forward greedy on a tree; returns the chosen
+/// destination sequence (ties toward the smaller node id).
+std::vector<NodeId> forward_greedy_tree(const Tree& tree, std::size_t n);
+Time forward_greedy_tree_makespan(const Tree& tree, std::size_t n);
+
+/// Exhaustive exact optimum on a tree (branch & bound over destination
+/// sequences, exponential — small instances only).  This is the ground
+/// truth the §8 covering heuristics are measured against.
+Time brute_force_tree_makespan(const Tree& tree, std::size_t n);
+
+}  // namespace mst

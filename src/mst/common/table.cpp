@@ -1,0 +1,61 @@
+#include "mst/common/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "mst/common/assert.hpp"
+
+namespace mst {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MST_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& v) {
+  MST_REQUIRE(!rows_.empty(), "call row() before cell()");
+  MST_REQUIRE(rows_.back().size() < headers_.size(), "row has more cells than headers");
+  rows_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(const char* v) { return cell(std::string(v)); }
+
+Table& Table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+
+Table& Table::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+
+Table& Table::cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return cell(os.str());
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << v;
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace mst

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file time.hpp
+/// Integral time base used throughout the library.
+///
+/// The paper (Dutot, IPDPS 2003) maps starting times and emission times into
+/// the natural numbers (`T : [1;n] -> N`), and all schedule arithmetic is a
+/// composition of additions, subtractions and `min`.  Using a 64-bit signed
+/// integer keeps every comparison exact, which matters for the optimality
+/// tests against an exhaustive search: a floating-point representation could
+/// turn a tie into a strict inequality and report a phantom gap.
+
+namespace mst {
+
+/// Time unit.  One unit is whatever the platform description uses (the paper
+/// never fixes a physical unit); latencies `c_i`, processing times `w_i`,
+/// starting times `T(i)` and emission times `C_k^i` all live on this axis.
+using Time = std::int64_t;
+
+/// Sentinel for "no time" / uninitialised.
+inline constexpr Time kNoTime = std::numeric_limits<Time>::min();
+
+/// A safe horizon larger than any schedule this library produces, yet far
+/// from overflow when added to platform latencies.
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max() / 4;
+
+}  // namespace mst

@@ -1,0 +1,99 @@
+#include "mst/core/chain_scheduler.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "mst/common/assert.hpp"
+#include "mst/schedule/comm_vector.hpp"
+
+namespace mst {
+
+ChainSchedule ChainScheduler::build_backward(const Chain& chain, Time horizon,
+                                             std::size_t max_tasks, bool stop_on_negative) {
+  const std::size_t p = chain.size();
+
+  // Hull and occupancy vectors of the paper's Fig 3, initialised at the
+  // horizon: nothing is scheduled yet, so every link and every processor is
+  // free up to `horizon`.
+  std::vector<Time> hull(p, horizon);
+  std::vector<Time> occupancy(p, horizon);
+
+  // Scratch candidate vector, reused across tasks to avoid re-allocation in
+  // the O(n·p²) inner loops.
+  std::vector<Time> candidate(p, 0);
+
+  // Tasks are produced from the last one backward; collected here in
+  // construction order and reversed at the end so that the result is in
+  // first-link emission order (the paper's indexing convention).
+  std::vector<ChainTask> built;
+  built.reserve(max_tasks);
+
+  while (built.size() < max_tasks) {
+    // Find the greatest candidate communication vector over all destinations.
+    std::optional<CommVector> best;
+    for (std::size_t k1 = p; k1 >= 1; --k1) {
+      const std::size_t k = k1 - 1;  // destination processor (0-based)
+      // Last hop: the task must fully arrive before the processor's earliest
+      // scheduled start minus its own execution, and before the link's hull.
+      candidate[k] = std::min(occupancy[k] - chain.work(k) - chain.comm(k),
+                              hull[k] - chain.comm(k));
+      // Upstream hops, built right to left.
+      for (std::size_t j1 = k; j1 >= 1; --j1) {
+        const std::size_t j = j1 - 1;
+        candidate[j] = std::min(candidate[j + 1] - chain.comm(j), hull[j] - chain.comm(j));
+      }
+      CommVector vec(candidate.begin(), candidate.begin() + static_cast<std::ptrdiff_t>(k) + 1);
+      if (!best || precedes(*best, vec)) best = std::move(vec);
+    }
+    MST_ASSERT(best.has_value());
+
+    // Decision form: stop as soon as the best possible emission would have
+    // to start before time 0 — no further task fits in the window.  Because
+    // the candidate entries increase along the vector (c_j >= 0), checking
+    // the first entry suffices.
+    if (stop_on_negative && best->front() < 0) break;
+
+    // Commit: execute as late as the destination allows, update occupancy
+    // and the hulls of every link the task crosses.
+    const std::size_t dest = best->size() - 1;
+    const Time start = occupancy[dest] - chain.work(dest);
+    occupancy[dest] = start;
+    for (std::size_t k = 0; k <= dest; ++k) hull[k] = (*best)[k];
+    built.push_back(ChainTask{dest, start, std::move(*best)});
+  }
+
+  std::reverse(built.begin(), built.end());
+  return ChainSchedule{chain, std::move(built)};
+}
+
+ChainSchedule ChainScheduler::schedule(const Chain& chain, std::size_t n) {
+  MST_REQUIRE(n >= 1, "schedule needs at least one task");
+  const Time horizon = chain.t_infinity(n);
+  ChainSchedule result = build_backward(chain, horizon, n, /*stop_on_negative=*/false);
+  MST_ASSERT(result.tasks.size() == n);
+
+  // The paper's final normalization: shift by -C^1_1 so the schedule starts
+  // at time 0.  The first emission is never negative — the all-on-first-
+  // processor schedule fits in [0, T∞] by construction of T∞ and the greedy
+  // only ever picks vectors that are at least as late.
+  const Time first_emission = result.tasks.front().emissions.front();
+  MST_ASSERT(first_emission >= 0);
+  result.shift(-first_emission);
+  return result;
+}
+
+Time ChainScheduler::makespan(const Chain& chain, std::size_t n) {
+  return schedule(chain, n).makespan();
+}
+
+ChainSchedule ChainScheduler::schedule_within(const Chain& chain, Time t_lim,
+                                              std::size_t max_tasks) {
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  return build_backward(chain, t_lim, max_tasks, /*stop_on_negative=*/true);
+}
+
+std::size_t ChainScheduler::max_tasks(const Chain& chain, Time t_lim, std::size_t cap) {
+  return schedule_within(chain, t_lim, cap).tasks.size();
+}
+
+}  // namespace mst

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mst/platform/chain.hpp"
+#include "mst/schedule/chain_schedule.hpp"
+#include "mst/schedule/comm_vector.hpp"
+
+/// \file chain_trace.hpp
+/// Instrumented backward construction: the same algorithm as
+/// `ChainScheduler::build_backward`, but recording, for every task, the
+/// hull/occupancy state and all `p` candidate communication vectors
+/// considered.  Two consumers:
+///   * the Lemma 1 property tests — the "no crossing" claim is about the
+///     candidate vectors themselves, which the plain scheduler discards;
+///   * `exp_algorithm_trace`, which replays the paper's Fig 2 construction
+///     decision by decision.
+///
+/// The traced run must produce exactly the same schedule as the plain one
+/// (asserted in tests); tracing costs one extra O(p²) copy per task.
+
+namespace mst {
+
+/// One backward step (one task placed).
+struct ChainTraceStep {
+  std::vector<Time> hull_before;       ///< h (per link) before placing
+  std::vector<Time> occupancy_before;  ///< o (per processor) before placing
+  /// Candidate vector per destination k (index = destination processor,
+  /// length = k+1).  Exactly the `kC(i)` of the paper's Fig 3.
+  std::vector<CommVector> candidates;
+  std::size_t chosen = 0;  ///< destination whose candidate won Definition 3
+  ChainTask placed;        ///< the committed placement
+};
+
+/// Full trace of a backward run.  `steps[0]` is the *last* task of the
+/// schedule (the first one the backward pass places).
+struct ChainTrace {
+  Chain chain;
+  Time horizon = 0;
+  std::vector<ChainTraceStep> steps;
+  ChainSchedule schedule;  ///< identical to the untraced construction
+};
+
+/// Traced equivalent of `ChainScheduler::build_backward`.
+ChainTrace trace_backward(const Chain& chain, Time horizon, std::size_t max_tasks,
+                          bool stop_on_negative);
+
+/// Traced makespan form (horizon `T∞`, no stop, final shift applied to the
+/// schedule only — step snapshots keep horizon-anchored times).
+ChainTrace trace_schedule(const Chain& chain, std::size_t n);
+
+}  // namespace mst

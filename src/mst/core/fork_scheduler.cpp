@@ -1,0 +1,174 @@
+#include "mst/core/fork_scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mst/common/assert.hpp"
+#include "mst/core/moore_hodgson.hpp"
+#include "mst/core/virtual_nodes.hpp"
+
+namespace mst {
+
+namespace {
+
+/// Realize a per-slave task-count vector as an actual fork schedule: slave
+/// `i` with count `k` uses its virtual nodes of ranks `0..k-1` (Fig 6),
+/// emissions run EDD back-to-back from 0, executions queue FIFO per slave.
+ForkSchedule realize(const Fork& fork, Time t_lim, const std::vector<std::size_t>& counts) {
+  struct Pending {
+    std::size_t slave;
+    Time deadline;  // emission completion deadline: t_lim - exec
+  };
+  std::vector<Pending> pending;
+  for (std::size_t i = 0; i < fork.size(); ++i) {
+    const auto nodes = expand_fork_slave(fork.slave(i), i, t_lim, counts[i]);
+    MST_ASSERT(nodes.size() == counts[i]);
+    for (const VirtualNode& node : nodes) pending.push_back({i, node.deadline(t_lim)});
+  }
+  std::sort(pending.begin(), pending.end(), [](const Pending& a, const Pending& b) {
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    return a.slave < b.slave;
+  });
+
+  ForkSchedule schedule{fork, {}};
+  std::vector<Time> slave_free(fork.size(), 0);
+  Time port = 0;
+  for (const Pending& item : pending) {
+    const Processor& slave = fork.slave(item.slave);
+    const Time emission = port;
+    port += slave.comm;
+    MST_ASSERT(port <= item.deadline);
+    const Time arrival = emission + slave.comm;
+    const Time start = std::max(arrival, slave_free[item.slave]);
+    slave_free[item.slave] = start + slave.work;
+    MST_ASSERT(slave_free[item.slave] <= t_lim);
+    schedule.tasks.push_back(ForkTask{item.slave, emission, start});
+  }
+  return schedule;
+}
+
+}  // namespace
+
+ForkSchedule ForkScheduler::schedule_within(const Fork& fork, Time t_lim, std::size_t cap) {
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  const std::vector<VirtualNode> nodes = expand_fork(fork, t_lim, cap);
+
+  // Optimal node selection on the master port.
+  std::vector<DeadlineJob> jobs;
+  jobs.reserve(nodes.size());
+  for (std::size_t idx = 0; idx < nodes.size(); ++idx) {
+    jobs.push_back({nodes[idx].comm, nodes[idx].deadline(t_lim), idx});
+  }
+  std::vector<std::size_t> picked = moore_hodgson(std::move(jobs));
+
+  // Normalize per slave to the smallest-exec prefix; only counts matter.
+  std::vector<std::size_t> counts(fork.size(), 0);
+  for (std::size_t idx : picked) ++counts[nodes[idx].source];
+
+  // Global cap: Moore–Hodgson sees `cap` nodes per slave, so the total can
+  // exceed `cap`; trim greedily from the slaves whose *next removed* node is
+  // the hardest (largest exec) — removal never breaks feasibility.
+  std::size_t total = std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+  while (total > cap) {
+    std::size_t worst = fork.size();
+    Time worst_exec = -1;
+    for (std::size_t i = 0; i < fork.size(); ++i) {
+      if (counts[i] == 0) continue;
+      const Time exec =
+          fork.slave(i).work + static_cast<Time>(counts[i] - 1) * fork.cadence(i);
+      if (exec > worst_exec) {
+        worst_exec = exec;
+        worst = i;
+      }
+    }
+    MST_ASSERT(worst < fork.size());
+    --counts[worst];
+    --total;
+  }
+
+  return realize(fork, t_lim, counts);
+}
+
+std::size_t ForkScheduler::max_tasks(const Fork& fork, Time t_lim, std::size_t cap) {
+  return schedule_within(fork, t_lim, cap).tasks.size();
+}
+
+ForkSchedule ForkScheduler::schedule(const Fork& fork, std::size_t n) {
+  MST_REQUIRE(n >= 1, "schedule needs at least one task");
+  // Upper bound: all n tasks on the single best slave.
+  Time hi = kTimeInfinity;
+  for (std::size_t i = 0; i < fork.size(); ++i) {
+    const Processor& s = fork.slave(i);
+    const Time t = s.comm + static_cast<Time>(n - 1) * fork.cadence(i) + s.work;
+    hi = std::min(hi, t);
+  }
+  Time lo = 0;
+  // Monotone predicate: max_tasks(t) >= n.
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (max_tasks(fork, mid, n) >= n) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  ForkSchedule result = schedule_within(fork, lo, n);
+  MST_ASSERT(result.tasks.size() == n);
+  return result;
+}
+
+Time ForkScheduler::makespan(const Fork& fork, std::size_t n) {
+  return schedule(fork, n).makespan();
+}
+
+namespace {
+
+/// Shared engine for the §6 greedy: returns the per-slave counts it
+/// selects.
+std::vector<std::size_t> greedy_counts(const Fork& fork, Time t_lim, std::size_t cap) {
+  // §6: processors sorted by ascending communication times, ties broken by
+  // ascending processing times.
+  std::vector<std::size_t> order(fork.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Processor& pa = fork.slave(a);
+    const Processor& pb = fork.slave(b);
+    if (pa.comm != pb.comm) return pa.comm < pb.comm;
+    if (pa.work != pb.work) return pa.work < pb.work;
+    return a < b;
+  });
+
+  std::vector<std::size_t> counts(fork.size(), 0);
+  std::vector<DeadlineJob> selected;
+  std::size_t total = 0;
+  for (std::size_t i : order) {
+    const auto nodes = expand_fork_slave(fork.slave(i), i, t_lim, cap);
+    for (const VirtualNode& node : nodes) {
+      if (total >= cap) return counts;
+      std::vector<DeadlineJob> trial = selected;
+      trial.push_back({node.comm, node.deadline(t_lim), total});
+      if (!edd_feasible(trial)) break;  // rank q failed; rank q+1 is strictly harder
+      selected = std::move(trial);
+      ++counts[i];
+      ++total;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::size_t ForkScheduler::greedy_max_tasks(const Fork& fork, Time t_lim, std::size_t cap) {
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  std::size_t total = 0;
+  for (std::size_t c : greedy_counts(fork, t_lim, cap)) total += c;
+  return total;
+}
+
+ForkSchedule ForkScheduler::greedy_schedule_within(const Fork& fork, Time t_lim,
+                                                   std::size_t cap) {
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  return realize(fork, t_lim, greedy_counts(fork, t_lim, cap));
+}
+
+}  // namespace mst

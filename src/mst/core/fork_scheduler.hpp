@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mst/platform/fork.hpp"
+#include "mst/schedule/fork_schedule.hpp"
+
+/// \file fork_scheduler.hpp
+/// Scheduling on fork (star) platforms — §6 of the paper, after Beaumont,
+/// Carter, Ferrante, Legrand, Robert (IPDPS 2002).
+///
+/// The decision form "how many tasks finish within `T_lim`?" is solved by
+/// (a) expanding every slave into virtual single-task nodes (Fig 6), and
+/// (b) selecting a maximum feasible node set on the master's one-port —
+/// a `1 || ΣU_j` instance solved optimally by Moore–Hodgson
+/// (`moore_hodgson.hpp`).  The selection is normalized per slave to the
+/// smallest-exec prefix (pure deadline relaxation, count preserved), which
+/// makes it realizable as an actual schedule.  The paper's original
+/// ascending-`c` greedy is kept as `greedy_max_tasks` for cross-checking
+/// and for the heuristic-comparison experiment.
+
+namespace mst {
+
+class ForkScheduler {
+ public:
+  /// Decision form: a feasible schedule of the maximum number of tasks — at
+  /// most `cap` — all completing by `t_lim`.  Master emissions are sequenced
+  /// EDD back-to-back from time 0.
+  static ForkSchedule schedule_within(const Fork& fork, Time t_lim, std::size_t cap);
+
+  /// Count-only decision form.
+  static std::size_t max_tasks(const Fork& fork, Time t_lim, std::size_t cap);
+
+  /// Makespan form: optimal schedule of exactly `n` tasks, found by binary
+  /// search on `t_lim` over the monotone decision form.
+  static ForkSchedule schedule(const Fork& fork, std::size_t n);
+
+  /// Optimal makespan of `n` tasks.
+  static Time makespan(const Fork& fork, std::size_t n);
+
+  /// The paper's §6 greedy (Beaumont et al. [2]): sort slaves by ascending
+  /// communication time (ties by processing time), then fill each slave with
+  /// further virtual nodes while the insertion stays EDD-feasible.  Returns
+  /// the task count.  Cross-checked against `max_tasks` in the test suite.
+  static std::size_t greedy_max_tasks(const Fork& fork, Time t_lim, std::size_t cap);
+
+  /// Materializes the greedy selection as an actual schedule (same EDD
+  /// sequencing as the optimal path; counts come from the greedy).
+  static ForkSchedule greedy_schedule_within(const Fork& fork, Time t_lim, std::size_t cap);
+};
+
+}  // namespace mst

@@ -1,0 +1,83 @@
+#include "mst/core/moore_hodgson.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "mst/common/assert.hpp"
+
+namespace mst {
+
+namespace {
+
+/// Deterministic EDD order.
+bool edd_less(const DeadlineJob& a, const DeadlineJob& b) {
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  if (a.proc_time != b.proc_time) return a.proc_time < b.proc_time;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+std::vector<std::size_t> moore_hodgson(std::vector<DeadlineJob> jobs) {
+  std::sort(jobs.begin(), jobs.end(), edd_less);
+
+  // Selected jobs as a max-heap on processing time: when the running total
+  // overshoots a deadline, evicting the longest selected job is optimal
+  // (Moore 1968).
+  struct HeapEntry {
+    Time proc_time;
+    std::size_t id;
+    bool operator<(const HeapEntry& other) const {
+      if (proc_time != other.proc_time) return proc_time < other.proc_time;
+      return id < other.id;  // deterministic eviction among equals
+    }
+  };
+  std::priority_queue<HeapEntry> selected;
+  Time total = 0;
+  for (const DeadlineJob& job : jobs) {
+    selected.push({job.proc_time, job.id});
+    total += job.proc_time;
+    if (total > job.deadline) {
+      const HeapEntry evicted = selected.top();
+      selected.pop();
+      total -= evicted.proc_time;
+    }
+  }
+
+  std::vector<std::size_t> ids;
+  ids.reserve(selected.size());
+  while (!selected.empty()) {
+    ids.push_back(selected.top().id);
+    selected.pop();
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool edd_feasible(std::vector<DeadlineJob> jobs) {
+  std::sort(jobs.begin(), jobs.end(), edd_less);
+  Time total = 0;
+  for (const DeadlineJob& job : jobs) {
+    total += job.proc_time;
+    if (total > job.deadline) return false;
+  }
+  return true;
+}
+
+std::vector<Time> sequence_edd(const std::vector<DeadlineJob>& jobs) {
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return edd_less(jobs[a], jobs[b]); });
+
+  std::vector<Time> starts(jobs.size(), 0);
+  Time cursor = 0;
+  for (std::size_t idx : order) {
+    starts[idx] = cursor;
+    cursor += jobs[idx].proc_time;
+    MST_ASSERT(cursor <= jobs[idx].deadline);
+  }
+  return starts;
+}
+
+}  // namespace mst

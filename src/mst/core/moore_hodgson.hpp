@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mst/common/time.hpp"
+
+/// \file moore_hodgson.hpp
+/// One-machine deadline selection — the engine behind the fork algorithm.
+///
+/// The virtual-node selection problem of §6/§7 is exactly `1 || ΣU_j`:
+/// jobs (master emissions) with processing time `comm` and a hard deadline,
+/// one machine (the master's out-port), maximize the number of on-time jobs.
+/// The Moore–Hodgson algorithm solves it optimally in `O(N log N)`.
+///
+/// The paper cites the ascending-`c` greedy of Beaumont et al. [2] for this
+/// step; we implement both (see `fork_scheduler.hpp` for the greedy) and use
+/// Moore–Hodgson as the default because its optimality holds for *arbitrary*
+/// job sets — which makes the spider reduction robust — while the greedy's
+/// proof relies on the structured node sequences of fork expansion.
+
+namespace mst {
+
+/// One emission job.
+struct DeadlineJob {
+  Time proc_time = 0;  ///< time on the shared machine (the emission latency)
+  Time deadline = 0;   ///< latest allowed completion on the machine
+  std::size_t id = 0;  ///< caller-side identity, reported back in the result
+};
+
+/// Maximum-cardinality on-time subset (Moore–Hodgson).  Returns the `id`s of
+/// the selected jobs; the subset is feasible when sequenced in EDD order
+/// (earliest deadline first).  Jobs with `deadline < proc_time` are never
+/// selected.  Deterministic: ties are broken by (deadline, proc_time, id).
+std::vector<std::size_t> moore_hodgson(std::vector<DeadlineJob> jobs);
+
+/// True iff the given jobs all meet their deadlines when run back-to-back in
+/// EDD order — the canonical feasibility test for a selection.
+bool edd_feasible(std::vector<DeadlineJob> jobs);
+
+/// EDD sequencing: returns, for each input job (by position), its start time
+/// on the machine when the set is run back-to-back in EDD order from time 0.
+/// Requires the set to be `edd_feasible`; throws `std::logic_error` if not.
+std::vector<Time> sequence_edd(const std::vector<DeadlineJob>& jobs);
+
+}  // namespace mst

@@ -1,0 +1,141 @@
+#include "mst/core/spider_scheduler.hpp"
+
+#include <algorithm>
+
+#include "mst/common/assert.hpp"
+#include "mst/core/chain_scheduler.hpp"
+#include "mst/core/moore_hodgson.hpp"
+
+namespace mst {
+
+SpiderTransformation SpiderScheduler::transform(const Spider& spider, Time t_lim,
+                                                std::size_t cap) {
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  SpiderTransformation result;
+  result.leg_schedules.reserve(spider.num_legs());
+  for (std::size_t l = 0; l < spider.num_legs(); ++l) {
+    ChainSchedule leg_schedule = ChainScheduler::schedule_within(spider.leg(l), t_lim, cap);
+    auto leg_nodes = expand_leg(leg_schedule, l, t_lim);
+    result.nodes.insert(result.nodes.end(), leg_nodes.begin(), leg_nodes.end());
+    result.leg_schedules.push_back(std::move(leg_schedule));
+  }
+  return result;
+}
+
+SpiderSchedule SpiderScheduler::schedule_within(const Spider& spider, Time t_lim,
+                                                std::size_t cap) {
+  const SpiderTransformation tf = transform(spider, t_lim, cap);
+
+  // Step (3): optimal virtual-node selection on the master's one-port.
+  std::vector<DeadlineJob> jobs;
+  jobs.reserve(tf.nodes.size());
+  for (std::size_t idx = 0; idx < tf.nodes.size(); ++idx) {
+    jobs.push_back({tf.nodes[idx].comm, tf.nodes[idx].deadline(t_lim), idx});
+  }
+  const std::vector<std::size_t> picked = moore_hodgson(std::move(jobs));
+
+  // Per-leg counts; normalize each leg to its smallest-exec nodes, i.e. the
+  // *suffix* of the leg schedule (rank < count).  Swapping a selected node
+  // for an unselected same-comm node with a later deadline keeps the
+  // selection EDD-feasible, so counts are preserved.
+  std::vector<std::size_t> counts(spider.num_legs(), 0);
+  for (std::size_t idx : picked) ++counts[tf.nodes[idx].source];
+
+  // Global cap: trim the hardest node (largest exec among each leg's next
+  // removal candidate) until within cap.  Removing never breaks feasibility.
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  while (total > cap) {
+    std::size_t worst_leg = spider.num_legs();
+    Time worst_exec = -1;
+    for (std::size_t l = 0; l < spider.num_legs(); ++l) {
+      if (counts[l] == 0) continue;
+      const std::size_t m = tf.leg_schedules[l].tasks.size();
+      const ChainTask& t = tf.leg_schedules[l].tasks[m - counts[l]];  // earliest kept task
+      const Time exec = t_lim - t.emissions.front() - spider.leg(l).comm(0);
+      if (exec > worst_exec) {
+        worst_exec = exec;
+        worst_leg = l;
+      }
+    }
+    MST_ASSERT(worst_leg < spider.num_legs());
+    --counts[worst_leg];
+    --total;
+  }
+
+  // Step (4): revert to a spider schedule.  Gather the suffix tasks with
+  // their emission-completion deadlines, re-sequence the master emissions
+  // EDD back-to-back from time 0, keep everything downstream untouched.
+  struct Chosen {
+    std::size_t leg;
+    std::size_t task_index;  // into leg_schedules[leg].tasks
+    Time deadline;           // original C_1 + c_1
+  };
+  std::vector<Chosen> chosen;
+  chosen.reserve(total);
+  for (std::size_t l = 0; l < spider.num_legs(); ++l) {
+    const ChainSchedule& ls = tf.leg_schedules[l];
+    const std::size_t m = ls.tasks.size();
+    const Time c1 = spider.leg(l).comm(0);
+    for (std::size_t j = m - counts[l]; j < m; ++j) {
+      chosen.push_back({l, j, ls.tasks[j].emissions.front() + c1});
+    }
+  }
+  std::sort(chosen.begin(), chosen.end(), [](const Chosen& a, const Chosen& b) {
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    if (a.leg != b.leg) return a.leg < b.leg;
+    return a.task_index < b.task_index;
+  });
+
+  SpiderSchedule schedule{spider, {}};
+  schedule.tasks.reserve(chosen.size());
+  Time port = 0;
+  for (const Chosen& item : chosen) {
+    const ChainTask& src = tf.leg_schedules[item.leg].tasks[item.task_index];
+    const Time c1 = spider.leg(item.leg).comm(0);
+    const Time emission = port;
+    port += c1;
+    // Lemma 3: the fork step never needs to emit later than the leg
+    // schedule did, so moving the first emission earlier is always legal.
+    MST_ASSERT(port <= item.deadline);
+    SpiderTask task;
+    task.leg = item.leg;
+    task.proc = src.proc;
+    task.start = src.start;
+    task.emissions = src.emissions;
+    task.emissions.front() = emission;
+    schedule.tasks.push_back(std::move(task));
+  }
+  return schedule;
+}
+
+std::size_t SpiderScheduler::max_tasks(const Spider& spider, Time t_lim, std::size_t cap) {
+  return schedule_within(spider, t_lim, cap).tasks.size();
+}
+
+SpiderSchedule SpiderScheduler::schedule(const Spider& spider, std::size_t n) {
+  MST_REQUIRE(n >= 1, "schedule needs at least one task");
+  // Upper bound: all n tasks on the single leg minimizing the trivial
+  // first-processor schedule.
+  Time hi = kTimeInfinity;
+  for (const Chain& leg : spider.legs()) hi = std::min(hi, leg.t_infinity(n));
+  Time lo = 0;
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (max_tasks(spider, mid, n) >= n) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  SpiderSchedule result = schedule_within(spider, lo, n);
+  MST_ASSERT(result.tasks.size() == n);
+  result.normalize();
+  return result;
+}
+
+Time SpiderScheduler::makespan(const Spider& spider, std::size_t n) {
+  return schedule(spider, n).makespan();
+}
+
+}  // namespace mst

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mst/core/virtual_nodes.hpp"
+#include "mst/platform/spider.hpp"
+#include "mst/schedule/chain_schedule.hpp"
+#include "mst/schedule/spider_schedule.hpp"
+
+/// \file spider_scheduler.hpp
+/// The paper's §7: optimal scheduling on spider graphs.
+///
+/// Pipeline for a window of length `T_lim` (the paper's 5-line algorithm):
+///   (1) run the decision-form chain algorithm on every leg;
+///   (2) turn every scheduled task into a virtual single-task node
+///       (`comm = c_1` of the leg, `exec = T_lim − C¹ᵢ − c_1`, Fig 7);
+///   (3) select a maximum feasible node set on the master's one-port
+///       (the fork-graph step; Moore–Hodgson here);
+///   (4) revert: a leg with `k` selected nodes executes the *last `k`
+///       tasks* of its chain schedule — optimal for `k` tasks by the
+///       backward construction (Lemma 4) — with master emissions moved to
+///       the (earlier) times chosen in step (3), which is feasible by
+///       Lemma 3.
+/// The makespan form binary-searches `T_lim` over the monotone decision
+/// form; total complexity stays polynomial (Theorem 2) and the result is
+/// optimal (Theorem 3).
+
+namespace mst {
+
+/// The intermediate artifact of steps (1)–(2), exposed so tests and the
+/// Fig 7 experiment can inspect the transformation itself.
+struct SpiderTransformation {
+  /// Decision-form chain schedule of each leg (tasks in ascending
+  /// first-emission order).
+  std::vector<ChainSchedule> leg_schedules;
+  /// All virtual nodes, leg by leg; `source` is the leg index and nodes of
+  /// one leg appear in ascending rank (descending exec matches ascending
+  /// first-emission order of the leg schedule — rank 0 is the latest task).
+  std::vector<VirtualNode> nodes;
+};
+
+class SpiderScheduler {
+ public:
+  /// Steps (1)-(2): per-leg schedules and the fork-graph instance (Fig 7).
+  static SpiderTransformation transform(const Spider& spider, Time t_lim, std::size_t cap);
+
+  /// Decision form: a feasible spider schedule of the maximum number of
+  /// tasks (at most `cap`) completing by `t_lim`.
+  static SpiderSchedule schedule_within(const Spider& spider, Time t_lim, std::size_t cap);
+
+  /// Count-only decision form.
+  static std::size_t max_tasks(const Spider& spider, Time t_lim, std::size_t cap);
+
+  /// Makespan form: optimal schedule of exactly `n` tasks.
+  static SpiderSchedule schedule(const Spider& spider, std::size_t n);
+
+  /// Optimal makespan of `n` tasks.
+  static Time makespan(const Spider& spider, std::size_t n);
+};
+
+}  // namespace mst

@@ -1,0 +1,57 @@
+#include "mst/core/virtual_nodes.hpp"
+
+#include <sstream>
+
+#include "mst/common/assert.hpp"
+
+namespace mst {
+
+std::string to_string(const VirtualNode& node) {
+  std::ostringstream os;
+  os << "node{source=" << node.source << ", rank=" << node.rank << ", comm=" << node.comm
+     << ", exec=" << node.exec << '}';
+  return os.str();
+}
+
+std::vector<VirtualNode> expand_fork_slave(const Processor& slave, std::size_t slave_index,
+                                           Time t_lim, std::size_t max_per_slave) {
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  std::vector<VirtualNode> nodes;
+  const Time m = std::max(slave.comm, slave.work);
+  for (std::size_t q = 0; q < max_per_slave; ++q) {
+    const Time exec = slave.work + static_cast<Time>(q) * m;
+    if (exec + slave.comm > t_lim) break;  // could never complete in the window
+    nodes.push_back(VirtualNode{slave_index, q, slave.comm, exec});
+  }
+  return nodes;
+}
+
+std::vector<VirtualNode> expand_fork(const Fork& fork, Time t_lim, std::size_t max_per_slave) {
+  std::vector<VirtualNode> nodes;
+  for (std::size_t i = 0; i < fork.size(); ++i) {
+    auto slave_nodes = expand_fork_slave(fork.slave(i), i, t_lim, max_per_slave);
+    nodes.insert(nodes.end(), slave_nodes.begin(), slave_nodes.end());
+  }
+  return nodes;
+}
+
+std::vector<VirtualNode> expand_leg(const ChainSchedule& leg_schedule, std::size_t leg_index,
+                                    Time t_lim) {
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  const Time c1 = leg_schedule.chain.comm(0);
+  std::vector<VirtualNode> nodes;
+  const std::size_t n = leg_schedule.tasks.size();
+  nodes.reserve(n);
+  // Tasks are in ascending first-emission order; the *latest* task has the
+  // smallest exec, i.e. rank 0.
+  for (std::size_t j = 0; j < n; ++j) {
+    const ChainTask& t = leg_schedule.tasks[j];
+    MST_REQUIRE(!t.emissions.empty(), "leg schedule task without emissions");
+    const Time first = t.emissions.front();
+    MST_ASSERT(first >= 0 && first + c1 <= t_lim);
+    nodes.push_back(VirtualNode{leg_index, n - 1 - j, c1, t_lim - first - c1});
+  }
+  return nodes;
+}
+
+}  // namespace mst

@@ -1,0 +1,67 @@
+#include "mst/heuristics/local_search.hpp"
+
+#include <algorithm>
+
+#include "mst/baselines/tree_asap.hpp"
+#include "mst/common/assert.hpp"
+
+namespace mst {
+
+LocalSearchResult improve_tree_dispatch(const Tree& tree, std::vector<NodeId> initial,
+                                        std::size_t max_passes) {
+  MST_REQUIRE(tree.num_slaves() >= 1, "tree has no slaves");
+  for (NodeId v : initial) {
+    MST_REQUIRE(v != 0 && v < tree.size(), "initial destinations must be slave nodes");
+  }
+
+  LocalSearchResult result;
+  result.dests = std::move(initial);
+  result.makespan = result.dests.empty() ? 0 : asap_tree_makespan(tree, result.dests);
+
+  const std::size_t n = result.dests.size();
+  bool improved = true;
+  while (improved && result.passes < max_passes) {
+    improved = false;
+    ++result.passes;
+
+    // Move 1: reassign one task to another node.
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId original = result.dests[i];
+      for (NodeId v = 1; v < tree.size(); ++v) {
+        if (v == original) continue;
+        result.dests[i] = v;
+        const Time makespan = asap_tree_makespan(tree, result.dests);
+        if (makespan < result.makespan) {
+          result.makespan = makespan;
+          ++result.moves;
+          improved = true;
+          break;  // keep v, rescan neighborhood next pass
+        }
+        result.dests[i] = original;
+      }
+    }
+
+    // Move 2: swap the destinations of two emission positions.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (result.dests[i] == result.dests[j]) continue;
+        std::swap(result.dests[i], result.dests[j]);
+        const Time makespan = asap_tree_makespan(tree, result.dests);
+        if (makespan < result.makespan) {
+          result.makespan = makespan;
+          ++result.moves;
+          improved = true;
+        } else {
+          std::swap(result.dests[i], result.dests[j]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+LocalSearchResult local_search_tree(const Tree& tree, std::size_t n, std::size_t max_passes) {
+  return improve_tree_dispatch(tree, forward_greedy_tree(tree, n), max_passes);
+}
+
+}  // namespace mst

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mst/platform/tree.hpp"
+
+/// \file local_search.hpp
+/// Local search over tree dispatch sequences — the second §8-style
+/// heuristic, complementary to the spider cover.
+///
+/// The cover heuristic plans optimally but ignores off-path processors;
+/// the greedy uses every node but never revisits a decision.  This pass
+/// starts from any destination sequence and descends over two move types:
+///   * reassign — send the i-th emitted task to a different node;
+///   * swap     — exchange the destinations of two emission positions.
+/// Evaluation is exact (`asap_tree_makespan`, the simulator-faithful
+/// timing), so every accepted move is a true improvement.  First-improvement
+/// descent, deterministic scan order, bounded by `max_passes` full sweeps.
+
+namespace mst {
+
+struct LocalSearchResult {
+  std::vector<NodeId> dests;  ///< improved dispatch sequence
+  Time makespan = 0;          ///< its exact ASAP makespan
+  std::size_t moves = 0;      ///< accepted improvements
+  std::size_t passes = 0;     ///< full neighborhood sweeps performed
+};
+
+/// Improves `initial` (destinations must be slave nodes).  Never returns a
+/// worse sequence than the input.
+LocalSearchResult improve_tree_dispatch(const Tree& tree, std::vector<NodeId> initial,
+                                        std::size_t max_passes = 16);
+
+/// Greedy start + local search.
+LocalSearchResult local_search_tree(const Tree& tree, std::size_t n,
+                                    std::size_t max_passes = 16);
+
+}  // namespace mst

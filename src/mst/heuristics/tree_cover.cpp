@@ -1,0 +1,59 @@
+#include "mst/heuristics/tree_cover.hpp"
+
+#include <algorithm>
+
+#include "mst/baselines/bounds.hpp"
+#include "mst/common/assert.hpp"
+
+namespace mst {
+
+namespace {
+
+/// Collects every root-child-to-leaf path under `v` (paths include `v`).
+void collect_paths(const Tree& tree, NodeId v, std::vector<NodeId>& prefix,
+                   std::vector<std::vector<NodeId>>& out) {
+  prefix.push_back(v);
+  if (tree.children(v).empty()) {
+    out.push_back(prefix);
+  } else {
+    for (NodeId child : tree.children(v)) collect_paths(tree, child, prefix, out);
+  }
+  prefix.pop_back();
+}
+
+Chain chain_of_path(const Tree& tree, const std::vector<NodeId>& path) {
+  std::vector<Processor> procs;
+  procs.reserve(path.size());
+  for (NodeId v : path) procs.push_back(tree.proc(v));
+  return Chain(std::move(procs));
+}
+
+}  // namespace
+
+SpiderCover cover_tree_with_spider(const Tree& tree) {
+  MST_REQUIRE(tree.num_slaves() >= 1, "tree has no slaves");
+  SpiderCover cover;
+  std::vector<Chain> legs;
+  for (NodeId head : tree.children(0)) {
+    std::vector<std::vector<NodeId>> paths;
+    std::vector<NodeId> prefix;
+    collect_paths(tree, head, prefix, paths);
+    MST_ASSERT(!paths.empty());
+
+    double best_rate = -1.0;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      const double rate = chain_steady_state_rate(chain_of_path(tree, paths[i]));
+      if (rate > best_rate) {
+        best_rate = rate;
+        best = i;
+      }
+    }
+    legs.push_back(chain_of_path(tree, paths[best]));
+    cover.node_of.push_back(paths[best]);
+  }
+  cover.spider = Spider(std::move(legs));
+  return cover;
+}
+
+}  // namespace mst

@@ -1,0 +1,36 @@
+#include "mst/heuristics/tree_schedule.hpp"
+
+#include <algorithm>
+
+#include "mst/common/assert.hpp"
+#include "mst/core/spider_scheduler.hpp"
+#include "mst/heuristics/tree_cover.hpp"
+#include "mst/schedule/spider_schedule.hpp"
+
+namespace mst {
+
+TreeScheduleResult schedule_tree_via_cover(const Tree& tree, std::size_t n) {
+  MST_REQUIRE(n >= 1, "need at least one task");
+  const SpiderCover cover = cover_tree_with_spider(tree);
+  SpiderSchedule plan = SpiderScheduler::schedule(cover.spider, n);
+
+  // Destination sequence in master-emission order (the planner already
+  // keeps tasks sorted by first emission).
+  TreeScheduleResult result;
+  result.makespan = plan.makespan();
+  result.destinations.reserve(n);
+  std::vector<std::size_t> order(plan.tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&plan](std::size_t a, std::size_t b) {
+    return plan.tasks[a].emissions.front() < plan.tasks[b].emissions.front();
+  });
+  for (std::size_t idx : order) {
+    const SpiderTask& t = plan.tasks[idx];
+    result.destinations.push_back(cover.node_of[t.leg][t.proc]);
+  }
+
+  result.simulated = sim::simulate_dispatch(tree, result.destinations);
+  return result;
+}
+
+}  // namespace mst

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mst/platform/tree.hpp"
+#include "mst/sim/platform_sim.hpp"
+
+/// \file tree_schedule.hpp
+/// Scheduling on general trees (the paper's open problem) via the spider
+/// cover: plan optimally on the covering spider, then execute the planned
+/// destination sequence on the real tree.  Because the cover is a
+/// sub-platform, the plan is feasible as-is, and the resulting makespan is
+/// an upper bound witness for the tree optimum.
+
+namespace mst {
+
+/// Outcome of the cover-and-schedule heuristic.
+struct TreeScheduleResult {
+  Time makespan = 0;
+  /// Tree node executing each task, in master-emission order.
+  std::vector<NodeId> destinations;
+  /// Operational replay of the plan on the tree simulator (same makespan or
+  /// better — eager forwarding may only move work earlier).
+  sim::SimResult simulated;
+};
+
+/// Schedule `n` tasks on `tree` through the spider cover.
+TreeScheduleResult schedule_tree_via_cover(const Tree& tree, std::size_t n);
+
+}  // namespace mst

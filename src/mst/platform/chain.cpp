@@ -1,0 +1,67 @@
+#include "mst/platform/chain.hpp"
+
+#include <sstream>
+
+#include "mst/common/assert.hpp"
+
+namespace mst {
+
+namespace {
+void validate(const std::vector<Processor>& procs) {
+  MST_REQUIRE(!procs.empty(), "chain must contain at least one processor");
+  for (const Processor& p : procs) {
+    MST_REQUIRE(p.comm >= 0, "link latency c_i must be non-negative");
+    MST_REQUIRE(p.work > 0, "processing time w_i must be strictly positive");
+  }
+}
+}  // namespace
+
+Chain::Chain(std::vector<Processor> procs) : procs_(std::move(procs)) { validate(procs_); }
+
+Chain::Chain(std::initializer_list<Processor> procs) : procs_(procs) { validate(procs_); }
+
+Chain Chain::from_vectors(const std::vector<Time>& comms, const std::vector<Time>& works) {
+  MST_REQUIRE(comms.size() == works.size(), "comm/work vectors must have equal length");
+  std::vector<Processor> procs;
+  procs.reserve(comms.size());
+  for (std::size_t i = 0; i < comms.size(); ++i) procs.push_back({comms[i], works[i]});
+  return Chain(std::move(procs));
+}
+
+const Processor& Chain::proc(std::size_t i) const {
+  MST_REQUIRE(i < procs_.size(), "processor index out of range");
+  return procs_[i];
+}
+
+Time Chain::path_latency(std::size_t i) const {
+  MST_REQUIRE(i < procs_.size(), "processor index out of range");
+  Time sum = 0;
+  for (std::size_t j = 0; j <= i; ++j) sum += procs_[j].comm;
+  return sum;
+}
+
+Chain Chain::suffix(std::size_t from) const {
+  MST_REQUIRE(from < procs_.size(), "suffix start out of range");
+  return Chain(std::vector<Processor>(procs_.begin() + static_cast<std::ptrdiff_t>(from),
+                                      procs_.end()));
+}
+
+Time Chain::t_infinity(std::size_t n) const {
+  MST_REQUIRE(n >= 1, "t_infinity needs at least one task");
+  const Processor& p0 = procs_.front();
+  const Time step = std::max(p0.work, p0.comm);
+  return p0.comm + static_cast<Time>(n - 1) * step + p0.work;
+}
+
+std::string Chain::describe() const {
+  std::ostringstream os;
+  os << "chain[";
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    if (i) os << ',';
+    os << "(c=" << procs_[i].comm << ",w=" << procs_[i].work << ')';
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace mst

@@ -1,0 +1,164 @@
+#include "mst/platform/io.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "mst/common/assert.hpp"
+
+namespace mst {
+
+namespace {
+
+/// Tokenized input with comment stripping and line tracking for errors.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) {
+    std::istringstream is(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+      ++lineno;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::istringstream ls(line);
+      std::string tok;
+      while (ls >> tok) tokens_.push_back({tok, lineno});
+    }
+  }
+
+  [[nodiscard]] bool done() const { return pos_ >= tokens_.size(); }
+
+  std::string next(const char* what) {
+    MST_REQUIRE(!done(), std::string("unexpected end of input, expected ") + what);
+    return tokens_[pos_++].text;
+  }
+
+  Time next_time(const char* what) {
+    MST_REQUIRE(!done(), std::string("unexpected end of input, expected ") + what);
+    const std::size_t line = tokens_[pos_].line;
+    const std::string tok = next(what);
+    std::size_t used = 0;
+    Time v = 0;
+    try {
+      v = std::stoll(tok, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    MST_REQUIRE(used == tok.size(), "line " + std::to_string(line) + ": expected " +
+                                        std::string(what) + ", got '" + tok + "'");
+    return v;
+  }
+
+  std::size_t next_count(const char* what) {
+    const Time v = next_time(what);
+    MST_REQUIRE(v >= 1, std::string(what) + " must be >= 1");
+    return static_cast<std::size_t>(v);
+  }
+
+  void expect(const std::string& keyword) {
+    const auto line = done() ? 0 : tokens_[pos_].line;
+    const std::string tok = next(keyword.c_str());
+    MST_REQUIRE(tok == keyword,
+                "line " + std::to_string(line) + ": expected '" + keyword + "', got '" + tok + "'");
+  }
+
+  void expect_end() const {
+    if (!done()) {
+      MST_REQUIRE(false, "line " + std::to_string(tokens_[pos_].line) + ": trailing input '" +
+                             tokens_[pos_].text + "'");
+    }
+  }
+
+ private:
+  struct Token {
+    std::string text;
+    std::size_t line;
+  };
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<Processor> parse_proc_list(Lexer& lex, std::size_t p) {
+  std::vector<Processor> procs;
+  procs.reserve(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    const Time c = lex.next_time("link latency");
+    const Time w = lex.next_time("processing time");
+    procs.push_back({c, w});
+  }
+  return procs;
+}
+
+void write_proc_list(std::ostringstream& os, const std::vector<Processor>& procs) {
+  for (const Processor& p : procs) os << p.comm << ' ' << p.work << '\n';
+}
+
+}  // namespace
+
+std::string write_chain(const Chain& chain) {
+  std::ostringstream os;
+  os << "chain " << chain.size() << '\n';
+  write_proc_list(os, chain.procs());
+  return os.str();
+}
+
+std::string write_fork(const Fork& fork) {
+  std::ostringstream os;
+  os << "fork " << fork.size() << '\n';
+  write_proc_list(os, fork.slaves());
+  return os.str();
+}
+
+std::string write_spider(const Spider& spider) {
+  std::ostringstream os;
+  os << "spider " << spider.num_legs() << '\n';
+  for (const Chain& leg : spider.legs()) {
+    os << "leg " << leg.size() << '\n';
+    write_proc_list(os, leg.procs());
+  }
+  return os.str();
+}
+
+Chain parse_chain(const std::string& text) {
+  Lexer lex(text);
+  lex.expect("chain");
+  const std::size_t p = lex.next_count("processor count");
+  Chain chain(parse_proc_list(lex, p));
+  lex.expect_end();
+  return chain;
+}
+
+Fork parse_fork(const std::string& text) {
+  Lexer lex(text);
+  lex.expect("fork");
+  const std::size_t p = lex.next_count("slave count");
+  Fork fork(parse_proc_list(lex, p));
+  lex.expect_end();
+  return fork;
+}
+
+Spider parse_spider(const std::string& text) {
+  Lexer lex(text);
+  lex.expect("spider");
+  const std::size_t legs = lex.next_count("leg count");
+  std::vector<Chain> chains;
+  chains.reserve(legs);
+  for (std::size_t l = 0; l < legs; ++l) {
+    lex.expect("leg");
+    const std::size_t p = lex.next_count("leg length");
+    chains.emplace_back(parse_proc_list(lex, p));
+  }
+  lex.expect_end();
+  return Spider(std::move(chains));
+}
+
+Spider parse_platform(const std::string& text) {
+  Lexer probe(text);
+  const std::string kind = probe.next("platform kind");
+  if (kind == "chain") return Spider({parse_chain(text)});
+  if (kind == "fork") return Spider::from_fork(parse_fork(text));
+  if (kind == "spider") return parse_spider(text);
+  detail::throw_requirement("platform kind", "unknown platform kind '" + kind + "'");
+}
+
+}  // namespace mst

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mst/platform/chain.hpp"
+#include "mst/platform/fork.hpp"
+#include "mst/platform/spider.hpp"
+
+/// \file io.hpp
+/// Plain-text platform descriptions.
+///
+/// Format (line oriented, `#` starts a comment):
+///
+///     chain <p>
+///     <c_1> <w_1>
+///     ...
+///     <c_p> <w_p>
+///
+///     fork <p>
+///     <c_1> <w_1> ...
+///
+///     spider <legs>
+///     leg <p>
+///     <c_1> <w_1> ...
+///     leg <p>
+///     ...
+///
+/// `parse_*` throws `std::invalid_argument` with a line number on malformed
+/// input.  `write_*`/`parse_*` round-trip exactly.
+
+namespace mst {
+
+std::string write_chain(const Chain& chain);
+std::string write_fork(const Fork& fork);
+std::string write_spider(const Spider& spider);
+
+Chain parse_chain(const std::string& text);
+Fork parse_fork(const std::string& text);
+Spider parse_spider(const std::string& text);
+
+/// Reads the header keyword and dispatches; returns the platform as a Spider
+/// (a chain becomes a one-leg spider, a fork becomes single-node legs).
+Spider parse_platform(const std::string& text);
+
+}  // namespace mst

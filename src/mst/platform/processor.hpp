@@ -1,0 +1,28 @@
+#pragma once
+
+#include "mst/common/time.hpp"
+
+/// \file processor.hpp
+/// The atomic platform element of the paper's model.
+
+namespace mst {
+
+/// A slave processor together with its *incoming* communication link.
+///
+/// In the paper's chain model (Fig 1) processor `i` is reached through a link
+/// of latency `c_i` and needs `w_i` time units to process one task.  The same
+/// pair describes a fork (star) slave or a tree node: the link is always the
+/// unique edge toward the master.
+///
+/// `comm == 0` models an infinitely fast link (allowed: condition (4) of
+/// Definition 1 degenerates gracefully); `work` must be strictly positive —
+/// a zero-work processor would absorb unbounded tasks in zero time and the
+/// paper's `T∞` construction would not terminate meaningfully.
+struct Processor {
+  Time comm = 1;  ///< `c_i`: incoming link latency per task.
+  Time work = 1;  ///< `w_i`: processing time per task.
+
+  friend bool operator==(const Processor&, const Processor&) = default;
+};
+
+}  // namespace mst

@@ -1,0 +1,61 @@
+#include "mst/platform/spider.hpp"
+
+#include <sstream>
+
+#include "mst/common/assert.hpp"
+
+namespace mst {
+
+Spider::Spider(std::vector<Chain> legs) : legs_(std::move(legs)) {
+  MST_REQUIRE(!legs_.empty(), "spider must contain at least one leg");
+}
+
+Spider::Spider(std::initializer_list<Chain> legs) : legs_(legs) {
+  MST_REQUIRE(!legs_.empty(), "spider must contain at least one leg");
+}
+
+Spider Spider::from_fork(const Fork& fork) {
+  std::vector<Chain> legs;
+  legs.reserve(fork.size());
+  for (const Processor& p : fork.slaves()) legs.push_back(Chain({p}));
+  return Spider(std::move(legs));
+}
+
+const Chain& Spider::leg(std::size_t l) const {
+  MST_REQUIRE(l < legs_.size(), "leg index out of range");
+  return legs_[l];
+}
+
+std::size_t Spider::num_processors() const {
+  std::size_t total = 0;
+  for (const Chain& leg : legs_) total += leg.size();
+  return total;
+}
+
+bool Spider::is_fork() const {
+  for (const Chain& leg : legs_) {
+    if (leg.size() != 1) return false;
+  }
+  return true;
+}
+
+Fork Spider::to_fork() const {
+  MST_REQUIRE(is_fork(), "spider has a leg longer than 1; not a fork");
+  std::vector<Processor> slaves;
+  slaves.reserve(legs_.size());
+  for (const Chain& leg : legs_) slaves.push_back(leg.proc(0));
+  return Fork(std::move(slaves));
+}
+
+std::string Spider::describe() const {
+  std::ostringstream os;
+  os << "spider{";
+  for (std::size_t l = 0; l < legs_.size(); ++l) {
+    if (l) os << "; ";
+    os << legs_[l].describe();
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace mst

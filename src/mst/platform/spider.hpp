@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "mst/platform/chain.hpp"
+#include "mst/platform/fork.hpp"
+
+/// \file spider.hpp
+/// Spider platform of §6–7: a tree whose only node of arity > 2 is the master.
+
+namespace mst {
+
+/// A spider graph: the master (root) feeds several independent chains
+/// ("legs").  The master's out-port is shared across legs — it sends one task
+/// at a time, so a task bound for leg `l` occupies the master for the leg's
+/// first-link latency before the next emission (to any leg) may begin.
+class Spider {
+ public:
+  Spider() = default;
+
+  /// Throws if there is no leg (each leg validates itself).
+  explicit Spider(std::vector<Chain> legs);
+  Spider(std::initializer_list<Chain> legs);
+
+  /// A fork is the special spider whose legs all have length 1.
+  static Spider from_fork(const Fork& fork);
+
+  [[nodiscard]] std::size_t num_legs() const { return legs_.size(); }
+  [[nodiscard]] const Chain& leg(std::size_t l) const;
+  [[nodiscard]] const std::vector<Chain>& legs() const { return legs_; }
+
+  /// Total number of slave processors over all legs.
+  [[nodiscard]] std::size_t num_processors() const;
+
+  /// True iff every leg has length 1 (the platform is a fork).
+  [[nodiscard]] bool is_fork() const;
+
+  /// Down-convert to a Fork; throws unless `is_fork()`.
+  [[nodiscard]] Fork to_fork() const;
+
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const Spider&, const Spider&) = default;
+
+ private:
+  std::vector<Chain> legs_;
+};
+
+}  // namespace mst

@@ -1,0 +1,142 @@
+#include "mst/platform/tree.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mst/common/assert.hpp"
+
+namespace mst {
+
+Tree::Tree() {
+  parent_.push_back(0);
+  children_.emplace_back();
+  proc_.push_back(Processor{0, 1});  // dummy for the master slot
+}
+
+NodeId Tree::add_node(NodeId parent, Processor proc) {
+  MST_REQUIRE(parent < parent_.size(), "parent node does not exist");
+  MST_REQUIRE(proc.comm >= 0, "link latency must be non-negative");
+  MST_REQUIRE(proc.work > 0, "processing time must be strictly positive");
+  const NodeId id = parent_.size();
+  parent_.push_back(parent);
+  children_.emplace_back();
+  proc_.push_back(proc);
+  children_[parent].push_back(id);
+  return id;
+}
+
+NodeId Tree::parent(NodeId v) const {
+  MST_REQUIRE(v < parent_.size() && v != 0, "node has no parent");
+  return parent_[v];
+}
+
+const std::vector<NodeId>& Tree::children(NodeId v) const {
+  MST_REQUIRE(v < children_.size(), "node does not exist");
+  return children_[v];
+}
+
+const Processor& Tree::proc(NodeId v) const {
+  MST_REQUIRE(v < proc_.size() && v != 0, "the master has no processor record");
+  return proc_[v];
+}
+
+std::size_t Tree::depth(NodeId v) const {
+  MST_REQUIRE(v < parent_.size(), "node does not exist");
+  std::size_t d = 0;
+  while (v != 0) {
+    v = parent_[v];
+    ++d;
+  }
+  return d;
+}
+
+Time Tree::path_latency(NodeId v) const {
+  MST_REQUIRE(v < parent_.size() && v != 0, "path latency defined for slaves only");
+  Time sum = 0;
+  while (v != 0) {
+    sum += proc_[v].comm;
+    v = parent_[v];
+  }
+  return sum;
+}
+
+std::vector<NodeId> Tree::path_from_root(NodeId v) const {
+  MST_REQUIRE(v < parent_.size() && v != 0, "path defined for slaves only");
+  std::vector<NodeId> path;
+  while (v != 0) {
+    path.push_back(v);
+    v = parent_[v];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool Tree::is_chain() const {
+  for (const auto& kids : children_) {
+    if (kids.size() > 1) return false;
+  }
+  return num_slaves() >= 1;
+}
+
+bool Tree::is_spider() const {
+  if (num_slaves() < 1) return false;
+  for (NodeId v = 1; v < children_.size(); ++v) {
+    if (children_[v].size() > 1) return false;
+  }
+  return true;
+}
+
+Chain Tree::to_chain() const {
+  MST_REQUIRE(is_chain(), "tree is not a chain");
+  std::vector<Processor> procs;
+  NodeId v = 0;
+  while (!children_[v].empty()) {
+    v = children_[v].front();
+    procs.push_back(proc_[v]);
+  }
+  return Chain(std::move(procs));
+}
+
+Tree::SpiderView Tree::to_spider() const {
+  MST_REQUIRE(is_spider(), "tree is not a spider");
+  std::vector<Chain> legs;
+  std::vector<std::vector<NodeId>> node_of;
+  for (NodeId head : children_[0]) {
+    std::vector<Processor> procs;
+    std::vector<NodeId> ids;
+    NodeId v = head;
+    while (true) {
+      procs.push_back(proc_[v]);
+      ids.push_back(v);
+      if (children_[v].empty()) break;
+      v = children_[v].front();
+    }
+    legs.emplace_back(std::move(procs));
+    node_of.push_back(std::move(ids));
+  }
+  return SpiderView{Spider(std::move(legs)), std::move(node_of)};
+}
+
+Tree tree_from_chain(const Chain& chain) {
+  Tree tree;
+  NodeId parent = 0;
+  for (const Processor& p : chain.procs()) parent = tree.add_node(parent, p);
+  return tree;
+}
+
+Tree tree_from_spider(const Spider& spider) {
+  Tree tree;
+  for (const Chain& leg : spider.legs()) {
+    NodeId parent = 0;
+    for (const Processor& p : leg.procs()) parent = tree.add_node(parent, p);
+  }
+  return tree;
+}
+
+std::string Tree::describe() const {
+  std::ostringstream os;
+  os << "tree{n=" << size() << ", slaves=" << num_slaves() << '}';
+  return os.str();
+}
+
+}  // namespace mst

@@ -1,0 +1,49 @@
+#include "mst/schedule/chain_schedule.hpp"
+
+#include <algorithm>
+
+#include "mst/common/assert.hpp"
+
+namespace mst {
+
+Time ChainTask::arrival(const Chain& chain) const {
+  MST_REQUIRE(!emissions.empty(), "task has no communication vector");
+  MST_REQUIRE(proc == emissions.size() - 1, "emission vector length must match destination");
+  return emissions.back() + chain.comm(proc);
+}
+
+Time ChainTask::end(const Chain& chain) const { return start + chain.work(proc); }
+
+Time ChainSchedule::makespan() const {
+  Time last = 0;
+  for (const ChainTask& t : tasks) last = std::max(last, t.end(chain));
+  return last;
+}
+
+Time ChainSchedule::start_time() const {
+  if (tasks.empty()) return 0;
+  Time first = kTimeInfinity;
+  for (const ChainTask& t : tasks) {
+    first = std::min(first, t.start);
+    if (!t.emissions.empty()) first = std::min(first, t.emissions.front());
+  }
+  return first;
+}
+
+std::vector<std::size_t> ChainSchedule::tasks_per_proc() const {
+  std::vector<std::size_t> counts(chain.size(), 0);
+  for (const ChainTask& t : tasks) {
+    MST_REQUIRE(t.proc < chain.size(), "task destination outside chain");
+    ++counts[t.proc];
+  }
+  return counts;
+}
+
+void ChainSchedule::shift(Time delta) {
+  for (ChainTask& t : tasks) {
+    t.start += delta;
+    for (Time& e : t.emissions) e += delta;
+  }
+}
+
+}  // namespace mst

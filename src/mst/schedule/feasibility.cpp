@@ -1,0 +1,194 @@
+#include "mst/schedule/feasibility.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace mst {
+
+namespace {
+
+std::string fmt1(const char* what, std::size_t i, const std::string& detail) {
+  std::ostringstream os;
+  os << what << " violated by task " << i << ": " << detail;
+  return os.str();
+}
+
+/// Checks that half-open busy intervals `[t, t+len)` taken by the given
+/// (owner, time) pairs never overlap; reports via `label`.
+struct Interval {
+  Time begin;
+  Time length;
+  std::size_t task;
+};
+
+void check_exclusive(std::vector<Interval> intervals, const char* label,
+                     FeasibilityReport& report) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  for (std::size_t k = 1; k < intervals.size(); ++k) {
+    const Interval& prev = intervals[k - 1];
+    const Interval& cur = intervals[k];
+    if (prev.begin + prev.length > cur.begin) {
+      std::ostringstream os;
+      os << label << ": interval [" << prev.begin << ", " << prev.begin + prev.length
+         << ") of task " << prev.task << " overlaps [" << cur.begin << ", "
+         << cur.begin + cur.length << ") of task " << cur.task;
+      report.add_violation(os.str());
+    }
+  }
+}
+
+/// Shared core for the per-leg chain conditions; `leg_label` annotates
+/// messages when checking inside a spider.
+void check_chain_conditions(const Chain& chain, const std::vector<const ChainTask*>& tasks,
+                            const std::string& leg_label, FeasibilityReport& report) {
+  const std::size_t p = chain.size();
+
+  // Structural checks first; skip malformed tasks in the pairwise phase.
+  std::vector<bool> well_formed(tasks.size(), true);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const ChainTask& t = *tasks[i];
+    if (t.proc >= p) {
+      report.add_violation(fmt1("structure", i, leg_label + "destination outside the chain"));
+      well_formed[i] = false;
+      continue;
+    }
+    if (t.emissions.size() != t.proc + 1) {
+      report.add_violation(
+          fmt1("structure", i, leg_label + "emission vector length does not match destination"));
+      well_formed[i] = false;
+      continue;
+    }
+    // Condition (1): store-and-forward along the path.
+    for (std::size_t k = 1; k <= t.proc; ++k) {
+      if (t.emissions[k - 1] + chain.comm(k - 1) > t.emissions[k]) {
+        std::ostringstream os;
+        os << leg_label << "C_" << k - 1 << "=" << t.emissions[k - 1] << " + c=" << chain.comm(k - 1)
+           << " > C_" << k << "=" << t.emissions[k];
+        report.add_violation(fmt1("condition (1)", i, os.str()));
+      }
+    }
+    // Condition (2): full reception before execution.
+    if (t.emissions.back() + chain.comm(t.proc) > t.start) {
+      std::ostringstream os;
+      os << leg_label << "arrival " << t.emissions.back() + chain.comm(t.proc) << " > start "
+         << t.start;
+      report.add_violation(fmt1("condition (2)", i, os.str()));
+    }
+  }
+
+  // Condition (3): processor exclusivity.
+  for (std::size_t q = 0; q < p; ++q) {
+    std::vector<Interval> busy;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (well_formed[i] && tasks[i]->proc == q) {
+        busy.push_back({tasks[i]->start, chain.work(q), i});
+      }
+    }
+    std::ostringstream label;
+    label << leg_label << "condition (3) on processor " << q;
+    check_exclusive(std::move(busy), label.str().c_str(), report);
+  }
+
+  // Condition (4): link exclusivity.
+  for (std::size_t k = 0; k < p; ++k) {
+    std::vector<Interval> busy;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (well_formed[i] && tasks[i]->proc >= k) {
+        busy.push_back({tasks[i]->emissions[k], chain.comm(k), i});
+      }
+    }
+    std::ostringstream label;
+    label << leg_label << "condition (4) on link " << k;
+    check_exclusive(std::move(busy), label.str().c_str(), report);
+  }
+}
+
+}  // namespace
+
+std::string FeasibilityReport::summary() const {
+  if (ok()) return "feasible";
+  std::ostringstream os;
+  os << violations_.size() << " violation(s):";
+  for (const std::string& v : violations_) os << "\n  - " << v;
+  return os.str();
+}
+
+FeasibilityReport check_feasibility(const ChainSchedule& schedule) {
+  FeasibilityReport report;
+  std::vector<const ChainTask*> ptrs;
+  ptrs.reserve(schedule.tasks.size());
+  for (const ChainTask& t : schedule.tasks) ptrs.push_back(&t);
+  check_chain_conditions(schedule.chain, ptrs, "", report);
+  return report;
+}
+
+FeasibilityReport check_feasibility(const ForkSchedule& schedule) {
+  FeasibilityReport report;
+  const Fork& fork = schedule.fork;
+
+  std::vector<Interval> master_port;
+  for (std::size_t i = 0; i < schedule.tasks.size(); ++i) {
+    const ForkTask& t = schedule.tasks[i];
+    if (t.slave >= fork.size()) {
+      report.add_violation(fmt1("structure", i, "destination outside the fork"));
+      continue;
+    }
+    const Processor& s = fork.slave(t.slave);
+    if (t.emission + s.comm > t.start) {
+      std::ostringstream os;
+      os << "arrival " << t.emission + s.comm << " > start " << t.start;
+      report.add_violation(fmt1("reception before execution", i, os.str()));
+    }
+    master_port.push_back({t.emission, s.comm, i});
+  }
+  check_exclusive(std::move(master_port), "master one-port", report);
+
+  for (std::size_t q = 0; q < fork.size(); ++q) {
+    std::vector<Interval> busy;
+    for (std::size_t i = 0; i < schedule.tasks.size(); ++i) {
+      const ForkTask& t = schedule.tasks[i];
+      if (t.slave == q) busy.push_back({t.start, fork.slave(q).work, i});
+    }
+    std::ostringstream label;
+    label << "slave " << q << " exclusivity";
+    check_exclusive(std::move(busy), label.str().c_str(), report);
+  }
+  return report;
+}
+
+FeasibilityReport check_feasibility(const SpiderSchedule& schedule) {
+  FeasibilityReport report;
+  const Spider& spider = schedule.spider;
+
+  // Per-leg chain conditions.  Reuse the chain checker by projecting the
+  // spider tasks of each leg onto ChainTask views.
+  std::vector<std::vector<ChainTask>> leg_tasks(spider.num_legs());
+  std::vector<Interval> master_port;
+  for (std::size_t i = 0; i < schedule.tasks.size(); ++i) {
+    const SpiderTask& t = schedule.tasks[i];
+    if (t.leg >= spider.num_legs()) {
+      report.add_violation(fmt1("structure", i, "leg outside the spider"));
+      continue;
+    }
+    leg_tasks[t.leg].push_back(ChainTask{t.proc, t.start, t.emissions});
+    if (!t.emissions.empty()) {
+      // Master one-port: the emission on the leg's first link occupies the
+      // master for that link's latency.
+      master_port.push_back({t.emissions.front(), spider.leg(t.leg).comm(0), i});
+    }
+  }
+  for (std::size_t l = 0; l < spider.num_legs(); ++l) {
+    std::vector<const ChainTask*> ptrs;
+    ptrs.reserve(leg_tasks[l].size());
+    for (const ChainTask& t : leg_tasks[l]) ptrs.push_back(&t);
+    std::ostringstream label;
+    label << "leg " << l << ": ";
+    check_chain_conditions(spider.leg(l), ptrs, label.str(), report);
+  }
+  check_exclusive(std::move(master_port), "master one-port (cross-leg)", report);
+  return report;
+}
+
+}  // namespace mst

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mst/schedule/chain_schedule.hpp"
+#include "mst/schedule/fork_schedule.hpp"
+#include "mst/schedule/spider_schedule.hpp"
+
+/// \file feasibility.hpp
+/// Executable Definition 1: the paper states four feasibility conditions and
+/// leaves the proof that the algorithm satisfies them "to the reader".  This
+/// checker *is* that reader — every schedule produced anywhere in the library
+/// is run through it in the test suite.
+///
+/// Conditions (paper numbering, 1-based links):
+///  (1) store-and-forward: `C^i_{k-1} + c_{k-1} <= C^i_k` — a node cannot
+///      re-emit a task before fully receiving it;
+///  (2) reception before execution: `C^i_{P(i)} + c_{P(i)} <= T(i)`;
+///  (3) one task at a time per processor: two tasks on the same processor
+///      have `|T(i) - T(j)| >= w_{P(i)}`;
+///  (4) one communication at a time per link: `|C^i_k - C^j_k| >= c_k`.
+///
+/// For spiders one more rule applies (§6): the master sends one task at a
+/// time *across all legs*, so first emissions of different legs must not
+/// overlap either.  For forks the same one-port rule serializes the
+/// emissions to all slaves.
+
+namespace mst {
+
+/// Result of a feasibility check: `ok()` plus a human-readable list of every
+/// violated constraint (all violations are collected, not just the first).
+class FeasibilityReport {
+ public:
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const { return violations_; }
+  [[nodiscard]] std::string summary() const;
+
+  void add_violation(std::string message) { violations_.push_back(std::move(message)); }
+
+ private:
+  std::vector<std::string> violations_;
+};
+
+/// Checks conditions (1)-(4) plus structural sanity (vector length matches
+/// destination, destination inside the chain, non-negative times).
+FeasibilityReport check_feasibility(const ChainSchedule& schedule);
+
+/// Checks arrival-before-start, per-slave execution exclusivity, and the
+/// master's one-port emission rule.
+FeasibilityReport check_feasibility(const ForkSchedule& schedule);
+
+/// Chain conditions within every leg + the cross-leg master one-port rule.
+FeasibilityReport check_feasibility(const SpiderSchedule& schedule);
+
+}  // namespace mst

@@ -1,0 +1,24 @@
+#include "mst/schedule/fork_schedule.hpp"
+
+#include <algorithm>
+
+#include "mst/common/assert.hpp"
+
+namespace mst {
+
+Time ForkSchedule::makespan() const {
+  Time last = 0;
+  for (const ForkTask& t : tasks) last = std::max(last, t.end(fork));
+  return last;
+}
+
+std::vector<std::size_t> ForkSchedule::tasks_per_slave() const {
+  std::vector<std::size_t> counts(fork.size(), 0);
+  for (const ForkTask& t : tasks) {
+    MST_REQUIRE(t.slave < fork.size(), "task destination outside fork");
+    ++counts[t.slave];
+  }
+  return counts;
+}
+
+}  // namespace mst

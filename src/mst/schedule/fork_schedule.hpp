@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mst/platform/fork.hpp"
+
+/// \file fork_schedule.hpp
+/// Concrete schedules on fork (star) platforms (§6).
+
+namespace mst {
+
+/// Placement of one task on a fork: the master emits it at `emission`
+/// (occupying the out-port for `c_slave`), the slave starts executing at
+/// `start >= emission + c_slave`.
+struct ForkTask {
+  std::size_t slave = 0;
+  Time emission = 0;
+  Time start = 0;
+
+  [[nodiscard]] Time arrival(const Fork& fork) const { return emission + fork.slave(slave).comm; }
+  [[nodiscard]] Time end(const Fork& fork) const { return start + fork.slave(slave).work; }
+
+  friend bool operator==(const ForkTask&, const ForkTask&) = default;
+};
+
+/// Schedule of identical tasks on a fork, kept in emission order.
+struct ForkSchedule {
+  Fork fork;
+  std::vector<ForkTask> tasks;
+
+  [[nodiscard]] std::size_t num_tasks() const { return tasks.size(); }
+  [[nodiscard]] Time makespan() const;
+  [[nodiscard]] std::vector<std::size_t> tasks_per_slave() const;
+};
+
+}  // namespace mst

@@ -1,0 +1,114 @@
+#include "mst/schedule/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "mst/common/assert.hpp"
+
+namespace mst {
+
+namespace {
+
+/// A single Gantt row: paints `[begin, end)` intervals labelled by task id.
+class Row {
+ public:
+  Row(std::string name, Time horizon, Time scale)
+      : name_(std::move(name)),
+        scale_(scale),
+        cells_(static_cast<std::size_t>((horizon + scale - 1) / std::max<Time>(scale, 1)), '.') {}
+
+  void paint(Time begin, Time end, std::size_t task) {
+    if (begin >= end) return;
+    const char mark = static_cast<char>('0' + task % 10);
+    const auto first = static_cast<std::size_t>(begin / scale_);
+    const auto last = static_cast<std::size_t>((end - 1) / scale_);
+    for (std::size_t c = first; c <= last && c < cells_.size(); ++c) cells_[c] = mark;
+  }
+
+  void print(std::ostream& os, std::size_t name_width) const {
+    os << name_;
+    os << std::string(name_width > name_.size() ? name_width - name_.size() : 0, ' ');
+    os << " |";
+    for (char c : cells_) os << c;
+    os << "|\n";
+  }
+
+  [[nodiscard]] std::size_t name_size() const { return name_.size(); }
+
+ private:
+  std::string name_;
+  Time scale_;
+  std::string cells_;
+};
+
+std::string render_rows(const std::vector<Row>& rows) {
+  std::size_t width = 0;
+  for (const Row& r : rows) width = std::max(width, r.name_size());
+  std::ostringstream os;
+  for (const Row& r : rows) r.print(os, width);
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_gantt(const ChainSchedule& schedule, Time time_scale) {
+  MST_REQUIRE(time_scale >= 1, "time_scale must be >= 1");
+  const Chain& chain = schedule.chain;
+  const Time horizon = std::max<Time>(schedule.makespan(), 1);
+
+  std::vector<Row> rows;
+  for (std::size_t k = 0; k < chain.size(); ++k) {
+    rows.emplace_back("link " + std::to_string(k), horizon, time_scale);
+  }
+  for (std::size_t q = 0; q < chain.size(); ++q) {
+    rows.emplace_back("proc " + std::to_string(q), horizon, time_scale);
+  }
+
+  for (std::size_t i = 0; i < schedule.tasks.size(); ++i) {
+    const ChainTask& t = schedule.tasks[i];
+    for (std::size_t k = 0; k < t.emissions.size(); ++k) {
+      rows[k].paint(t.emissions[k], t.emissions[k] + chain.comm(k), i);
+    }
+    rows[chain.size() + t.proc].paint(t.start, t.start + chain.work(t.proc), i);
+  }
+  return render_rows(rows);
+}
+
+std::string render_gantt(const SpiderSchedule& schedule, Time time_scale) {
+  MST_REQUIRE(time_scale >= 1, "time_scale must be >= 1");
+  const Spider& spider = schedule.spider;
+  const Time horizon = std::max<Time>(schedule.makespan(), 1);
+
+  std::vector<Row> rows;
+  rows.emplace_back("master port", horizon, time_scale);
+  // Row index bookkeeping: for each leg, first its links then its processors.
+  std::vector<std::size_t> leg_base(spider.num_legs());
+  for (std::size_t l = 0; l < spider.num_legs(); ++l) {
+    leg_base[l] = rows.size();
+    const Chain& leg = spider.leg(l);
+    for (std::size_t k = 0; k < leg.size(); ++k) {
+      rows.emplace_back("leg " + std::to_string(l) + " link " + std::to_string(k), horizon,
+                        time_scale);
+    }
+    for (std::size_t q = 0; q < leg.size(); ++q) {
+      rows.emplace_back("leg " + std::to_string(l) + " proc " + std::to_string(q), horizon,
+                        time_scale);
+    }
+  }
+
+  for (std::size_t i = 0; i < schedule.tasks.size(); ++i) {
+    const SpiderTask& t = schedule.tasks[i];
+    const Chain& leg = spider.leg(t.leg);
+    if (!t.emissions.empty()) {
+      rows[0].paint(t.emissions.front(), t.emissions.front() + leg.comm(0), i);
+    }
+    for (std::size_t k = 0; k < t.emissions.size(); ++k) {
+      rows[leg_base[t.leg] + k].paint(t.emissions[k], t.emissions[k] + leg.comm(k), i);
+    }
+    rows[leg_base[t.leg] + leg.size() + t.proc].paint(t.start, t.start + leg.work(t.proc), i);
+  }
+  return render_rows(rows);
+}
+
+}  // namespace mst

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mst/schedule/chain_schedule.hpp"
+#include "mst/schedule/spider_schedule.hpp"
+
+/// \file metrics.hpp
+/// Derived schedule metrics used by the experiment tables: utilizations,
+/// idle analysis, throughput.  These quantify *why* a schedule wins — e.g.
+/// the paper's optimality argument hinges on the first link having no idle
+/// gap between the first two emissions.
+
+namespace mst {
+
+/// Per-resource utilization of a chain schedule over `[0, makespan]`.
+struct ChainUtilization {
+  Time makespan = 0;
+  std::vector<double> proc_busy_fraction;   ///< work time / makespan, per processor
+  std::vector<double> link_busy_fraction;   ///< transfer time / makespan, per link
+  std::vector<std::size_t> tasks_per_proc;
+};
+
+ChainUtilization compute_utilization(const ChainSchedule& schedule);
+
+/// Idle gaps on the first link: sorted list of `[from, to)` intervals during
+/// which link 0 carries nothing, within `[0, last emission end]`.  The
+/// optimality proof (§5) reasons about exactly these gaps.
+std::vector<std::pair<Time, Time>> first_link_idle_gaps(const ChainSchedule& schedule);
+
+/// Spider counterpart: busy fraction of the master's out-port plus per-leg
+/// task counts; the master port is the globally shared resource.
+struct SpiderUtilization {
+  Time makespan = 0;
+  double master_port_busy_fraction = 0.0;
+  std::vector<std::size_t> tasks_per_leg;
+};
+
+SpiderUtilization compute_utilization(const SpiderSchedule& schedule);
+
+/// Tasks per unit time: `n / makespan` (0 for empty schedules).
+double throughput(const ChainSchedule& schedule);
+double throughput(const SpiderSchedule& schedule);
+
+}  // namespace mst

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mst/platform/spider.hpp"
+#include "mst/schedule/comm_vector.hpp"
+
+/// \file spider_schedule.hpp
+/// Concrete schedules on spider platforms (§7).
+
+namespace mst {
+
+/// Placement of one task on a spider: leg index, destination processor
+/// within the leg, execution start, and the emission times along the leg.
+/// `emissions[0]` is the master's emission — it occupies the master's
+/// out-port for the leg's first-link latency, which is the resource shared
+/// across legs.
+struct SpiderTask {
+  std::size_t leg = 0;
+  std::size_t proc = 0;  ///< index within the leg
+  Time start = 0;
+  CommVector emissions;
+
+  [[nodiscard]] Time arrival(const Spider& spider) const;
+  [[nodiscard]] Time end(const Spider& spider) const;
+
+  friend bool operator==(const SpiderTask&, const SpiderTask&) = default;
+};
+
+/// Schedule of identical tasks on a spider, kept in master-emission order.
+struct SpiderSchedule {
+  Spider spider;
+  std::vector<SpiderTask> tasks;
+
+  [[nodiscard]] std::size_t num_tasks() const { return tasks.size(); }
+  [[nodiscard]] Time makespan() const;
+
+  /// Tasks per leg.
+  [[nodiscard]] std::vector<std::size_t> tasks_per_leg() const;
+
+  /// Normalize so the earliest event is at time 0; returns the applied shift.
+  Time normalize();
+};
+
+}  // namespace mst

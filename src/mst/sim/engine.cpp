@@ -1,0 +1,25 @@
+#include "mst/sim/engine.hpp"
+
+#include "mst/common/assert.hpp"
+
+namespace mst::sim {
+
+void Engine::at(Time t, Callback fn) {
+  MST_REQUIRE(t >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+Time Engine::run() {
+  while (!queue_.empty()) {
+    // `top` is copied out before pop so the callback may push new events.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    MST_ASSERT(event.time >= now_);
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+  return now_;
+}
+
+}  // namespace mst::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "mst/common/time.hpp"
+
+/// \file engine.hpp
+/// Minimal discrete-event engine.
+///
+/// The simulator substrate executes schedules and online policies on a
+/// virtual clock: events fire in non-decreasing time order, ties in
+/// scheduling order (deterministic — no wall-clock, no threads, so every
+/// simulation is exactly reproducible).
+
+namespace mst::sim {
+
+/// Discrete-event loop.  Not reentrant: callbacks may schedule further
+/// events but must not call `run()`.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `t >= now()`.
+  void at(Time t, Callback fn);
+
+  /// Schedule `fn` `delay >= 0` after the current time.
+  void after(Time delay, Callback fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Current virtual time (0 before the first event fires).
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Run until the event queue drains; returns the time of the last event.
+  Time run();
+
+  /// Number of events processed so far (for engine tests / stats).
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace mst::sim

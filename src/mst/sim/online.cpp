@@ -1,0 +1,101 @@
+#include "mst/sim/online.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "mst/baselines/tree_asap.hpp"
+#include "mst/common/assert.hpp"
+#include "mst/common/rng.hpp"
+
+namespace mst::sim {
+
+std::string to_string(OnlinePolicy policy) {
+  switch (policy) {
+    case OnlinePolicy::kRoundRobin: return "round-robin";
+    case OnlinePolicy::kRandom: return "random";
+    case OnlinePolicy::kJoinShortestQueue: return "jsq";
+    case OnlinePolicy::kEarliestCompletion: return "ect";
+  }
+  return "?";
+}
+
+const std::vector<OnlinePolicy>& all_online_policies() {
+  static const std::vector<OnlinePolicy> kAll = {
+      OnlinePolicy::kRoundRobin, OnlinePolicy::kRandom, OnlinePolicy::kJoinShortestQueue,
+      OnlinePolicy::kEarliestCompletion};
+  return kAll;
+}
+
+namespace {
+
+std::vector<NodeId> slave_nodes(const Tree& tree) {
+  std::vector<NodeId> slaves;
+  for (NodeId v = 1; v < tree.size(); ++v) slaves.push_back(v);
+  return slaves;
+}
+
+}  // namespace
+
+SimResult simulate_online(const Tree& tree, std::size_t n, OnlinePolicy policy,
+                          std::uint64_t seed) {
+  MST_REQUIRE(tree.num_slaves() >= 1, "tree has no slaves");
+  const std::vector<NodeId> slaves = slave_nodes(tree);
+
+  switch (policy) {
+    case OnlinePolicy::kRoundRobin:
+      return simulate_chooser(tree, n, [&slaves](std::size_t i, const DispatchContext&) {
+        return slaves[i % slaves.size()];
+      });
+
+    case OnlinePolicy::kRandom: {
+      Rng rng(seed);
+      // Pre-draw so the chooser stays a pure lookup (deterministic even if
+      // the engine ever reorders same-time dispatches).
+      std::vector<NodeId> draws(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        draws[i] = slaves[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(slaves.size()) - 1))];
+      }
+      return simulate_chooser(
+          tree, n, [&draws](std::size_t i, const DispatchContext&) { return draws[i]; });
+    }
+
+    case OnlinePolicy::kJoinShortestQueue:
+      return simulate_chooser(tree, n, [&](std::size_t, const DispatchContext& ctx) {
+        NodeId best = slaves.front();
+        Time best_score = kTimeInfinity;
+        for (NodeId v : slaves) {
+          const Time score =
+              static_cast<Time>(ctx.outstanding[v] + 1) * tree.proc(v).work +
+              tree.path_latency(v);
+          if (score < best_score) {
+            best_score = score;
+            best = v;
+          }
+        }
+        return best;
+      });
+
+    case OnlinePolicy::kEarliestCompletion: {
+      // Exact forward ASAP estimator: FIFO out-ports + a single source make
+      // its predictions match the simulator exactly (see tree_asap.hpp).
+      auto asap = std::make_shared<TreeAsapState>(tree);
+      return simulate_chooser(tree, n, [&, asap](std::size_t, const DispatchContext&) {
+        NodeId best = slaves.front();
+        Time best_completion = kTimeInfinity;
+        for (NodeId v : slaves) {
+          const Time completion = asap->peek_completion(v);
+          if (completion < best_completion) {
+            best_completion = completion;
+            best = v;
+          }
+        }
+        asap->commit(best);
+        return best;
+      });
+    }
+  }
+  throw std::logic_error("mst: unknown online policy");
+}
+
+}  // namespace mst::sim

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mst/platform/tree.hpp"
+#include "mst/sim/platform_sim.hpp"
+
+/// \file online.hpp
+/// Online (no-lookahead) master policies — what deployed master-worker
+/// runtimes actually do, simulated on the store-and-forward substrate.
+///
+/// The paper's algorithm plans the whole schedule offline; production
+/// systems such as the SETI@home-style pools it motivates dispatch
+/// reactively instead.  These policies quantify that gap in the HEUR
+/// experiment:
+///  * round-robin    — ignore heterogeneity entirely;
+///  * random         — uniform destination (seeded, deterministic);
+///  * JSQ            — join the slave with the least outstanding work,
+///                     weighted by its processing time and path latency;
+///  * ECT            — earliest estimated completion (forward greedy): the
+///                     strongest online policy, exact estimates thanks to
+///                     per-edge FIFO.
+
+namespace mst::sim {
+
+enum class OnlinePolicy {
+  kRoundRobin,
+  kRandom,
+  kJoinShortestQueue,
+  kEarliestCompletion,
+};
+
+std::string to_string(OnlinePolicy policy);
+
+/// All policies, for sweep loops.
+const std::vector<OnlinePolicy>& all_online_policies();
+
+/// Simulate `n` tasks dispatched by `policy`; `seed` only matters for
+/// `kRandom`.
+SimResult simulate_online(const Tree& tree, std::size_t n, OnlinePolicy policy,
+                          std::uint64_t seed = 0);
+
+}  // namespace mst::sim

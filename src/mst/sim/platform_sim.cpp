@@ -1,0 +1,130 @@
+#include "mst/sim/platform_sim.hpp"
+
+#include <deque>
+
+#include "mst/common/assert.hpp"
+#include "mst/sim/engine.hpp"
+
+namespace mst::sim {
+
+namespace {
+
+/// Whole-run simulation state; nodes interact only through the engine.
+class Simulation {
+ public:
+  Simulation(const Tree& tree, std::size_t n, const DestinationChooser& chooser)
+      : tree_(tree), n_(n), chooser_(chooser) {
+    result_.tasks.resize(n);
+    routes_.resize(n);
+    hop_.assign(n, 0);
+    out_queue_.resize(tree.size());
+    out_busy_.assign(tree.size(), false);
+    cpu_queue_.resize(tree.size());
+    cpu_busy_.assign(tree.size(), false);
+    outstanding_.assign(tree.size(), 0);
+  }
+
+  SimResult run() {
+    engine_.at(0, [this] { master_dispatch(); });
+    engine_.run();
+    result_.makespan = 0;
+    result_.tasks_per_node.assign(tree_.size(), 0);
+    for (const SimTask& t : result_.tasks) {
+      ++result_.tasks_per_node[t.dest];
+      result_.makespan = std::max(result_.makespan, t.end);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  /// The master's out-port freed (or the run just started): pick the next
+  /// task's destination and enqueue it, unless relayed traffic is pending —
+  /// the master's queue holds fresh tasks only, so dispatching is simply
+  /// appending to its out-queue.
+  void master_dispatch() {
+    if (dispatched_ < n_) {
+      const DispatchContext ctx{engine_.now(), outstanding_};
+      const NodeId dest = chooser_(dispatched_, ctx);
+      MST_REQUIRE(dest != 0 && dest < tree_.size(),
+                  "dispatch destination must be a slave node");
+      const std::size_t task = dispatched_++;
+      routes_[task] = tree_.path_from_root(dest);
+      result_.tasks[task].dest = dest;
+      ++outstanding_[dest];
+      out_queue_[0].push_back(task);
+      try_send(0);
+    }
+  }
+
+  void try_send(NodeId v) {
+    if (out_busy_[v] || out_queue_[v].empty()) return;
+    const std::size_t task = out_queue_[v].front();
+    out_queue_[v].pop_front();
+    const NodeId next = routes_[task][hop_[task]];
+    MST_ASSERT(tree_.parent(next) == v);
+    if (v == 0 && hop_[task] == 0) result_.tasks[task].master_emission = engine_.now();
+    out_busy_[v] = true;
+    engine_.after(tree_.proc(next).comm, [this, v, next, task] {
+      out_busy_[v] = false;
+      deliver(next, task);
+      if (v == 0) master_dispatch();
+      try_send(v);
+    });
+  }
+
+  void deliver(NodeId node, std::size_t task) {
+    ++hop_[task];
+    if (hop_[task] == routes_[task].size()) {
+      MST_ASSERT(node == result_.tasks[task].dest);
+      result_.tasks[task].arrival = engine_.now();
+      cpu_queue_[node].push_back(task);
+      try_exec(node);
+    } else {
+      out_queue_[node].push_back(task);
+      try_send(node);
+    }
+  }
+
+  void try_exec(NodeId node) {
+    if (cpu_busy_[node] || cpu_queue_[node].empty()) return;
+    const std::size_t task = cpu_queue_[node].front();
+    cpu_queue_[node].pop_front();
+    cpu_busy_[node] = true;
+    result_.tasks[task].start = engine_.now();
+    engine_.after(tree_.proc(node).work, [this, node, task] {
+      result_.tasks[task].end = engine_.now();
+      cpu_busy_[node] = false;
+      MST_ASSERT(outstanding_[node] > 0);
+      --outstanding_[node];
+      try_exec(node);
+    });
+  }
+
+  const Tree& tree_;
+  std::size_t n_;
+  const DestinationChooser& chooser_;
+  Engine engine_;
+  SimResult result_;
+  std::size_t dispatched_ = 0;
+  std::vector<std::vector<NodeId>> routes_;
+  std::vector<std::size_t> hop_;
+  std::vector<std::deque<std::size_t>> out_queue_;
+  std::vector<bool> out_busy_;
+  std::vector<std::deque<std::size_t>> cpu_queue_;
+  std::vector<bool> cpu_busy_;
+  std::vector<std::size_t> outstanding_;
+};
+
+}  // namespace
+
+SimResult simulate_chooser(const Tree& tree, std::size_t n, const DestinationChooser& chooser) {
+  Simulation sim(tree, n, chooser);
+  return sim.run();
+}
+
+SimResult simulate_dispatch(const Tree& tree, const std::vector<NodeId>& dests) {
+  return simulate_chooser(tree, dests.size(),
+                          [&dests](std::size_t i, const DispatchContext&) { return dests[i]; });
+}
+
+}  // namespace mst::sim

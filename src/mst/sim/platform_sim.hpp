@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "mst/platform/tree.hpp"
+
+/// \file platform_sim.hpp
+/// Operational (event-driven) execution of master-slave tasking on a tree.
+///
+/// This is the library's store-and-forward network model: every node owns a
+/// one-port sender (emissions to its children serialize), every link carries
+/// one task at a time, intermediate nodes buffer and forward, destination
+/// nodes queue tasks FIFO for their single processor.  Chains and spiders
+/// embed via `tree_from_chain` / `tree_from_spider`, so the same simulator
+/// cross-validates the analytic schedulers: feeding it the destination
+/// sequence of an optimal schedule must reproduce the ASAP makespan exactly.
+
+namespace mst::sim {
+
+/// Per-task observable outcome.
+struct SimTask {
+  NodeId dest = 0;
+  Time master_emission = 0;  ///< when the master started sending it
+  Time arrival = 0;          ///< full reception at the destination
+  Time start = 0;            ///< execution start
+  Time end = 0;              ///< execution end
+};
+
+/// Outcome of one simulation run.
+struct SimResult {
+  Time makespan = 0;
+  std::vector<SimTask> tasks;                ///< in dispatch order
+  std::vector<std::size_t> tasks_per_node;   ///< indexed by NodeId
+
+  [[nodiscard]] std::size_t num_tasks() const { return tasks.size(); }
+};
+
+/// What an online dispatcher may observe when choosing a destination: the
+/// virtual clock and, per node, the number of tasks assigned to it that have
+/// not finished executing yet (in flight, buffered or running).
+struct DispatchContext {
+  Time now = 0;
+  const std::vector<std::size_t>& outstanding;
+};
+
+/// Chooses the destination of task `task_index` at the moment the master's
+/// out-port frees up.  Must return a slave NodeId.
+using DestinationChooser = std::function<NodeId(std::size_t task_index, const DispatchContext&)>;
+
+/// Simulate `n` tasks whose destinations are chosen on the fly.
+SimResult simulate_chooser(const Tree& tree, std::size_t n, const DestinationChooser& chooser);
+
+/// Simulate dispatching tasks to the given fixed destinations, in order,
+/// each emitted by the master as soon as its out-port frees.
+SimResult simulate_dispatch(const Tree& tree, const std::vector<NodeId>& dests);
+
+}  // namespace mst::sim

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mst/schedule/chain_schedule.hpp"
+#include "mst/schedule/spider_schedule.hpp"
+
+/// \file static_replay.hpp
+/// Replaying a *static* schedule on the event engine.
+///
+/// Every emission and execution is fired at exactly the time the schedule
+/// prescribes; the replay tracks each resource's busy horizon and records a
+/// conflict whenever an event claims a busy resource or an execution starts
+/// before its task fully arrived.  This is an independent, operational
+/// re-implementation of the Definition 1 checker: the test suite requires
+/// both to agree on every schedule, and the realized makespan to equal the
+/// analytic one.
+
+namespace mst::sim {
+
+struct ReplayResult {
+  bool ok = true;
+  Time makespan = 0;                   ///< realized completion of the last task
+  std::vector<std::string> conflicts;  ///< empty iff `ok`
+};
+
+ReplayResult replay(const ChainSchedule& schedule);
+ReplayResult replay(const SpiderSchedule& schedule);
+
+}  // namespace mst::sim

@@ -1,0 +1,124 @@
+// Cross-validation fuzzing: the analytic Definition-1 checker and the
+// operational replay validator are independent implementations of the same
+// model, so they must issue the same verdict on *any* schedule — including
+// randomly mutated (usually broken) ones.  This is the test that keeps the
+// two validators honest against each other.
+
+#include <gtest/gtest.h>
+
+#include "mst/common/rng.hpp"
+#include "mst/core/chain_scheduler.hpp"
+#include "mst/core/spider_scheduler.hpp"
+#include "mst/platform/generator.hpp"
+#include "mst/schedule/feasibility.hpp"
+#include "mst/sim/static_replay.hpp"
+
+namespace mst {
+namespace {
+
+/// Applies one random mutation to a chain schedule: nudge a start time, an
+/// emission time, or reroute a task.  Times stay non-negative so that both
+/// validators see the same schedule domain.
+void mutate(ChainSchedule& s, Rng& rng) {
+  if (s.tasks.empty()) return;
+  ChainTask& t = s.tasks[static_cast<std::size_t>(
+      rng.uniform(0, static_cast<Time>(s.tasks.size()) - 1))];
+  switch (rng.uniform(0, 2)) {
+    case 0:
+      t.start = std::max<Time>(0, t.start + rng.uniform(-4, 4));
+      break;
+    case 1: {
+      Time& e = t.emissions[static_cast<std::size_t>(
+          rng.uniform(0, static_cast<Time>(t.emissions.size()) - 1))];
+      e = std::max<Time>(0, e + rng.uniform(-4, 4));
+      break;
+    }
+    default: {
+      // Reroute to a random destination, rebuilding a (possibly bogus)
+      // emission vector of matching length.
+      const auto dest = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<Time>(s.chain.size()) - 1));
+      t.proc = dest;
+      t.emissions.resize(dest + 1);
+      for (Time& e : t.emissions) e = std::max<Time>(0, rng.uniform(0, 20));
+      break;
+    }
+  }
+}
+
+void mutate(SpiderSchedule& s, Rng& rng) {
+  if (s.tasks.empty()) return;
+  SpiderTask& t = s.tasks[static_cast<std::size_t>(
+      rng.uniform(0, static_cast<Time>(s.tasks.size()) - 1))];
+  if (rng.chance(0.5)) {
+    t.start = std::max<Time>(0, t.start + rng.uniform(-4, 4));
+  } else {
+    Time& e = t.emissions[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<Time>(t.emissions.size()) - 1))];
+    e = std::max<Time>(0, e + rng.uniform(-4, 4));
+  }
+}
+
+class CrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossValidation, CheckerAndReplayAgreeOnMutatedChainSchedules) {
+  Rng rng(GetParam());
+  GeneratorParams params{1, 8, PlatformClass::kUniform};
+  for (int trial = 0; trial < 40; ++trial) {
+    Rng inst = rng.split();
+    const Chain chain = random_chain(inst, static_cast<std::size_t>(rng.uniform(1, 4)), params);
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 8));
+    ChainSchedule s = ChainScheduler::schedule(chain, n);
+    const int mutations = static_cast<int>(rng.uniform(0, 3));
+    for (int m = 0; m < mutations; ++m) mutate(s, rng);
+
+    const bool analytic_ok = check_feasibility(s).ok();
+    const bool replay_ok = sim::replay(s).ok;
+    EXPECT_EQ(analytic_ok, replay_ok)
+        << chain.describe() << " n=" << n << " mutations=" << mutations << "\nanalytic: "
+        << check_feasibility(s).summary();
+  }
+}
+
+TEST_P(CrossValidation, CheckerAndReplayAgreeOnMutatedSpiderSchedules) {
+  Rng rng(GetParam() + 1000);
+  GeneratorParams params{1, 8, PlatformClass::kUniform};
+  for (int trial = 0; trial < 30; ++trial) {
+    Rng inst = rng.split();
+    const Spider spider =
+        random_spider(inst, static_cast<std::size_t>(rng.uniform(1, 3)), 2, params);
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 7));
+    SpiderSchedule s = SpiderScheduler::schedule(spider, n);
+    const int mutations = static_cast<int>(rng.uniform(0, 3));
+    for (int m = 0; m < mutations; ++m) mutate(s, rng);
+
+    const bool analytic_ok = check_feasibility(s).ok();
+    const bool replay_ok = sim::replay(s).ok;
+    EXPECT_EQ(analytic_ok, replay_ok)
+        << spider.describe() << " n=" << n << " mutations=" << mutations;
+  }
+}
+
+TEST_P(CrossValidation, ReplayMakespanMatchesWhenFeasible) {
+  // Whenever both validators accept, the replayed makespan must equal the
+  // analytic one.
+  Rng rng(GetParam() + 2000);
+  GeneratorParams params{1, 8, PlatformClass::kUniform};
+  for (int trial = 0; trial < 30; ++trial) {
+    Rng inst = rng.split();
+    const Chain chain = random_chain(inst, static_cast<std::size_t>(rng.uniform(1, 4)), params);
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 8));
+    ChainSchedule s = ChainScheduler::schedule(chain, n);
+    mutate(s, rng);  // may or may not break it
+    if (check_feasibility(s).ok()) {
+      const sim::ReplayResult r = sim::replay(s);
+      ASSERT_TRUE(r.ok);
+      EXPECT_EQ(r.makespan, s.makespan());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossValidation, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace mst

@@ -1,0 +1,126 @@
+// Golden regression catalog: a fixed set of instances whose optimal
+// makespans were cross-verified against exhaustive search when this file
+// was authored.  Any change to these values is a correctness regression in
+// the schedulers (or an intentional model change that must update this
+// file consciously).
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "mst/core/chain_scheduler.hpp"
+#include "mst/core/spider_scheduler.hpp"
+#include "mst/schedule/feasibility.hpp"
+
+namespace mst {
+namespace {
+
+constexpr std::array<std::size_t, 6> kChainCounts = {1, 2, 3, 5, 8, 13};
+constexpr std::array<std::size_t, 5> kSpiderCounts = {1, 2, 3, 5, 8};
+
+struct ChainCase {
+  const char* name;
+  Chain chain;
+  std::array<Time, 6> expected;  // optimal makespans at kChainCounts
+};
+
+const std::vector<ChainCase>& chain_cases() {
+  static const std::vector<ChainCase> kCases = {
+      {"paper_fig2", Chain::from_vectors({2, 3}, {3, 5}), {5, 8, 10, 14, 20, 30}},
+      {"unit", Chain::from_vectors({1}, {1}), {2, 3, 4, 6, 9, 14}},
+      {"link_bound", Chain::from_vectors({5}, {2}), {7, 12, 17, 27, 42, 67}},
+      {"compute_bound", Chain::from_vectors({2}, {5}), {7, 12, 17, 27, 42, 67}},
+      {"slow_head_fast_tail", Chain::from_vectors({1, 1}, {100, 1}), {3, 4, 5, 7, 10, 15}},
+      {"three_stage", Chain::from_vectors({3, 1, 1}, {10, 6, 2}), {7, 10, 13, 19, 28, 43}},
+      {"homogeneous4", Chain::from_vectors({2, 2, 2, 2}, {4, 4, 4, 4}),
+       {6, 8, 10, 14, 20, 30}},
+      {"mixed3", Chain::from_vectors({4, 1, 2}, {3, 7, 2}), {7, 11, 15, 23, 35, 55}},
+      {"fast_far", Chain::from_vectors({1, 2, 3, 4}, {4, 3, 2, 1}), {5, 6, 8, 10, 14, 21}},
+      {"slow_link_fast_relay", Chain::from_vectors({6, 1}, {2, 9}), {8, 14, 20, 32, 50, 80}},
+      {"zero_latency", Chain::from_vectors({0, 0}, {4, 5}), {4, 5, 8, 12, 20, 30}},
+      {"integration_case", Chain::from_vectors({2, 1, 3}, {4, 2, 5}), {5, 7, 9, 13, 19, 29}},
+  };
+  return kCases;
+}
+
+struct SpiderCase {
+  const char* name;
+  Spider spider;
+  std::array<Time, 5> expected;
+};
+
+const std::vector<SpiderCase>& spider_cases() {
+  static const std::vector<SpiderCase> kCases = {
+      {"fig2_plus_leaf",
+       Spider{Chain::from_vectors({2, 3}, {3, 5}), Chain::from_vectors({4}, {2})},
+       {5, 8, 10, 14, 20}},
+      {"twin_units", Spider{Chain::from_vectors({1}, {1}), Chain::from_vectors({1}, {1})},
+       {2, 3, 4, 6, 9}},
+      {"one_useless_leg",
+       Spider{Chain::from_vectors({1}, {1}), Chain::from_vectors({1}, {1000})},
+       {2, 3, 4, 6, 9}},
+      {"three_legs",
+       Spider{Chain::from_vectors({1, 2}, {9, 2}), Chain::from_vectors({3}, {4}),
+              Chain::from_vectors({2}, {7})},
+       {5, 7, 9, 11, 15}},
+      {"leaf_vs_chain",
+       Spider{Chain::from_vectors({5}, {1}), Chain::from_vectors({1, 1}, {2, 2})},
+       {3, 4, 5, 7, 10}},
+      {"symmetric_two_by_two",
+       Spider{Chain::from_vectors({2, 2}, {3, 3}), Chain::from_vectors({2, 2}, {3, 3})},
+       {5, 7, 9, 13, 19}},
+      {"single_leg_single_node", Spider{Chain::from_vectors({3}, {3})}, {6, 9, 12, 18, 27}},
+      {"mirrored_links",
+       Spider{Chain::from_vectors({1, 4}, {2, 2}), Chain::from_vectors({4, 1}, {2, 2})},
+       {3, 5, 7, 9, 13}},
+  };
+  return kCases;
+}
+
+class GoldenChain : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenChain, OptimalMakespanMatchesCatalog) {
+  const ChainCase& c = chain_cases()[GetParam()];
+  for (std::size_t i = 0; i < kChainCounts.size(); ++i) {
+    const ChainSchedule s = ChainScheduler::schedule(c.chain, kChainCounts[i]);
+    EXPECT_EQ(s.makespan(), c.expected[i]) << c.name << " n=" << kChainCounts[i];
+    EXPECT_TRUE(check_feasibility(s).ok()) << c.name << " n=" << kChainCounts[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, GoldenChain, ::testing::Range<std::size_t>(0, 12),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return chain_cases()[info.param].name;
+                         });
+
+class GoldenSpider : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenSpider, OptimalMakespanMatchesCatalog) {
+  const SpiderCase& c = spider_cases()[GetParam()];
+  for (std::size_t i = 0; i < kSpiderCounts.size(); ++i) {
+    const SpiderSchedule s = SpiderScheduler::schedule(c.spider, kSpiderCounts[i]);
+    EXPECT_EQ(s.makespan(), c.expected[i]) << c.name << " n=" << kSpiderCounts[i];
+    EXPECT_TRUE(check_feasibility(s).ok()) << c.name << " n=" << kSpiderCounts[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, GoldenSpider, ::testing::Range<std::size_t>(0, 8),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return spider_cases()[info.param].name;
+                         });
+
+TEST(Golden, DecisionFormStaircaseOnCatalog) {
+  // For every catalog chain, tasks(makespan(k)) inverts the curve.
+  for (const ChainCase& c : chain_cases()) {
+    for (std::size_t i = 0; i < kChainCounts.size(); ++i) {
+      const std::size_t k = kChainCounts[i];
+      EXPECT_GE(ChainScheduler::max_tasks(c.chain, c.expected[i], k + 5), k) << c.name;
+      if (c.expected[i] > 0) {
+        EXPECT_LT(ChainScheduler::max_tasks(c.chain, c.expected[i] - 1, k + 5), k) << c.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mst

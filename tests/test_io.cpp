@@ -1,0 +1,91 @@
+// Unit tests for the plain-text platform format.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mst/platform/io.hpp"
+
+namespace mst {
+namespace {
+
+TEST(Io, ChainRoundTrip) {
+  const Chain chain = Chain::from_vectors({2, 3, 4}, {3, 5, 7});
+  EXPECT_EQ(parse_chain(write_chain(chain)), chain);
+}
+
+TEST(Io, ForkRoundTrip) {
+  const Fork fork({Processor{1, 2}, Processor{3, 4}, Processor{5, 6}});
+  EXPECT_EQ(parse_fork(write_fork(fork)), fork);
+}
+
+TEST(Io, SpiderRoundTrip) {
+  const Spider spider{Chain::from_vectors({2, 3}, {3, 5}), Chain::from_vectors({4}, {2})};
+  EXPECT_EQ(parse_spider(write_spider(spider)), spider);
+}
+
+TEST(Io, ParsesWithCommentsAndWhitespace) {
+  const std::string text = R"(
+# a 2-processor chain
+chain 2
+  2 3   # first processor
+  3 5
+)";
+  const Chain chain = parse_chain(text);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain.comm(1), 3);
+  EXPECT_EQ(chain.work(1), 5);
+}
+
+TEST(Io, ParsePlatformDispatchesOnKeyword) {
+  const Spider from_chain = parse_platform("chain 1\n4 5\n");
+  EXPECT_EQ(from_chain.num_legs(), 1u);
+  EXPECT_EQ(from_chain.leg(0).size(), 1u);
+
+  const Spider from_fork = parse_platform("fork 2\n1 2\n3 4\n");
+  EXPECT_EQ(from_fork.num_legs(), 2u);
+  EXPECT_TRUE(from_fork.is_fork());
+
+  const Spider from_spider = parse_platform("spider 1\nleg 2\n1 2\n3 4\n");
+  EXPECT_EQ(from_spider.num_legs(), 1u);
+  EXPECT_EQ(from_spider.leg(0).size(), 2u);
+}
+
+TEST(Io, RejectsUnknownKeyword) {
+  EXPECT_THROW(parse_platform("mesh 2\n1 2\n3 4\n"), std::invalid_argument);
+  EXPECT_THROW(parse_chain("fork 1\n1 2\n"), std::invalid_argument);
+}
+
+TEST(Io, RejectsTruncatedInput) {
+  EXPECT_THROW(parse_chain("chain 2\n1 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_chain("chain"), std::invalid_argument);
+  EXPECT_THROW(parse_spider("spider 2\nleg 1\n1 2\n"), std::invalid_argument);
+}
+
+TEST(Io, RejectsTrailingGarbage) {
+  EXPECT_THROW(parse_chain("chain 1\n1 2\nextra"), std::invalid_argument);
+}
+
+TEST(Io, RejectsNonNumericValues) {
+  EXPECT_THROW(parse_chain("chain 1\nx 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_chain("chain one\n1 2\n"), std::invalid_argument);
+}
+
+TEST(Io, RejectsInvalidProcessorValues) {
+  // The platform validation layer still applies after parsing.
+  EXPECT_THROW(parse_chain("chain 1\n1 0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_chain("chain 1\n-1 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_chain("chain 0\n"), std::invalid_argument);
+}
+
+TEST(Io, ErrorsMentionLineNumbers) {
+  try {
+    parse_chain("chain 1\nbad 2\n");
+    FAIL() << "expected an exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace mst

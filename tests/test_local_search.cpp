@@ -1,0 +1,105 @@
+// Tests of the tree local-search heuristic.
+
+#include <gtest/gtest.h>
+
+#include "mst/baselines/tree_asap.hpp"
+#include "mst/common/rng.hpp"
+#include "mst/heuristics/local_search.hpp"
+#include "mst/platform/generator.hpp"
+
+namespace mst {
+namespace {
+
+TEST(LocalSearch, EmptySequenceIsFine) {
+  const Tree tree = tree_from_chain(Chain::from_vectors({1}, {1}));
+  const LocalSearchResult r = improve_tree_dispatch(tree, {});
+  EXPECT_TRUE(r.dests.empty());
+  EXPECT_EQ(r.makespan, 0);
+}
+
+TEST(LocalSearch, NeverWorseThanTheInput) {
+  Rng rng(41);
+  GeneratorParams params{1, 9, PlatformClass::kUniform};
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng inst = rng.split();
+    const Tree tree = random_tree(inst, static_cast<std::size_t>(rng.uniform(2, 8)), params);
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 8));
+    // Deliberately bad start: everything to the last (often deep) node.
+    std::vector<NodeId> bad(n, tree.size() - 1);
+    const Time before = asap_tree_makespan(tree, bad);
+    const LocalSearchResult r = improve_tree_dispatch(tree, bad);
+    EXPECT_LE(r.makespan, before) << tree.describe();
+    EXPECT_EQ(r.makespan, asap_tree_makespan(tree, r.dests));
+  }
+}
+
+TEST(LocalSearch, ImprovesAnObviouslyBadAssignment) {
+  // Fork: one fast slave, one terrible slave; all tasks start on the bad one.
+  Tree tree;
+  tree.add_node(0, {1, 1});     // node 1: fast
+  tree.add_node(0, {1, 50});    // node 2: slow
+  const std::vector<NodeId> bad(6, 2);
+  const LocalSearchResult r = improve_tree_dispatch(tree, bad);
+  EXPECT_LT(r.makespan, asap_tree_makespan(tree, bad));
+  EXPECT_GT(r.moves, 0u);
+  // Most tasks must migrate to the fast slave.
+  std::size_t on_fast = 0;
+  for (NodeId v : r.dests) on_fast += (v == 1);
+  EXPECT_GE(on_fast, 5u);
+}
+
+TEST(LocalSearch, StartsFromGreedyAndStaysBounded) {
+  Rng rng(42);
+  GeneratorParams params{1, 8, PlatformClass::kUniform};
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng inst = rng.split();
+    const Tree tree = random_tree(inst, static_cast<std::size_t>(rng.uniform(1, 6)), params);
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 6));
+    const LocalSearchResult r = local_search_tree(tree, n);
+    ASSERT_EQ(r.dests.size(), n);
+    EXPECT_LE(r.makespan, forward_greedy_tree_makespan(tree, n));
+    EXPECT_GE(r.makespan, brute_force_tree_makespan(tree, n)) << tree.describe();
+  }
+}
+
+TEST(LocalSearch, ReachesTheOptimumOnTinyInstances) {
+  // With a generous pass budget the descent should close small gaps
+  // entirely on 2-slave forks (the neighborhood covers all assignments).
+  Rng rng(43);
+  GeneratorParams params{1, 6, PlatformClass::kUniform};
+  int optimal_hits = 0;
+  const int trials = 10;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng inst = rng.split();
+    const Tree tree = random_tree(inst, 2, params);
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 5));
+    const LocalSearchResult r = local_search_tree(tree, n, 32);
+    if (r.makespan == brute_force_tree_makespan(tree, n)) ++optimal_hits;
+  }
+  EXPECT_GE(optimal_hits, trials - 2);  // local optima may rarely bite
+}
+
+TEST(LocalSearch, IsDeterministic) {
+  Rng rng(44);
+  const Tree tree = random_tree(rng, 6, {1, 9, PlatformClass::kUniform});
+  const LocalSearchResult a = local_search_tree(tree, 7);
+  const LocalSearchResult b = local_search_tree(tree, 7);
+  EXPECT_EQ(a.dests, b.dests);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(LocalSearch, RespectsPassBudget) {
+  Rng rng(45);
+  const Tree tree = random_tree(rng, 5, {1, 9, PlatformClass::kUniform});
+  const LocalSearchResult r = local_search_tree(tree, 6, 1);
+  EXPECT_LE(r.passes, 1u);
+}
+
+TEST(LocalSearch, RejectsInvalidInitialDestinations) {
+  const Tree tree = tree_from_chain(Chain::from_vectors({1}, {1}));
+  EXPECT_THROW(improve_tree_dispatch(tree, {0}), std::invalid_argument);
+  EXPECT_THROW(improve_tree_dispatch(tree, {9}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mst

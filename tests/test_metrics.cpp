@@ -1,0 +1,70 @@
+// Tests of derived schedule metrics (utilization, idle gaps, throughput).
+
+#include <gtest/gtest.h>
+
+#include "mst/core/chain_scheduler.hpp"
+#include "mst/core/spider_scheduler.hpp"
+#include "mst/schedule/metrics.hpp"
+
+namespace mst {
+namespace {
+
+Chain fig2_chain() { return Chain::from_vectors({2, 3}, {3, 5}); }
+
+TEST(Metrics, ChainUtilizationOnFig2) {
+  const ChainSchedule s = ChainScheduler::schedule(fig2_chain(), 5);
+  const ChainUtilization u = compute_utilization(s);
+  EXPECT_EQ(u.makespan, 14);
+  ASSERT_EQ(u.tasks_per_proc.size(), 2u);
+  EXPECT_EQ(u.tasks_per_proc[0], 4u);
+  EXPECT_EQ(u.tasks_per_proc[1], 1u);
+  // proc 0: 4 tasks x 3 units = 12/14; proc 1: 5/14.
+  EXPECT_NEAR(u.proc_busy_fraction[0], 12.0 / 14.0, 1e-12);
+  EXPECT_NEAR(u.proc_busy_fraction[1], 5.0 / 14.0, 1e-12);
+  // link 0 carries all 5 tasks: 10/14; link 1 carries one: 3/14.
+  EXPECT_NEAR(u.link_busy_fraction[0], 10.0 / 14.0, 1e-12);
+  EXPECT_NEAR(u.link_busy_fraction[1], 3.0 / 14.0, 1e-12);
+}
+
+TEST(Metrics, EmptyScheduleUtilization) {
+  const ChainUtilization u = compute_utilization(ChainSchedule{fig2_chain(), {}});
+  EXPECT_EQ(u.makespan, 0);
+  EXPECT_DOUBLE_EQ(u.proc_busy_fraction[0], 0.0);
+}
+
+TEST(Metrics, FirstLinkIdleGapsOnFig2) {
+  // Fig 2 emissions are {0,2,4,6,9}: one gap [8,9) before the last one.
+  const ChainSchedule s = ChainScheduler::schedule(fig2_chain(), 5);
+  const auto gaps = first_link_idle_gaps(s);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].first, 8);
+  EXPECT_EQ(gaps[0].second, 9);
+}
+
+TEST(Metrics, NoGapsWhenSaturated) {
+  const Chain chain = Chain::from_vectors({5}, {2});  // link-bound: emissions back to back
+  const ChainSchedule s = ChainScheduler::schedule(chain, 4);
+  EXPECT_TRUE(first_link_idle_gaps(s).empty());
+}
+
+TEST(Metrics, ChainThroughput) {
+  const ChainSchedule s = ChainScheduler::schedule(fig2_chain(), 5);
+  EXPECT_NEAR(throughput(s), 5.0 / 14.0, 1e-12);
+  EXPECT_DOUBLE_EQ(throughput(ChainSchedule{fig2_chain(), {}}), 0.0);
+}
+
+TEST(Metrics, SpiderUtilization) {
+  const Spider spider{fig2_chain(), Chain::from_vectors({4}, {2})};
+  const SpiderSchedule s = SpiderScheduler::schedule(spider, 6);
+  const SpiderUtilization u = compute_utilization(s);
+  EXPECT_EQ(u.makespan, s.makespan());
+  std::size_t total = 0;
+  for (std::size_t c : u.tasks_per_leg) total += c;
+  EXPECT_EQ(total, 6u);
+  EXPECT_GT(u.master_port_busy_fraction, 0.0);
+  EXPECT_LE(u.master_port_busy_fraction, 1.0 + 1e-12);
+  EXPECT_NEAR(throughput(s), 6.0 / static_cast<double>(s.makespan()), 1e-12);
+}
+
+}  // namespace
+}  // namespace mst

@@ -1,0 +1,114 @@
+// Tests of the online dispatch policies on the simulator substrate.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mst/baselines/forward_greedy.hpp"
+#include "mst/common/rng.hpp"
+#include "mst/core/spider_scheduler.hpp"
+#include "mst/platform/generator.hpp"
+#include "mst/sim/online.hpp"
+
+namespace mst {
+namespace {
+
+TEST(Online, AllPoliciesCompleteEveryTask) {
+  Rng rng(42);
+  GeneratorParams params{1, 8, PlatformClass::kUniform};
+  const Tree tree = random_tree(rng, 6, params);
+  for (sim::OnlinePolicy policy : sim::all_online_policies()) {
+    const sim::SimResult r = sim::simulate_online(tree, 12, policy, 7);
+    EXPECT_EQ(r.num_tasks(), 12u) << to_string(policy);
+    std::size_t total = 0;
+    for (std::size_t c : r.tasks_per_node) total += c;
+    EXPECT_EQ(total, 12u) << to_string(policy);
+    EXPECT_GT(r.makespan, 0) << to_string(policy);
+  }
+}
+
+TEST(Online, PoliciesAreDeterministic) {
+  Rng rng(43);
+  GeneratorParams params{1, 8, PlatformClass::kUniform};
+  const Tree tree = random_tree(rng, 5, params);
+  for (sim::OnlinePolicy policy : sim::all_online_policies()) {
+    const sim::SimResult a = sim::simulate_online(tree, 9, policy, 3);
+    const sim::SimResult b = sim::simulate_online(tree, 9, policy, 3);
+    EXPECT_EQ(a.makespan, b.makespan) << to_string(policy);
+  }
+}
+
+TEST(Online, RandomPolicyDependsOnSeed) {
+  Rng rng(44);
+  GeneratorParams params{1, 9, PlatformClass::kUniform};
+  const Tree tree = random_tree(rng, 6, params);
+  bool any_difference = false;
+  for (std::uint64_t seed = 0; seed < 8 && !any_difference; ++seed) {
+    const sim::SimResult a = sim::simulate_online(tree, 10, sim::OnlinePolicy::kRandom, seed);
+    const sim::SimResult b =
+        sim::simulate_online(tree, 10, sim::OnlinePolicy::kRandom, seed + 100);
+    if (a.makespan != b.makespan) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Online, OnlinePoliciesNeverBeatTheOptimalPlanner) {
+  // On spider-shaped trees the optimal offline makespan is computable; no
+  // online policy may beat it.
+  Rng rng(45);
+  GeneratorParams params{1, 8, PlatformClass::kUniform};
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng inst = rng.split();
+    const auto legs = static_cast<std::size_t>(rng.uniform(1, 4));
+    const Spider spider = random_spider(inst, legs, 3, params);
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 10));
+    const Time optimal = SpiderScheduler::makespan(spider, n);
+    const Tree tree = tree_from_spider(spider);
+    for (sim::OnlinePolicy policy : sim::all_online_policies()) {
+      const sim::SimResult r = sim::simulate_online(tree, n, policy, 11);
+      EXPECT_GE(r.makespan, optimal)
+          << to_string(policy) << " on " << spider.describe() << " n=" << n;
+    }
+  }
+}
+
+TEST(Online, EctMatchesForwardGreedyOnSpiders) {
+  // The ECT policy with exact ASAP estimates is the online twin of the
+  // forward-greedy baseline; on spiders both must coincide.
+  Rng rng(46);
+  GeneratorParams params{1, 9, PlatformClass::kUniform};
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng inst = rng.split();
+    const auto legs = static_cast<std::size_t>(rng.uniform(1, 4));
+    const Spider spider = random_spider(inst, legs, 3, params);
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 12));
+    const Time greedy = forward_greedy_spider_makespan(spider, n);
+    const sim::SimResult r = sim::simulate_online(
+        tree_from_spider(spider), n, sim::OnlinePolicy::kEarliestCompletion, 0);
+    EXPECT_EQ(r.makespan, greedy) << spider.describe() << " n=" << n;
+  }
+}
+
+TEST(Online, JsqPrefersTheFastSlaveOnAsymmetricFork) {
+  Tree tree;
+  tree.add_node(0, {1, 1});    // fast
+  tree.add_node(0, {1, 100});  // slow
+  const sim::SimResult r =
+      sim::simulate_online(tree, 10, sim::OnlinePolicy::kJoinShortestQueue, 0);
+  EXPECT_GT(r.tasks_per_node[1], r.tasks_per_node[2]);
+}
+
+TEST(Online, RejectsTreesWithoutSlaves) {
+  Tree empty;
+  EXPECT_THROW(sim::simulate_online(empty, 3, sim::OnlinePolicy::kRoundRobin, 0),
+               std::invalid_argument);
+}
+
+TEST(Online, PolicyNamesAreDistinct) {
+  std::set<std::string> names;
+  for (sim::OnlinePolicy policy : sim::all_online_policies()) names.insert(to_string(policy));
+  EXPECT_EQ(names.size(), sim::all_online_policies().size());
+}
+
+}  // namespace
+}  // namespace mst

@@ -1,0 +1,120 @@
+// Parser robustness fuzzing: mutated and garbage inputs must either parse
+// cleanly or throw `std::invalid_argument` — never crash, never return a
+// platform/schedule that violates the structural invariants.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mst/common/rng.hpp"
+#include "mst/core/spider_scheduler.hpp"
+#include "mst/platform/generator.hpp"
+#include "mst/platform/io.hpp"
+#include "mst/schedule/schedule_io.hpp"
+
+namespace mst {
+namespace {
+
+std::string mutate_text(std::string text, Rng& rng) {
+  if (text.empty()) return text;
+  const int op = static_cast<int>(rng.uniform(0, 3));
+  const auto pos =
+      static_cast<std::size_t>(rng.uniform(0, static_cast<std::int64_t>(text.size()) - 1));
+  switch (op) {
+    case 0:  // flip a character to a random printable one
+      text[pos] = static_cast<char>(rng.uniform(32, 126));
+      break;
+    case 1:  // delete a chunk
+      text.erase(pos, static_cast<std::size_t>(rng.uniform(1, 5)));
+      break;
+    case 2:  // duplicate a chunk
+      text.insert(pos, text.substr(pos, static_cast<std::size_t>(rng.uniform(1, 8))));
+      break;
+    default:  // truncate
+      text.resize(pos);
+      break;
+  }
+  return text;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, MutatedPlatformsParseOrThrow) {
+  Rng rng(GetParam());
+  GeneratorParams params{1, 9, PlatformClass::kUniform};
+  for (int trial = 0; trial < 60; ++trial) {
+    Rng inst = rng.split();
+    const Spider spider =
+        random_spider(inst, static_cast<std::size_t>(rng.uniform(1, 4)), 3, params);
+    std::string text = write_spider(spider);
+    const int mutations = static_cast<int>(rng.uniform(1, 4));
+    for (int m = 0; m < mutations; ++m) text = mutate_text(std::move(text), rng);
+    try {
+      const Spider parsed = parse_spider(text);
+      // If it parsed, it must be a structurally valid platform.
+      EXPECT_GE(parsed.num_legs(), 1u);
+      for (const Chain& leg : parsed.legs()) {
+        for (const Processor& p : leg.procs()) {
+          EXPECT_GE(p.comm, 0);
+          EXPECT_GE(p.work, 1);
+        }
+      }
+    } catch (const std::invalid_argument&) {
+      // Expected for most mutations.
+    } catch (const std::out_of_range&) {
+      // std::stoll on a huge duplicated digit string; acceptable rejection.
+    }
+  }
+}
+
+TEST_P(ParserFuzz, MutatedSchedulesParseOrThrow) {
+  Rng rng(GetParam() + 77);
+  GeneratorParams params{1, 8, PlatformClass::kUniform};
+  for (int trial = 0; trial < 40; ++trial) {
+    Rng inst = rng.split();
+    const Spider spider =
+        random_spider(inst, static_cast<std::size_t>(rng.uniform(1, 3)), 2, params);
+    const SpiderSchedule schedule =
+        SpiderScheduler::schedule(spider, static_cast<std::size_t>(rng.uniform(1, 6)));
+    std::string text = write_schedule(schedule);
+    const int mutations = static_cast<int>(rng.uniform(1, 4));
+    for (int m = 0; m < mutations; ++m) text = mutate_text(std::move(text), rng);
+    try {
+      const SpiderSchedule parsed = parse_spider_schedule(text);
+      // Structural invariants only; semantic feasibility is separate.
+      for (const SpiderTask& t : parsed.tasks) {
+        EXPECT_LT(t.leg, parsed.spider.num_legs());
+        EXPECT_EQ(t.emissions.size(), t.proc + 1);
+      }
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(GetParam() + 154);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string garbage;
+    const auto len = static_cast<std::size_t>(rng.uniform(0, 200));
+    for (std::size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.uniform(9, 126)));
+    }
+    for (int which = 0; which < 3; ++which) {
+      try {
+        switch (which) {
+          case 0: (void)parse_platform(garbage); break;
+          case 1: (void)parse_chain_schedule(garbage); break;
+          default: (void)parse_spider_schedule(garbage); break;
+        }
+      } catch (const std::invalid_argument&) {
+      } catch (const std::out_of_range&) {
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace mst

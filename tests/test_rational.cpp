@@ -1,0 +1,88 @@
+// Tests of the exact rational arithmetic backing the steady-state LP.
+
+#include <gtest/gtest.h>
+
+#include "mst/common/rational.hpp"
+
+namespace mst {
+namespace {
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+  const Rational neg(3, -6);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 2);
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, ImplicitIntegerConversion) {
+  const Rational r = 5;
+  EXPECT_EQ(r.num(), 5);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+  EXPECT_THROW(Rational(1, 2) / Rational(0), std::invalid_argument);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GE(Rational(1, 2), Rational(2, 4));
+  EXPECT_EQ(Rational::min(Rational(1, 3), Rational(1, 2)), Rational(1, 3));
+  EXPECT_EQ(Rational::max(Rational(1, 3), Rational(1, 2)), Rational(1, 2));
+}
+
+TEST(Rational, Reciprocal) {
+  EXPECT_EQ(Rational(3, 7).reciprocal(), Rational(7, 3));
+  EXPECT_EQ(Rational(-2).reciprocal(), Rational(-1, 2));
+  EXPECT_THROW((void)Rational(0).reciprocal(), std::invalid_argument);
+}
+
+TEST(Rational, ToStringAndDouble) {
+  EXPECT_EQ(Rational(3, 4).to_string(), "3/4");
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_TRUE(Rational(0).is_zero());
+  EXPECT_FALSE(Rational(1, 9).is_zero());
+}
+
+TEST(Rational, GcdLcmHelpers) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(7, 7), 7);
+  EXPECT_THROW(lcm64(0, 3), std::invalid_argument);
+}
+
+TEST(Rational, OverflowIsDetectedNotWrapped) {
+  const std::int64_t big = (std::int64_t{1} << 62);
+  EXPECT_THROW(Rational(big, 3) * Rational(big, 5), std::invalid_argument);
+}
+
+TEST(Rational, CrossReductionKeepsIntermediatesSmall) {
+  // Would overflow with naive a.num*b.num if not cross-reduced.
+  const std::int64_t big = (std::int64_t{1} << 40);
+  const Rational a(big, 3);
+  const Rational b(9, big);
+  EXPECT_EQ(a * b, Rational(3));
+}
+
+TEST(Rational, SumOfSeriesIsExact) {
+  // 1/1 + 1/2 + ... + 1/10 == 7381/2520.
+  Rational sum(0);
+  for (std::int64_t k = 1; k <= 10; ++k) sum = sum + Rational(1, k);
+  EXPECT_EQ(sum, Rational(7381, 2520));
+}
+
+}  // namespace
+}  // namespace mst

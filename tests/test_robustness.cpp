@@ -1,0 +1,114 @@
+// Tests of the plan-robustness analysis (stale plan vs re-planning).
+
+#include <gtest/gtest.h>
+
+#include "mst/analysis/robustness.hpp"
+#include "mst/common/rng.hpp"
+#include "mst/platform/generator.hpp"
+
+namespace mst {
+namespace {
+
+TEST(Robustness, ZeroEpsilonIsIdentity) {
+  Rng rng(1);
+  const Chain chain = Chain::from_vectors({2, 3}, {3, 5});
+  EXPECT_EQ(perturb(chain, 0.0, rng), chain);
+  const Spider spider{chain, Chain::from_vectors({4}, {2})};
+  EXPECT_EQ(perturb(spider, 0.0, rng), spider);
+}
+
+TEST(Robustness, PerturbationKeepsPlatformsValid) {
+  Rng rng(2);
+  GeneratorParams params{1, 10, PlatformClass::kUniform};
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng inst = rng.split();
+    const Chain chain = random_chain(inst, 4, params);
+    const Chain shaken = perturb(chain, 0.9, rng);
+    ASSERT_EQ(shaken.size(), chain.size());
+    for (std::size_t i = 0; i < shaken.size(); ++i) {
+      EXPECT_GE(shaken.comm(i), 0);
+      EXPECT_GE(shaken.work(i), 1);
+    }
+  }
+}
+
+TEST(Robustness, PerturbationStaysWithinBand) {
+  Rng rng(3);
+  const Chain chain = Chain::from_vectors({100}, {100});
+  for (int trial = 0; trial < 50; ++trial) {
+    const Chain shaken = perturb(chain, 0.25, rng);
+    EXPECT_GE(shaken.comm(0), 74);   // 100*(1-0.25), rounded
+    EXPECT_LE(shaken.comm(0), 126);
+    EXPECT_GE(shaken.work(0), 74);
+    EXPECT_LE(shaken.work(0), 126);
+  }
+}
+
+TEST(Robustness, RejectsBadEpsilon) {
+  Rng rng(4);
+  const Chain chain = Chain::from_vectors({1}, {1});
+  EXPECT_THROW(perturb(chain, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(perturb(chain, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Robustness, IdenticalPlatformsHaveNoDegradation) {
+  const Chain chain = Chain::from_vectors({2, 3}, {3, 5});
+  const RobustnessResult r = evaluate_stale_plan(chain, chain, 6);
+  EXPECT_EQ(r.stale_plan, r.replanned);
+  EXPECT_DOUBLE_EQ(r.degradation(), 1.0);
+}
+
+TEST(Robustness, StalePlanNeverBeatsReplanning) {
+  Rng rng(5);
+  GeneratorParams params{2, 12, PlatformClass::kUniform};
+  for (int trial = 0; trial < 12; ++trial) {
+    Rng inst = rng.split();
+    const Chain believed = random_chain(inst, 4, params);
+    const Chain actual = perturb(believed, 0.4, rng);
+    const RobustnessResult r = evaluate_stale_plan(believed, actual, 8);
+    EXPECT_GE(r.stale_plan, r.replanned) << believed.describe();
+    EXPECT_GE(r.degradation(), 1.0);
+  }
+}
+
+TEST(Robustness, SpiderStalePlansAreEvaluated) {
+  Rng rng(6);
+  GeneratorParams params{2, 10, PlatformClass::kUniform};
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng inst = rng.split();
+    const Spider believed = random_spider(inst, 3, 2, params);
+    const Spider actual = perturb(believed, 0.3, rng);
+    const RobustnessResult r = evaluate_stale_plan(believed, actual, 8);
+    EXPECT_GE(r.stale_plan, r.replanned) << believed.describe();
+  }
+}
+
+TEST(Robustness, DegradationGrowsWithEpsilonOnAverage) {
+  // Average over many seeds: bigger mis-estimation cannot make the stale
+  // plan better on average.
+  Rng rng(7);
+  GeneratorParams params{2, 12, PlatformClass::kAntiCorrelated};
+  double total_small = 0;
+  double total_large = 0;
+  const int trials = 25;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng inst = rng.split();
+    const Chain believed = random_chain(inst, 4, params);
+    Rng pa = rng.split();
+    Rng pb = pa;  // same perturbation stream, different magnitude
+    const Chain small = perturb(believed, 0.1, pa);
+    const Chain large = perturb(believed, 0.6, pb);
+    total_small += evaluate_stale_plan(believed, small, 10).degradation();
+    total_large += evaluate_stale_plan(believed, large, 10).degradation();
+  }
+  EXPECT_LE(total_small / trials, total_large / trials + 0.05);
+}
+
+TEST(Robustness, RejectsShapeMismatch) {
+  const Chain a = Chain::from_vectors({1}, {1});
+  const Chain b = Chain::from_vectors({1, 1}, {1, 1});
+  EXPECT_THROW(evaluate_stale_plan(a, b, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mst

@@ -1,0 +1,98 @@
+// Tests of the plain-text schedule serialization.
+
+#include <gtest/gtest.h>
+
+#include "mst/core/chain_scheduler.hpp"
+#include "mst/core/spider_scheduler.hpp"
+#include "mst/common/rng.hpp"
+#include "mst/platform/generator.hpp"
+#include "mst/schedule/feasibility.hpp"
+#include "mst/schedule/schedule_io.hpp"
+
+namespace mst {
+namespace {
+
+TEST(ScheduleIo, ChainRoundTrip) {
+  const Chain chain = Chain::from_vectors({2, 3}, {3, 5});
+  const ChainSchedule s = ChainScheduler::schedule(chain, 5);
+  const ChainSchedule parsed = parse_chain_schedule(write_schedule(s));
+  EXPECT_EQ(parsed.chain, s.chain);
+  EXPECT_EQ(parsed.tasks, s.tasks);
+}
+
+TEST(ScheduleIo, SpiderRoundTrip) {
+  const Spider spider{Chain::from_vectors({2, 3}, {3, 5}), Chain::from_vectors({4}, {2})};
+  const SpiderSchedule s = SpiderScheduler::schedule(spider, 6);
+  const SpiderSchedule parsed = parse_spider_schedule(write_schedule(s));
+  EXPECT_EQ(parsed.spider, s.spider);
+  EXPECT_EQ(parsed.tasks, s.tasks);
+}
+
+TEST(ScheduleIo, RandomRoundTripsStayFeasible) {
+  Rng rng(808);
+  GeneratorParams params{1, 9, PlatformClass::kUniform};
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng inst = rng.split();
+    const Spider spider =
+        random_spider(inst, static_cast<std::size_t>(rng.uniform(1, 4)), 3, params);
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 10));
+    const SpiderSchedule s = SpiderScheduler::schedule(spider, n);
+    const SpiderSchedule parsed = parse_spider_schedule(write_schedule(s));
+    EXPECT_EQ(parsed.tasks, s.tasks);
+    EXPECT_TRUE(check_feasibility(parsed).ok());
+  }
+}
+
+TEST(ScheduleIo, AcceptsCommentsAndEditedFiles) {
+  const std::string text = R"(
+chain_schedule
+chain 1
+2 3   # one processor
+tasks 2
+# proc start emissions...
+0 2 0
+0 5 2
+)";
+  const ChainSchedule s = parse_chain_schedule(text);
+  ASSERT_EQ(s.tasks.size(), 2u);
+  EXPECT_EQ(s.tasks[1].start, 5);
+  EXPECT_TRUE(check_feasibility(s).ok());
+}
+
+TEST(ScheduleIo, LoadsInfeasibleSchedulesForInspection) {
+  // Structural parsing succeeds even when the schedule is semantically
+  // broken — validation is a separate concern.
+  const std::string text = "chain_schedule\nchain 1\n2 3\ntasks 2\n0 2 0\n0 2 1\n";
+  const ChainSchedule s = parse_chain_schedule(text);
+  EXPECT_EQ(s.tasks.size(), 2u);
+  EXPECT_FALSE(check_feasibility(s).ok());
+}
+
+TEST(ScheduleIo, RejectsStructuralErrors) {
+  // Wrong header.
+  EXPECT_THROW(parse_chain_schedule("spider_schedule\n"), std::invalid_argument);
+  // Destination outside the platform.
+  EXPECT_THROW(parse_chain_schedule("chain_schedule\nchain 1\n2 3\ntasks 1\n4 2 0\n"),
+               std::invalid_argument);
+  // Truncated task line.
+  EXPECT_THROW(parse_chain_schedule("chain_schedule\nchain 1\n2 3\ntasks 1\n0 2\n"),
+               std::invalid_argument);
+  // Trailing garbage.
+  EXPECT_THROW(parse_chain_schedule("chain_schedule\nchain 1\n2 3\ntasks 1\n0 2 0\nextra"),
+               std::invalid_argument);
+  // Bad leg index in spider schedules.
+  EXPECT_THROW(parse_spider_schedule(
+                   "spider_schedule\nspider 1\nleg 1\n2 3\ntasks 1\n3 0 2 0\n"),
+               std::invalid_argument);
+}
+
+TEST(ScheduleIo, EmptySchedulesRoundTrip) {
+  const Chain chain = Chain::from_vectors({1}, {1});
+  ChainSchedule empty{chain, {}};
+  const ChainSchedule parsed = parse_chain_schedule(write_schedule(empty));
+  EXPECT_TRUE(parsed.tasks.empty());
+  EXPECT_EQ(parsed.chain, chain);
+}
+
+}  // namespace
+}  // namespace mst

@@ -1,0 +1,186 @@
+// Tests of the discrete-event engine, the store-and-forward simulator and
+// the static replay cross-validator.
+
+#include <gtest/gtest.h>
+
+#include "mst/baselines/asap.hpp"
+#include "mst/common/rng.hpp"
+#include "mst/core/chain_scheduler.hpp"
+#include "mst/core/spider_scheduler.hpp"
+#include "mst/platform/generator.hpp"
+#include "mst/sim/engine.hpp"
+#include "mst/sim/platform_sim.hpp"
+#include "mst/sim/static_replay.hpp"
+
+namespace mst {
+namespace {
+
+TEST(Engine, FiresInTimeOrder) {
+  sim::Engine engine;
+  std::vector<int> order;
+  engine.at(5, [&] { order.push_back(2); });
+  engine.at(1, [&] { order.push_back(1); });
+  engine.at(9, [&] { order.push_back(3); });
+  EXPECT_EQ(engine.run(), 9);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.events_processed(), 3u);
+}
+
+TEST(Engine, SameTimeFiresInScheduleOrder) {
+  sim::Engine engine;
+  std::vector<int> order;
+  engine.at(4, [&] { order.push_back(1); });
+  engine.at(4, [&] { order.push_back(2); });
+  engine.at(4, [&] { order.push_back(3); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, CallbacksMaySpawnEvents) {
+  sim::Engine engine;
+  int fired = 0;
+  engine.at(0, [&] {
+    ++fired;
+    engine.after(3, [&] {
+      ++fired;
+      engine.after(0, [&] { ++fired; });
+    });
+  });
+  EXPECT_EQ(engine.run(), 3);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  sim::Engine engine;
+  engine.at(5, [&] { EXPECT_THROW(engine.at(2, [] {}), std::invalid_argument); });
+  engine.run();
+}
+
+TEST(PlatformSim, SingleTaskTransitTime) {
+  const Chain chain = Chain::from_vectors({2, 3}, {3, 5});
+  const Tree tree = tree_from_chain(chain);
+  const sim::SimResult r = sim::simulate_dispatch(tree, {2});
+  ASSERT_EQ(r.num_tasks(), 1u);
+  EXPECT_EQ(r.tasks[0].master_emission, 0);
+  EXPECT_EQ(r.tasks[0].arrival, 5);
+  EXPECT_EQ(r.tasks[0].start, 5);
+  EXPECT_EQ(r.tasks[0].end, 10);
+  EXPECT_EQ(r.makespan, 10);
+}
+
+TEST(PlatformSim, MatchesAsapOnChainsForRandomSequences) {
+  Rng rng(404);
+  GeneratorParams params{1, 8, PlatformClass::kUniform};
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng inst = rng.split();
+    const auto p = static_cast<std::size_t>(rng.uniform(1, 5));
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 12));
+    const Chain chain = random_chain(inst, p, params);
+    std::vector<std::size_t> dests(n);
+    std::vector<NodeId> nodes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      dests[i] = static_cast<std::size_t>(rng.uniform(0, static_cast<Time>(p) - 1));
+      nodes[i] = dests[i] + 1;  // tree node ids are 1-based along the chain
+    }
+    const Time asap = asap_chain_schedule(chain, dests).makespan();
+    const sim::SimResult sim_result = sim::simulate_dispatch(tree_from_chain(chain), nodes);
+    EXPECT_EQ(sim_result.makespan, asap) << chain.describe() << " trial " << trial;
+  }
+}
+
+TEST(PlatformSim, MatchesAsapOnSpiders) {
+  Rng rng(505);
+  GeneratorParams params{1, 7, PlatformClass::kUniform};
+  for (int trial = 0; trial < 15; ++trial) {
+    Rng inst = rng.split();
+    const auto legs = static_cast<std::size_t>(rng.uniform(1, 4));
+    const Spider spider = random_spider(inst, legs, 3, params);
+    const Tree tree = tree_from_spider(spider);
+    const auto view = tree.to_spider();
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 10));
+    std::vector<SpiderDest> dests(n);
+    std::vector<NodeId> nodes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto l = static_cast<std::size_t>(rng.uniform(0, static_cast<Time>(legs) - 1));
+      const auto q = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<Time>(spider.leg(l).size()) - 1));
+      dests[i] = {l, q};
+      nodes[i] = view.node_of[l][q];
+    }
+    const Time asap = asap_spider_schedule(spider, dests).makespan();
+    const sim::SimResult sim_result = sim::simulate_dispatch(tree, nodes);
+    EXPECT_EQ(sim_result.makespan, asap) << spider.describe() << " trial " << trial;
+  }
+}
+
+TEST(PlatformSim, CountsTasksPerNode) {
+  const Chain chain = Chain::from_vectors({1, 1}, {2, 2});
+  const sim::SimResult r = sim::simulate_dispatch(tree_from_chain(chain), {1, 2, 1});
+  EXPECT_EQ(r.tasks_per_node[1], 2u);
+  EXPECT_EQ(r.tasks_per_node[2], 1u);
+}
+
+TEST(PlatformSim, RejectsMasterAsDestination) {
+  const Chain chain = Chain::from_vectors({1}, {1});
+  EXPECT_THROW(sim::simulate_dispatch(tree_from_chain(chain), {0}),
+               std::invalid_argument);
+}
+
+TEST(StaticReplay, AcceptsOptimalChainSchedules) {
+  Rng rng(606);
+  GeneratorParams params{1, 8, PlatformClass::kUniform};
+  for (int trial = 0; trial < 15; ++trial) {
+    Rng inst = rng.split();
+    const Chain chain = random_chain(inst, static_cast<std::size_t>(rng.uniform(1, 5)), params);
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 10));
+    const ChainSchedule s = ChainScheduler::schedule(chain, n);
+    const sim::ReplayResult r = sim::replay(s);
+    ASSERT_TRUE(r.ok) << chain.describe();
+    EXPECT_EQ(r.makespan, s.makespan());
+  }
+}
+
+TEST(StaticReplay, DetectsLinkConflict) {
+  const Chain chain = Chain::from_vectors({2}, {3});
+  ChainSchedule bad{chain, {ChainTask{0, 2, {0}}, ChainTask{0, 5, {1}}}};
+  const sim::ReplayResult r = sim::replay(bad);
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.conflicts.empty());
+  EXPECT_NE(r.conflicts[0].find("link 0"), std::string::npos);
+}
+
+TEST(StaticReplay, DetectsEarlyStart) {
+  const Chain chain = Chain::from_vectors({2}, {3});
+  ChainSchedule bad{chain, {ChainTask{0, 1, {0}}}};
+  const sim::ReplayResult r = sim::replay(bad);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(StaticReplay, DetectsProcessorConflict) {
+  const Chain chain = Chain::from_vectors({1, 1}, {5, 5});
+  ChainSchedule bad{chain, {ChainTask{0, 2, {0}}, ChainTask{0, 4, {1}}}};
+  const sim::ReplayResult r = sim::replay(bad);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(StaticReplay, DetectsNegativeTimes) {
+  const Chain chain = Chain::from_vectors({2}, {3});
+  ChainSchedule bad{chain, {ChainTask{0, 2, {-1}}}};
+  const sim::ReplayResult r = sim::replay(bad);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(StaticReplay, DetectsSpiderMasterConflict) {
+  const Spider spider{Chain::from_vectors({3}, {1}), Chain::from_vectors({3}, {1})};
+  SpiderSchedule bad{spider, {SpiderTask{0, 0, 3, {0}}, SpiderTask{1, 0, 4, {1}}}};
+  const sim::ReplayResult r = sim::replay(bad);
+  EXPECT_FALSE(r.ok);
+  bool mentions_master = false;
+  for (const std::string& c : r.conflicts) {
+    if (c.find("master") != std::string::npos) mentions_master = true;
+  }
+  EXPECT_TRUE(mentions_master);
+}
+
+}  // namespace
+}  // namespace mst

@@ -1,0 +1,125 @@
+// Tests of the tree ASAP estimator, tree forward greedy and the exhaustive
+// tree optimum — including the strong cross-check that the exhaustive tree
+// optimum on spider-shaped trees matches the paper's (optimal) spider
+// algorithm.
+
+#include <gtest/gtest.h>
+
+#include "mst/baselines/tree_asap.hpp"
+#include "mst/common/rng.hpp"
+#include "mst/core/chain_scheduler.hpp"
+#include "mst/core/spider_scheduler.hpp"
+#include "mst/platform/generator.hpp"
+#include "mst/sim/platform_sim.hpp"
+
+namespace mst {
+namespace {
+
+TEST(TreeAsap, SingleTaskTransit) {
+  const Tree tree = tree_from_chain(Chain::from_vectors({2, 3}, {3, 5}));
+  TreeAsapState state(tree);
+  EXPECT_EQ(state.peek_completion(1), 5);   // 2 + 3
+  EXPECT_EQ(state.peek_completion(2), 10);  // 2 + 3 + 5
+  EXPECT_EQ(state.commit(2), 10);
+}
+
+TEST(TreeAsap, PeekMatchesCommit) {
+  Rng rng(21);
+  const Tree tree = random_tree(rng, 7, {1, 8, PlatformClass::kUniform});
+  TreeAsapState state(tree);
+  for (int i = 0; i < 20; ++i) {
+    const auto dest = static_cast<NodeId>(rng.uniform(1, static_cast<Time>(tree.size()) - 1));
+    const Time predicted = state.peek_completion(dest);
+    EXPECT_EQ(state.commit(dest), predicted);
+  }
+}
+
+TEST(TreeAsap, MatchesEventSimulatorExactly) {
+  Rng rng(22);
+  GeneratorParams params{1, 8, PlatformClass::kUniform};
+  for (int trial = 0; trial < 15; ++trial) {
+    Rng inst = rng.split();
+    const Tree tree = random_tree(inst, static_cast<std::size_t>(rng.uniform(1, 10)), params);
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 12));
+    std::vector<NodeId> dests(n);
+    for (NodeId& d : dests) {
+      d = static_cast<NodeId>(rng.uniform(1, static_cast<Time>(tree.size()) - 1));
+    }
+    EXPECT_EQ(asap_tree_makespan(tree, dests), sim::simulate_dispatch(tree, dests).makespan)
+        << tree.describe() << " trial " << trial;
+  }
+}
+
+TEST(TreeAsap, RejectsMasterDestination) {
+  const Tree tree = tree_from_chain(Chain::from_vectors({1}, {1}));
+  TreeAsapState state(tree);
+  EXPECT_THROW((void)state.peek_completion(0), std::invalid_argument);
+  EXPECT_THROW(state.commit(5), std::invalid_argument);
+}
+
+TEST(TreeGreedy, MatchesChainGreedyOnChains) {
+  // On chain-shaped trees the tree greedy must behave like the chain ECT
+  // greedy (same estimates, same scan order).
+  Rng rng(23);
+  GeneratorParams params{1, 9, PlatformClass::kUniform};
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng inst = rng.split();
+    const Chain chain = random_chain(inst, static_cast<std::size_t>(rng.uniform(1, 5)), params);
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 10));
+    const Time tree_greedy = forward_greedy_tree_makespan(tree_from_chain(chain), n);
+    // Compare against the optimal as a sanity floor and the chain T∞ roof.
+    EXPECT_GE(tree_greedy, ChainScheduler::makespan(chain, n));
+    EXPECT_LE(tree_greedy, chain.t_infinity(n) * 2);
+  }
+}
+
+TEST(TreeExact, MatchesChainOptimalOnChains) {
+  Rng rng(24);
+  GeneratorParams params{1, 8, PlatformClass::kUniform};
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng inst = rng.split();
+    const Chain chain = random_chain(inst, static_cast<std::size_t>(rng.uniform(1, 3)), params);
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 6));
+    EXPECT_EQ(brute_force_tree_makespan(tree_from_chain(chain), n),
+              ChainScheduler::makespan(chain, n))
+        << chain.describe() << " n=" << n;
+  }
+}
+
+TEST(TreeExact, MatchesSpiderOptimalOnSpiders) {
+  // Theorem 3, re-verified through a completely independent search space
+  // (tree destination sequences instead of the fork reduction).
+  Rng rng(25);
+  GeneratorParams params{1, 8, PlatformClass::kUniform};
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng inst = rng.split();
+    const auto legs = static_cast<std::size_t>(rng.uniform(1, 3));
+    const Spider spider = random_spider(inst, legs, 2, params);
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 5));
+    EXPECT_EQ(brute_force_tree_makespan(tree_from_spider(spider), n),
+              SpiderScheduler::makespan(spider, n))
+        << spider.describe() << " n=" << n;
+  }
+}
+
+TEST(TreeExact, GreedyIsBoundedByExactOptimum) {
+  Rng rng(26);
+  GeneratorParams params{1, 8, PlatformClass::kUniform};
+  for (int trial = 0; trial < 6; ++trial) {
+    Rng inst = rng.split();
+    const Tree tree = random_tree(inst, static_cast<std::size_t>(rng.uniform(1, 5)), params);
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 5));
+    EXPECT_GE(forward_greedy_tree_makespan(tree, n), brute_force_tree_makespan(tree, n))
+        << tree.describe() << " n=" << n;
+  }
+}
+
+TEST(TreeExact, RejectsDegenerateInputs) {
+  Tree empty;
+  EXPECT_THROW(brute_force_tree_makespan(empty, 1), std::invalid_argument);
+  const Tree tree = tree_from_chain(Chain::from_vectors({1}, {1}));
+  EXPECT_THROW(brute_force_tree_makespan(tree, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mst

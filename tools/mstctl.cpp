@@ -1,0 +1,144 @@
+// mstctl — command-line front end to the library.
+//
+//   mstctl --mode=schedule --platform=FILE --tasks=N [--format=summary|gantt|svg|json|schedule]
+//   mstctl --mode=count    --platform=FILE --tlim=T [--cap=K]
+//   mstctl --mode=validate --schedule=FILE
+//   mstctl --mode=rate     --platform=FILE
+//   mstctl --mode=demo     [--dir=.]        # writes a sample platform file
+//
+// Platforms use the text format of mst/platform/io.hpp (chain / fork /
+// spider); schedules use mst/schedule/schedule_io.hpp.  Exit status is 0 on
+// success, 1 on validation failure, 2 on usage errors.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "mst/mst.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open file: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int run_schedule(const mst::Args& args) {
+  using namespace mst;
+  const Spider platform = parse_platform(slurp(args.get("platform", "")));
+  const auto n = static_cast<std::size_t>(args.get_int("tasks", 10));
+  const SpiderSchedule schedule = SpiderScheduler::schedule(platform, n);
+  const std::string format = args.get("format", "summary");
+
+  if (format == "summary") {
+    std::cout << "platform : " << platform.describe() << "\n";
+    std::cout << "tasks    : " << n << "\n";
+    std::cout << "makespan : " << schedule.makespan() << " (optimal)\n";
+    const auto counts = schedule.tasks_per_leg();
+    for (std::size_t l = 0; l < counts.size(); ++l) {
+      std::cout << "  leg " << l << ": " << counts[l] << " tasks\n";
+    }
+    std::cout << "lower bound    : " << spider_makespan_lower_bound(platform, n) << "\n";
+    std::cout << "steady rate    : " << spider_steady_state_rate(platform) << " tasks/unit\n";
+    std::cout << "forward greedy : " << forward_greedy_spider_makespan(platform, n) << "\n";
+    std::cout << "round robin    : " << round_robin_spider_makespan(platform, n) << "\n";
+  } else if (format == "gantt") {
+    const Time scale = std::max<Time>(1, schedule.makespan() / 100);
+    std::cout << render_gantt(schedule, scale);
+  } else if (format == "svg") {
+    std::cout << render_svg(schedule);
+  } else if (format == "json") {
+    std::cout << to_json(schedule) << "\n";
+  } else if (format == "schedule") {
+    std::cout << write_schedule(schedule);
+  } else {
+    std::cerr << "unknown --format=" << format << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int run_count(const mst::Args& args) {
+  using namespace mst;
+  const Spider platform = parse_platform(slurp(args.get("platform", "")));
+  const Time t_lim = args.get_int("tlim", 100);
+  const auto cap = static_cast<std::size_t>(args.get_int("cap", 100000));
+  std::cout << SpiderScheduler::max_tasks(platform, t_lim, cap) << "\n";
+  return 0;
+}
+
+int run_validate(const mst::Args& args) {
+  using namespace mst;
+  const std::string text = slurp(args.get("schedule", ""));
+  // Dispatch on the header keyword.
+  std::istringstream probe(text);
+  std::string kind;
+  probe >> kind;
+  FeasibilityReport report;
+  Time analytic_makespan = 0;
+  sim::ReplayResult replayed;
+  if (kind == "chain_schedule") {
+    const ChainSchedule s = parse_chain_schedule(text);
+    report = check_feasibility(s);
+    analytic_makespan = s.makespan();
+    replayed = sim::replay(s);
+  } else if (kind == "spider_schedule") {
+    const SpiderSchedule s = parse_spider_schedule(text);
+    report = check_feasibility(s);
+    analytic_makespan = s.makespan();
+    replayed = sim::replay(s);
+  } else {
+    std::cerr << "unknown schedule kind '" << kind << "'\n";
+    return 2;
+  }
+  std::cout << "analytic : " << report.summary() << "\n";
+  std::cout << "replay   : " << (replayed.ok ? "feasible" : "conflicts") << "\n";
+  std::cout << "makespan : " << analytic_makespan << "\n";
+  return report.ok() && replayed.ok ? 0 : 1;
+}
+
+int run_rate(const mst::Args& args) {
+  using namespace mst;
+  const Spider platform = parse_platform(slurp(args.get("platform", "")));
+  std::cout << "steady-state rate: " << spider_steady_state_rate(platform)
+            << " tasks/unit\n";
+  for (std::size_t l = 0; l < platform.num_legs(); ++l) {
+    std::cout << "  leg " << l << " rate: " << chain_steady_state_rate(platform.leg(l))
+              << "\n";
+  }
+  return 0;
+}
+
+int run_demo(const mst::Args& args) {
+  using namespace mst;
+  const std::string path = args.get("dir", ".") + "/demo_platform.txt";
+  const Spider demo{Chain::from_vectors({2, 3}, {3, 5}), Chain::from_vectors({4}, {2})};
+  std::ofstream out(path);
+  out << "# demo: the paper's Fig 2 chain plus a leaf pool\n" << write_spider(demo);
+  std::cout << "wrote " << path << "\n";
+  std::cout << "try: mstctl --mode=schedule --platform=" << path << " --tasks=8\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const mst::Args args(argc, argv);
+    const std::string mode = args.get("mode", "schedule");
+    if (mode == "schedule") return run_schedule(args);
+    if (mode == "count") return run_count(args);
+    if (mode == "validate") return run_validate(args);
+    if (mode == "rate") return run_rate(args);
+    if (mode == "demo") return run_demo(args);
+    std::cerr << "unknown --mode=" << mode
+              << " (expected schedule|count|validate|rate|demo)\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "mstctl: " << e.what() << "\n";
+    return 2;
+  }
+}
