@@ -2,19 +2,20 @@
 // paper claims O(n·p²) for the chain algorithm (§3) and a polynomial below
 // O(n²·p²) for the spider algorithm (Theorem 2).  This harness times the
 // implementations over geometric sweeps and fits log-log slopes: the chain
-// exponent in n must be ~1 and in p ~<=2.
+// exponent in n must be ~1 and in p ~<=2.  Solves dispatch through the
+// algorithm registry, so the measured path is the one the CLI and the other
+// experiments exercise.
 
 #include <chrono>
 #include <functional>
 #include <iostream>
 #include <vector>
 
+#include "mst/api/registry.hpp"
 #include "mst/common/cli.hpp"
 #include "mst/common/rng.hpp"
 #include "mst/common/stats.hpp"
 #include "mst/common/table.hpp"
-#include "mst/core/chain_scheduler.hpp"
-#include "mst/core/spider_scheduler.hpp"
 #include "mst/platform/generator.hpp"
 
 namespace {
@@ -46,12 +47,12 @@ int main(int argc, char** argv) {
   {
     Table table({"n (p=16)", "time [us]", "us per task"});
     Rng rng(0xA11CE);
-    const Chain chain = random_chain(rng, 16, params);
+    const api::Platform chain = random_chain(rng, 16, params);
     std::vector<double> xs;
     std::vector<double> ys;
     for (std::size_t n = 128; n <= 8192; n *= 2) {
       const double us =
-          time_best_of(reps, [&] { (void)ChainScheduler::schedule(chain, n); });
+          time_best_of(reps, [&] { (void)api::registry().solve(chain, "optimal", n); });
       table.row().cell(n).cell(us, 1).cell(us / static_cast<double>(n), 4);
       xs.push_back(static_cast<double>(n));
       ys.push_back(us);
@@ -68,9 +69,9 @@ int main(int argc, char** argv) {
     std::vector<double> ys;
     for (std::size_t p = 4; p <= 256; p *= 2) {
       Rng rng(0xB0B + p);
-      const Chain chain = random_chain(rng, p, params);
+      const api::Platform chain = random_chain(rng, p, params);
       const double us =
-          time_best_of(reps, [&] { (void)ChainScheduler::schedule(chain, 512); });
+          time_best_of(reps, [&] { (void)api::registry().solve(chain, "optimal", 512); });
       table.row().cell(p).cell(us, 1);
       xs.push_back(static_cast<double>(p));
       ys.push_back(us);
@@ -88,10 +89,10 @@ int main(int argc, char** argv) {
     Rng rng(0x5317);
     std::vector<Chain> legs;
     for (int l = 0; l < 6; ++l) legs.push_back(random_chain(rng, 3, params));
-    const Spider spider(legs);
+    const api::Platform spider = Spider(legs);
     for (std::size_t n = 32; n <= 1024; n *= 2) {
       const double us =
-          time_best_of(reps, [&] { (void)SpiderScheduler::schedule(spider, n); });
+          time_best_of(reps, [&] { (void)api::registry().solve(spider, "optimal", n); });
       table.row().cell(n).cell(us, 1);
       xs.push_back(static_cast<double>(n));
       ys.push_back(us);

@@ -1,0 +1,534 @@
+#include "mst/api/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "mst/baselines/asap.hpp"
+#include "mst/baselines/bounds.hpp"
+#include "mst/baselines/brute_force.hpp"
+#include "mst/baselines/forward_greedy.hpp"
+#include "mst/baselines/periodic.hpp"
+#include "mst/baselines/round_robin.hpp"
+#include "mst/baselines/single_node.hpp"
+#include "mst/baselines/tree_asap.hpp"
+#include "mst/core/chain_scheduler.hpp"
+#include "mst/core/fork_scheduler.hpp"
+#include "mst/core/spider_scheduler.hpp"
+#include "mst/heuristics/local_search.hpp"
+#include "mst/heuristics/tree_schedule.hpp"
+#include "mst/sim/online.hpp"
+#include "mst/sim/platform_sim.hpp"
+
+namespace mst::api {
+
+// ---------------------------------------------------------------------------
+// Platforms
+
+std::string to_string(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::kChain: return "chain";
+    case PlatformKind::kFork: return "fork";
+    case PlatformKind::kSpider: return "spider";
+    case PlatformKind::kTree: return "tree";
+  }
+  return "?";
+}
+
+std::optional<PlatformKind> platform_kind_from(std::string_view name) {
+  for (PlatformKind kind : all_platform_kinds()) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+const std::vector<PlatformKind>& all_platform_kinds() {
+  static const std::vector<PlatformKind> kinds{PlatformKind::kChain, PlatformKind::kFork,
+                                              PlatformKind::kSpider, PlatformKind::kTree};
+  return kinds;
+}
+
+PlatformKind kind_of(const Platform& platform) {
+  switch (platform.index()) {
+    case 0: return PlatformKind::kChain;
+    case 1: return PlatformKind::kFork;
+    case 2: return PlatformKind::kSpider;
+    default: return PlatformKind::kTree;
+  }
+}
+
+std::string describe(const Platform& platform) {
+  return std::visit([](const auto& p) { return p.describe(); }, platform);
+}
+
+std::size_t num_processors(const Platform& platform) {
+  if (const auto* chain = std::get_if<Chain>(&platform)) return chain->size();
+  if (const auto* fork = std::get_if<Fork>(&platform)) return fork->size();
+  if (const auto* spider = std::get_if<Spider>(&platform)) return spider->num_processors();
+  return std::get<Tree>(platform).num_slaves();
+}
+
+namespace {
+
+// Alternative extraction with an error message naming the algorithm, so a
+// mismatched dispatch reads "optimal: expected a chain platform" instead of
+// a bare bad_variant_access.
+template <typename T>
+const T& expect(const Platform& platform, const char* algorithm, const char* kind_name) {
+  const T* p = std::get_if<T>(&platform);
+  if (p == nullptr) {
+    throw std::invalid_argument(std::string(algorithm) + ": expected a " + kind_name +
+                                " platform, got " + to_string(kind_of(platform)));
+  }
+  return *p;
+}
+
+const Chain& expect_chain(const Platform& p, const char* a) { return expect<Chain>(p, a, "chain"); }
+const Fork& expect_fork(const Platform& p, const char* a) { return expect<Fork>(p, a, "fork"); }
+const Spider& expect_spider(const Platform& p, const char* a) {
+  return expect<Spider>(p, a, "spider");
+}
+const Tree& expect_tree(const Platform& p, const char* a) { return expect<Tree>(p, a, "tree"); }
+
+void require_tasks(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("solve: need at least one task");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Results
+
+double SolveResult::throughput() const {
+  if (makespan <= 0) return 0.0;
+  return static_cast<double>(tasks) / static_cast<double>(makespan);
+}
+
+namespace {
+
+void check_task_count(const SolveResult& result, std::size_t scheduled, FeasibilityReport& out) {
+  if (scheduled != result.tasks) {
+    std::ostringstream os;
+    os << "task count mismatch: result claims " << result.tasks << " tasks, schedule holds "
+       << scheduled;
+    out.add_violation(os.str());
+  }
+}
+
+void check_makespan(const SolveResult& result, Time actual, bool exact, FeasibilityReport& out) {
+  const bool bad = exact ? actual != result.makespan : actual > result.makespan;
+  if (bad) {
+    std::ostringstream os;
+    os << "makespan mismatch: result claims " << result.makespan << ", schedule "
+       << (exact ? "has" : "replays to") << " " << actual;
+    out.add_violation(os.str());
+  }
+}
+
+}  // namespace
+
+FeasibilityReport check_feasibility(const SolveResult& result) {
+  FeasibilityReport report;
+  if (const auto* s = std::get_if<ChainSchedule>(&result.schedule)) {
+    report = mst::check_feasibility(*s);
+    check_task_count(result, s->num_tasks(), report);
+    check_makespan(result, s->makespan(), /*exact=*/true, report);
+  } else if (const auto* s = std::get_if<ForkSchedule>(&result.schedule)) {
+    report = mst::check_feasibility(*s);
+    check_task_count(result, s->num_tasks(), report);
+    check_makespan(result, s->makespan(), /*exact=*/true, report);
+  } else if (const auto* s = std::get_if<SpiderSchedule>(&result.schedule)) {
+    report = mst::check_feasibility(*s);
+    check_task_count(result, s->num_tasks(), report);
+    check_makespan(result, s->makespan(), /*exact=*/true, report);
+  } else if (const auto* d = std::get_if<TreeDispatch>(&result.schedule)) {
+    for (NodeId dest : d->dests) {
+      if (dest == 0 || dest >= d->tree.size()) {
+        std::ostringstream os;
+        os << "dispatch destination " << dest << " is not a slave of the tree";
+        report.add_violation(os.str());
+      }
+    }
+    if (report.ok()) {
+      // No link-level timing to verify — replay the plan operationally.  The
+      // replay may only move work earlier (eager forwarding), so the
+      // reported makespan must be an upper bound on it.
+      const sim::SimResult replay = sim::simulate_dispatch(d->tree, d->dests);
+      check_task_count(result, replay.num_tasks(), report);
+      check_makespan(result, replay.makespan, /*exact=*/false, report);
+    }
+  } else {
+    report.add_violation("algorithm reported a makespan without a materialized schedule");
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Registry mechanics
+
+namespace {
+
+/// Adapts a callable to the Scheduler interface (used by the lambda overload
+/// of Registry::add and by every built-in registration below).
+class FunctionScheduler final : public Scheduler {
+ public:
+  explicit FunctionScheduler(std::function<SolveResult(const Platform&, std::size_t)> fn)
+      : fn_(std::move(fn)) {}
+
+  [[nodiscard]] SolveResult solve(const Platform& platform, std::size_t n) const override {
+    return fn_(platform, n);
+  }
+
+ private:
+  std::function<SolveResult(const Platform&, std::size_t)> fn_;
+};
+
+}  // namespace
+
+void Registry::add(AlgorithmInfo info, std::shared_ptr<const Scheduler> scheduler) {
+  if (info.name.empty()) throw std::invalid_argument("registry: algorithm name must be non-empty");
+  if (scheduler == nullptr) throw std::invalid_argument("registry: null scheduler");
+  if (find(info.kind, info.name) != nullptr) {
+    throw std::invalid_argument("registry: duplicate algorithm (" + to_string(info.kind) + ", " +
+                                info.name + ")");
+  }
+  entries_.push_back(Entry{std::move(info), std::move(scheduler)});
+}
+
+void Registry::add(AlgorithmInfo info,
+                   std::function<SolveResult(const Platform&, std::size_t)> fn) {
+  add(std::move(info), std::make_shared<const FunctionScheduler>(std::move(fn)));
+}
+
+const Scheduler* Registry::find(PlatformKind kind, std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.info.kind == kind && e.info.name == name) return e.scheduler.get();
+  }
+  return nullptr;
+}
+
+const AlgorithmInfo* Registry::info(PlatformKind kind, std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.info.kind == kind && e.info.name == name) return &e.info;
+  }
+  return nullptr;
+}
+
+std::vector<AlgorithmInfo> Registry::list() const {
+  std::vector<AlgorithmInfo> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.info);
+  return out;
+}
+
+std::vector<AlgorithmInfo> Registry::list(PlatformKind kind) const {
+  std::vector<AlgorithmInfo> out;
+  for (const Entry& e : entries_) {
+    if (e.info.kind == kind) out.push_back(e.info);
+  }
+  return out;
+}
+
+std::vector<std::string> Registry::names(PlatformKind kind) const {
+  std::vector<std::string> out;
+  for (const Entry& e : entries_) {
+    if (e.info.kind == kind) out.push_back(e.info.name);
+  }
+  return out;
+}
+
+SolveResult Registry::solve(const Platform& platform, std::string_view algorithm,
+                            std::size_t n) const {
+  const PlatformKind kind = kind_of(platform);
+  const Scheduler* scheduler = find(kind, algorithm);
+  if (scheduler == nullptr) {
+    std::ostringstream os;
+    os << "no algorithm '" << algorithm << "' for " << to_string(kind) << " platforms; known:";
+    for (const std::string& name : names(kind)) os << " " << name;
+    throw std::invalid_argument(os.str());
+  }
+  return scheduler->solve(platform, n);
+}
+
+// ---------------------------------------------------------------------------
+// Built-in algorithms
+
+namespace {
+
+SolveResult make_result(const char* algorithm, PlatformKind kind, std::size_t tasks,
+                        Time makespan, Time lower_bound, bool optimal, AnySchedule schedule) {
+  SolveResult result;
+  result.algorithm = algorithm;
+  result.kind = kind;
+  result.tasks = tasks;
+  result.makespan = makespan;
+  result.lower_bound = lower_bound;
+  result.optimal = optimal;
+  result.schedule = std::move(schedule);
+  return result;
+}
+
+// NB: makespan and bound are computed into locals before the `make_result`
+// call — argument evaluation order is unspecified, so `schedule.makespan()`
+// must not race the `std::move(schedule)` argument.
+SolveResult chain_result(const char* algorithm, ChainSchedule schedule, std::size_t n,
+                         bool optimal) {
+  const Time lb = chain_makespan_lower_bound(schedule.chain, n);
+  const Time makespan = schedule.makespan();
+  return make_result(algorithm, PlatformKind::kChain, n, makespan, lb, optimal,
+                     std::move(schedule));
+}
+
+SolveResult spider_result(const char* algorithm, PlatformKind kind, SpiderSchedule schedule,
+                          std::size_t n, bool optimal) {
+  const Time lb = spider_makespan_lower_bound(schedule.spider, n);
+  const Time makespan = schedule.makespan();
+  return make_result(algorithm, kind, n, makespan, lb, optimal, std::move(schedule));
+}
+
+SolveResult tree_result(const char* algorithm, const Tree& tree, std::vector<NodeId> dests,
+                        Time makespan, std::size_t n) {
+  TreeDispatch dispatch{tree, std::move(dests)};
+  return make_result(algorithm, PlatformKind::kTree, n, makespan, /*lower_bound=*/0,
+                     /*optimal=*/false, std::move(dispatch));
+}
+
+/// The bandwidth-centric baseline as a makespan-form scheduler: dispatch the
+/// first `n` destinations of the repeated periodic block with ASAP timing.
+ChainSchedule periodic_prefix_schedule(const Chain& chain, std::size_t n) {
+  const PeriodicPattern pattern = chain_periodic_pattern(chain);
+  std::vector<std::size_t> dests;
+  dests.reserve(n);
+  while (dests.size() < n) {
+    for (std::size_t dest : pattern.block) {
+      if (dests.size() == n) break;
+      dests.push_back(dest);
+    }
+  }
+  return asap_chain_schedule(chain, dests);
+}
+
+/// Makespan form of the paper's §6 fork greedy: smallest window whose greedy
+/// selection reaches `n` tasks, found by binary search (the count is
+/// monotone in the window for the ascending-`c` greedy) with a doubling
+/// safety net, then materialized.
+ForkSchedule fork_greedy_schedule(const Fork& fork, std::size_t n) {
+  Time lo = 1;
+  Time hi = single_node_spider_makespan(Spider::from_fork(fork), n);
+  while (ForkScheduler::greedy_max_tasks(fork, hi, n) < n) hi *= 2;
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (ForkScheduler::greedy_max_tasks(fork, mid, n) >= n) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  ForkSchedule schedule = ForkScheduler::greedy_schedule_within(fork, lo, n);
+  while (schedule.num_tasks() < n) {
+    lo *= 2;
+    schedule = ForkScheduler::greedy_schedule_within(fork, lo, n);
+  }
+  return schedule;
+}
+
+SolveResult solve_tree_online(const Tree& tree, std::size_t n, sim::OnlinePolicy policy,
+                              const char* algorithm) {
+  const sim::SimResult run = sim::simulate_online(tree, n, policy, /*seed=*/1);
+  std::vector<NodeId> dests;
+  dests.reserve(run.tasks.size());
+  for (const sim::SimTask& task : run.tasks) dests.push_back(task.dest);
+  return tree_result(algorithm, tree, std::move(dests), run.makespan, n);
+}
+
+void register_chain_algorithms(Registry& r) {
+  const PlatformKind k = PlatformKind::kChain;
+  r.add({k, "optimal", "backward construction, Theorem 1 (O(n*p^2))", /*optimal=*/true},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Chain& chain = expect_chain(p, "optimal");
+          return chain_result("optimal", ChainScheduler::schedule(chain, n), n, true);
+        });
+  r.add({k, "forward-greedy", "earliest-completion-time list scheduling"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Chain& chain = expect_chain(p, "forward-greedy");
+          return chain_result("forward-greedy", forward_greedy_chain(chain, n), n, false);
+        });
+  r.add({k, "round-robin", "heterogeneity-blind cyclic dispatch"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Chain& chain = expect_chain(p, "round-robin");
+          return chain_result("round-robin", round_robin_chain(chain, n), n, false);
+        });
+  r.add({k, "single-node", "best single-processor pipeline (generalized T-infinity)"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Chain& chain = expect_chain(p, "single-node");
+          return chain_result("single-node", single_node_chain(chain, n), n, false);
+        });
+  r.add({k, "periodic", "bandwidth-centric periodic pattern, ASAP prefix"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Chain& chain = expect_chain(p, "periodic");
+          return chain_result("periodic", periodic_prefix_schedule(chain, n), n, false);
+        });
+  r.add({k, "brute-force", "exhaustive destination-sequence search", /*optimal=*/true,
+         /*exponential=*/true},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Chain& chain = expect_chain(p, "brute-force");
+          return chain_result("brute-force", brute_force_chain_schedule(chain, n), n, true);
+        });
+}
+
+void register_fork_algorithms(Registry& r) {
+  const PlatformKind k = PlatformKind::kFork;
+  r.add({k, "optimal", "Moore-Hodgson virtual-node selection, Fig 6", /*optimal=*/true},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Fork& fork = expect_fork(p, "optimal");
+          ForkSchedule schedule = ForkScheduler::schedule(fork, n);
+          const Time lb = spider_makespan_lower_bound(Spider::from_fork(fork), n);
+          const Time makespan = schedule.makespan();
+          return make_result("optimal", k, n, makespan, lb, true, std::move(schedule));
+        });
+  r.add({k, "greedy", "the paper's ascending-c greedy (Beaumont et al.)"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Fork& fork = expect_fork(p, "greedy");
+          ForkSchedule schedule = fork_greedy_schedule(fork, n);
+          const Time lb = spider_makespan_lower_bound(Spider::from_fork(fork), n);
+          const Time makespan = schedule.makespan();
+          return make_result("greedy", k, n, makespan, lb, false, std::move(schedule));
+        });
+  r.add({k, "forward-greedy", "earliest-completion-time list scheduling"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Fork& fork = expect_fork(p, "forward-greedy");
+          return spider_result("forward-greedy", k,
+                               forward_greedy_spider(Spider::from_fork(fork), n), n, false);
+        });
+  r.add({k, "round-robin", "heterogeneity-blind cyclic dispatch"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Fork& fork = expect_fork(p, "round-robin");
+          return spider_result("round-robin", k, round_robin_spider(Spider::from_fork(fork), n),
+                               n, false);
+        });
+  r.add({k, "single-node", "best single-slave pipeline"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Fork& fork = expect_fork(p, "single-node");
+          return spider_result("single-node", k, single_node_spider(Spider::from_fork(fork), n),
+                               n, false);
+        });
+  r.add({k, "brute-force", "exhaustive destination-sequence search", /*optimal=*/true,
+         /*exponential=*/true},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Fork& fork = expect_fork(p, "brute-force");
+          return spider_result("brute-force", k,
+                               brute_force_spider_schedule(Spider::from_fork(fork), n), n, true);
+        });
+}
+
+void register_spider_algorithms(Registry& r) {
+  const PlatformKind k = PlatformKind::kSpider;
+  r.add({k, "optimal", "per-leg decision form + Moore-Hodgson, Theorem 3", /*optimal=*/true},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Spider& spider = expect_spider(p, "optimal");
+          return spider_result("optimal", k, SpiderScheduler::schedule(spider, n), n, true);
+        });
+  r.add({k, "forward-greedy", "earliest-completion-time list scheduling"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Spider& spider = expect_spider(p, "forward-greedy");
+          return spider_result("forward-greedy", k, forward_greedy_spider(spider, n), n, false);
+        });
+  r.add({k, "round-robin", "heterogeneity-blind cyclic dispatch"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Spider& spider = expect_spider(p, "round-robin");
+          return spider_result("round-robin", k, round_robin_spider(spider, n), n, false);
+        });
+  r.add({k, "single-node", "best single-processor pipeline over all legs"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Spider& spider = expect_spider(p, "single-node");
+          return spider_result("single-node", k, single_node_spider(spider, n), n, false);
+        });
+  r.add({k, "brute-force", "exhaustive destination-sequence search", /*optimal=*/true,
+         /*exponential=*/true},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Spider& spider = expect_spider(p, "brute-force");
+          return spider_result("brute-force", k, brute_force_spider_schedule(spider, n), n, true);
+        });
+}
+
+void register_tree_algorithms(Registry& r) {
+  const PlatformKind k = PlatformKind::kTree;
+  r.add({k, "spider-cover", "optimal plan on the best-rate spider cover (section 8)"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Tree& tree = expect_tree(p, "spider-cover");
+          TreeScheduleResult plan = schedule_tree_via_cover(tree, n);
+          return tree_result("spider-cover", tree, std::move(plan.destinations), plan.makespan,
+                             n);
+        });
+  r.add({k, "forward-greedy", "earliest-completion-time dispatch on the full tree"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Tree& tree = expect_tree(p, "forward-greedy");
+          std::vector<NodeId> dests = forward_greedy_tree(tree, n);
+          const Time makespan = asap_tree_makespan(tree, dests);
+          return tree_result("forward-greedy", tree, std::move(dests), makespan, n);
+        });
+  r.add({k, "local-search", "greedy start + reassign/swap descent"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          const Tree& tree = expect_tree(p, "local-search");
+          LocalSearchResult improved = local_search_tree(tree, n);
+          return tree_result("local-search", tree, std::move(improved.dests), improved.makespan,
+                             n);
+        });
+  r.add({k, "online-ect", "simulated online earliest-completion policy"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          return solve_tree_online(expect_tree(p, "online-ect"), n,
+                                   sim::OnlinePolicy::kEarliestCompletion, "online-ect");
+        });
+  r.add({k, "online-jsq", "simulated online join-shortest-queue policy"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          return solve_tree_online(expect_tree(p, "online-jsq"), n,
+                                   sim::OnlinePolicy::kJoinShortestQueue, "online-jsq");
+        });
+  r.add({k, "online-round-robin", "simulated online round-robin policy"},
+        [](const Platform& p, std::size_t n) {
+          require_tasks(n);
+          return solve_tree_online(expect_tree(p, "online-round-robin"), n,
+                                   sim::OnlinePolicy::kRoundRobin, "online-round-robin");
+        });
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry* shared = [] {
+    auto* r = new Registry();
+    register_chain_algorithms(*r);
+    register_fork_algorithms(*r);
+    register_spider_algorithms(*r);
+    register_tree_algorithms(*r);
+    return r;
+  }();
+  return *shared;
+}
+
+Registry& registry() { return Registry::instance(); }
+
+}  // namespace mst::api

@@ -1,0 +1,174 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "mst/common/time.hpp"
+#include "mst/platform/chain.hpp"
+#include "mst/platform/fork.hpp"
+#include "mst/platform/spider.hpp"
+#include "mst/platform/tree.hpp"
+#include "mst/schedule/chain_schedule.hpp"
+#include "mst/schedule/feasibility.hpp"
+#include "mst/schedule/fork_schedule.hpp"
+#include "mst/schedule/spider_schedule.hpp"
+
+/// \file registry.hpp
+/// Uniform dispatch over every scheduler in the library.
+///
+/// The core algorithms (`ChainScheduler`, `SpiderScheduler`, ...), the
+/// baselines and the tree heuristics each grew their own entry point; the
+/// CLI, the experiment drivers and the tests all hard-coded those calls.
+/// This module puts one API in front of all of them:
+///
+///     const api::SolveResult r =
+///         api::registry().solve(platform, "forward-greedy", n);
+///
+/// Algorithms are keyed by `(PlatformKind, name)` and enumerable, so a new
+/// algorithm becomes visible to `mstctl --mode=list`, the experiment sweeps
+/// and the registry test through a single `add()` call — no per-consumer
+/// wiring.
+
+namespace mst::api {
+
+// ---------------------------------------------------------------------------
+// Platforms
+
+/// Topology families the library schedules on.
+enum class PlatformKind { kChain, kFork, kSpider, kTree };
+
+std::string to_string(PlatformKind kind);
+
+/// Inverse of `to_string`; empty optional on unknown names.
+std::optional<PlatformKind> platform_kind_from(std::string_view name);
+
+/// All kinds, for sweep loops.
+const std::vector<PlatformKind>& all_platform_kinds();
+
+/// A platform of any topology.  Algorithms receive this and throw
+/// `std::invalid_argument` when handed the wrong alternative.
+using Platform = std::variant<Chain, Fork, Spider, Tree>;
+
+PlatformKind kind_of(const Platform& platform);
+std::string describe(const Platform& platform);
+
+/// Total number of slave processors, whatever the topology.
+std::size_t num_processors(const Platform& platform);
+
+// ---------------------------------------------------------------------------
+// Results
+
+/// Dispatch plan on a tree: the destination sequence in master-emission
+/// order.  Tree heuristics do not produce link-level timing vectors, so the
+/// plan is validated by operational replay (`sim::simulate_dispatch`).
+struct TreeDispatch {
+  Tree tree;
+  std::vector<NodeId> dests;
+};
+
+/// Whichever concrete schedule the algorithm produced.  `monostate` means
+/// the algorithm reports a makespan without materializing placements.
+using AnySchedule =
+    std::variant<std::monostate, ChainSchedule, ForkSchedule, SpiderSchedule, TreeDispatch>;
+
+/// Uniform outcome of `Scheduler::solve`: the schedule plus the metrics the
+/// experiment tables need.
+struct SolveResult {
+  std::string algorithm;    ///< registry name that produced this
+  PlatformKind kind = PlatformKind::kChain;
+  std::size_t tasks = 0;    ///< tasks actually scheduled (== n requested)
+  Time makespan = 0;
+  Time lower_bound = 0;     ///< steady-state makespan lower bound (0: none)
+  bool optimal = false;     ///< guaranteed optimal by construction
+  AnySchedule schedule;
+
+  /// Tasks per unit time, `tasks / makespan` (0 for empty schedules).
+  [[nodiscard]] double throughput() const;
+};
+
+/// Validates the materialized schedule: Definition 1 conditions for chain /
+/// fork / spider payloads, operational replay for tree dispatch plans
+/// (replayed makespan must not exceed the reported one), and task-count
+/// consistency.  A `monostate` payload yields an "unchecked" violation so
+/// callers never mistake makespan-only results for verified ones.
+FeasibilityReport check_feasibility(const SolveResult& result);
+
+// ---------------------------------------------------------------------------
+// Schedulers and the registry
+
+/// Polymorphic scheduling algorithm: pure function of (platform, n).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Schedules exactly `n >= 1` tasks.  Throws `std::invalid_argument` if
+  /// the platform alternative does not match the algorithm's kind.
+  [[nodiscard]] virtual SolveResult solve(const Platform& platform, std::size_t n) const = 0;
+};
+
+/// Metadata shown by `mstctl --mode=list` and used by sweeps to filter.
+struct AlgorithmInfo {
+  PlatformKind kind = PlatformKind::kChain;
+  std::string name;       ///< unique within the kind, e.g. "forward-greedy"
+  std::string summary;    ///< one-line description
+  bool optimal = false;   ///< produces provably optimal makespans
+  bool exponential = false;  ///< worst-case exponential (brute force) —
+                             ///< sweeps over large `n` should skip these
+};
+
+/// The algorithm table.  `registry()` returns the process-wide instance with
+/// every built-in scheduler pre-registered; tests may also construct empty
+/// registries of their own.
+class Registry {
+ public:
+  /// An empty registry (no built-ins).
+  Registry() = default;
+
+  /// The process-wide registry, built-ins registered on first use.
+  static Registry& instance();
+
+  /// Registers an algorithm.  Throws `std::invalid_argument` if
+  /// `(info.kind, info.name)` is already taken or the name is empty.
+  void add(AlgorithmInfo info, std::shared_ptr<const Scheduler> scheduler);
+
+  /// One-line registration from a callable — this is the extension point:
+  ///   registry().add(info, [](const Platform& p, std::size_t n) {...});
+  void add(AlgorithmInfo info, std::function<SolveResult(const Platform&, std::size_t)> fn);
+
+  /// Lookup; null when absent.
+  [[nodiscard]] const Scheduler* find(PlatformKind kind, std::string_view name) const;
+  [[nodiscard]] const AlgorithmInfo* info(PlatformKind kind, std::string_view name) const;
+
+  /// All registered algorithms, in registration order.
+  [[nodiscard]] std::vector<AlgorithmInfo> list() const;
+  /// Algorithms for one kind, in registration order.
+  [[nodiscard]] std::vector<AlgorithmInfo> list(PlatformKind kind) const;
+  /// Names for one kind, in registration order.
+  [[nodiscard]] std::vector<std::string> names(PlatformKind kind) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Dispatch: resolves `(kind_of(platform), algorithm)` and solves.  Throws
+  /// `std::invalid_argument` naming the known algorithms when the lookup
+  /// fails.
+  [[nodiscard]] SolveResult solve(const Platform& platform, std::string_view algorithm,
+                                  std::size_t n) const;
+
+ private:
+  struct Entry {
+    AlgorithmInfo info;
+    std::shared_ptr<const Scheduler> scheduler;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Shorthand for `Registry::instance()`.
+Registry& registry();
+
+}  // namespace mst::api

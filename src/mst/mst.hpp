@@ -55,6 +55,8 @@
 #include "mst/analysis/robustness.hpp"
 #include "mst/analysis/throughput.hpp"
 
+#include "mst/api/registry.hpp"
+
 #include "mst/heuristics/local_search.hpp"
 #include "mst/heuristics/tree_cover.hpp"
 #include "mst/heuristics/tree_schedule.hpp"

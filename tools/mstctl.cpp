@@ -1,14 +1,19 @@
 // mstctl — command-line front end to the library.
 //
+//   mstctl --mode=list     [--kind=chain|fork|spider|tree]
+//   mstctl --mode=solve    --platform=FILE --algo=NAME|all --tasks=N
 //   mstctl --mode=schedule --platform=FILE --tasks=N [--format=summary|gantt|svg|json|schedule]
 //   mstctl --mode=count    --platform=FILE --tlim=T [--cap=K]
 //   mstctl --mode=validate --schedule=FILE
 //   mstctl --mode=rate     --platform=FILE
 //   mstctl --mode=demo     [--dir=.]        # writes a sample platform file
 //
-// Platforms use the text format of mst/platform/io.hpp (chain / fork /
-// spider); schedules use mst/schedule/schedule_io.hpp.  Exit status is 0 on
-// success, 1 on validation failure, 2 on usage errors.
+// Scheduling algorithms are resolved through the registry
+// (mst/api/registry.hpp): `list` enumerates every registered
+// (platform kind, algorithm) pair and `solve` dispatches any of them by
+// name.  Platforms use the text format of mst/platform/io.hpp (chain /
+// fork / spider); schedules use mst/schedule/schedule_io.hpp.  Exit status
+// is 0 on success, 1 on validation failure, 2 on usage errors.
 
 #include <fstream>
 #include <iostream>
@@ -26,25 +31,116 @@ std::string slurp(const std::string& path) {
   return os.str();
 }
 
+/// Parses a platform file into the registry's variant, keyed by the header
+/// keyword, so chain files dispatch to chain algorithms (not to the one-leg
+/// spider embedding `parse_platform` would produce).
+mst::api::Platform load_platform(const std::string& path) {
+  const std::string text = slurp(path);
+  std::istringstream probe(text);
+  std::string kind;
+  while (probe >> kind && kind.front() == '#') probe.ignore(1 << 20, '\n');
+  if (kind == "chain") return mst::parse_chain(text);
+  if (kind == "fork") return mst::parse_fork(text);
+  if (kind == "spider") return mst::parse_spider(text);
+  throw std::invalid_argument("unknown platform kind '" + kind + "' in " + path);
+}
+
+int run_list(const mst::Args& args) {
+  using namespace mst;
+  const std::string filter = args.get("kind", "");
+  if (!filter.empty() && !api::platform_kind_from(filter)) {
+    std::cerr << "unknown --kind=" << filter << " (expected chain|fork|spider|tree)\n";
+    return 2;
+  }
+  Table table({"kind", "algorithm", "optimal", "summary"});
+  for (const api::AlgorithmInfo& info : api::registry().list()) {
+    if (!filter.empty() && to_string(info.kind) != filter) continue;
+    table.row()
+        .cell(to_string(info.kind))
+        .cell(info.name)
+        .cell(info.optimal ? "yes" : "no")
+        .cell(info.summary + (info.exponential ? " [exponential]" : ""));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+std::size_t task_count(const mst::Args& args) {
+  const std::int64_t n = args.get_int("tasks", 10);
+  if (n < 1) throw std::invalid_argument("--tasks must be >= 1");
+  return static_cast<std::size_t>(n);
+}
+
+int run_solve(const mst::Args& args) {
+  using namespace mst;
+  const api::Platform platform = load_platform(args.get("platform", ""));
+  const api::PlatformKind kind = api::kind_of(platform);
+  const std::size_t n = task_count(args);
+  const std::string algo = args.get("algo", "all");
+
+  std::cout << "platform : " << api::describe(platform) << "\n";
+  std::cout << "tasks    : " << n << "\n\n";
+
+  std::vector<api::AlgorithmInfo> selected;
+  if (algo == "all") {
+    for (const api::AlgorithmInfo& info : api::registry().list(kind)) {
+      // Brute force is exponential in n; only sweep it on small instances.
+      if (info.exponential && n > 10) {
+        std::cout << "(skipping " << info.name << ": exponential, tasks > 10)\n";
+        continue;
+      }
+      selected.push_back(info);
+    }
+  } else {
+    const api::AlgorithmInfo* info = api::registry().info(kind, algo);
+    if (info == nullptr) {
+      std::cerr << "no algorithm '" << algo << "' for " << to_string(kind)
+                << " platforms; see --mode=list\n";
+      return 2;
+    }
+    selected.push_back(*info);
+  }
+
+  Table table({"algorithm", "optimal", "makespan", "lower bound", "throughput", "feasible"});
+  bool all_feasible = true;
+  for (const api::AlgorithmInfo& info : selected) {
+    const api::SolveResult result = api::registry().solve(platform, info.name, n);
+    const FeasibilityReport report = api::check_feasibility(result);
+    all_feasible = all_feasible && report.ok();
+    table.row()
+        .cell(result.algorithm)
+        .cell(result.optimal ? "yes" : "no")
+        .cell(result.makespan)
+        .cell(result.lower_bound)
+        .cell(result.throughput(), 4)
+        .cell(report.ok() ? "yes" : report.summary());
+  }
+  table.print(std::cout);
+  return all_feasible ? 0 : 1;
+}
+
 int run_schedule(const mst::Args& args) {
   using namespace mst;
   const Spider platform = parse_platform(slurp(args.get("platform", "")));
-  const auto n = static_cast<std::size_t>(args.get_int("tasks", 10));
-  const SpiderSchedule schedule = SpiderScheduler::schedule(platform, n);
+  const std::size_t n = task_count(args);
+  const api::SolveResult result = api::registry().solve(platform, "optimal", n);
+  const SpiderSchedule& schedule = std::get<SpiderSchedule>(result.schedule);
   const std::string format = args.get("format", "summary");
 
   if (format == "summary") {
     std::cout << "platform : " << platform.describe() << "\n";
     std::cout << "tasks    : " << n << "\n";
-    std::cout << "makespan : " << schedule.makespan() << " (optimal)\n";
+    std::cout << "makespan : " << result.makespan << " (optimal)\n";
     const auto counts = schedule.tasks_per_leg();
     for (std::size_t l = 0; l < counts.size(); ++l) {
       std::cout << "  leg " << l << ": " << counts[l] << " tasks\n";
     }
-    std::cout << "lower bound    : " << spider_makespan_lower_bound(platform, n) << "\n";
+    std::cout << "lower bound    : " << result.lower_bound << "\n";
     std::cout << "steady rate    : " << spider_steady_state_rate(platform) << " tasks/unit\n";
-    std::cout << "forward greedy : " << forward_greedy_spider_makespan(platform, n) << "\n";
-    std::cout << "round robin    : " << round_robin_spider_makespan(platform, n) << "\n";
+    std::cout << "forward greedy : "
+              << api::registry().solve(platform, "forward-greedy", n).makespan << "\n";
+    std::cout << "round robin    : "
+              << api::registry().solve(platform, "round-robin", n).makespan << "\n";
   } else if (format == "gantt") {
     const Time scale = std::max<Time>(1, schedule.makespan() / 100);
     std::cout << render_gantt(schedule, scale);
@@ -119,7 +215,7 @@ int run_demo(const mst::Args& args) {
   std::ofstream out(path);
   out << "# demo: the paper's Fig 2 chain plus a leaf pool\n" << write_spider(demo);
   std::cout << "wrote " << path << "\n";
-  std::cout << "try: mstctl --mode=schedule --platform=" << path << " --tasks=8\n";
+  std::cout << "try: mstctl --mode=solve --platform=" << path << " --tasks=8\n";
   return 0;
 }
 
@@ -129,13 +225,15 @@ int main(int argc, char** argv) {
   try {
     const mst::Args args(argc, argv);
     const std::string mode = args.get("mode", "schedule");
+    if (mode == "list") return run_list(args);
+    if (mode == "solve") return run_solve(args);
     if (mode == "schedule") return run_schedule(args);
     if (mode == "count") return run_count(args);
     if (mode == "validate") return run_validate(args);
     if (mode == "rate") return run_rate(args);
     if (mode == "demo") return run_demo(args);
     std::cerr << "unknown --mode=" << mode
-              << " (expected schedule|count|validate|rate|demo)\n";
+              << " (expected list|solve|schedule|count|validate|rate|demo)\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "mstctl: " << e.what() << "\n";
