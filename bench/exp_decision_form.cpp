@@ -1,14 +1,70 @@
-// TLIM: the §7 decision form.  tasks(T_lim) must be the exact inverse
-// staircase of the optimal makespan curve, for chains and spiders.
+// TLIM: the §7 decision form, exercised through the registry.  For every
+// exactly-solved family (chain, fork, spider), tasks(T_lim) must be the
+// exact inverse staircase of the optimal makespan curve, the registry's
+// native decision procedures must agree with the brute-force oracles, and
+// the makespan-inversion adapter (used by heuristic entries) must agree
+// with its own makespan form.
 
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "mst/api/registry.hpp"
 #include "mst/common/cli.hpp"
 #include "mst/common/rng.hpp"
 #include "mst/common/table.hpp"
-#include "mst/core/chain_scheduler.hpp"
-#include "mst/core/spider_scheduler.hpp"
 #include "mst/platform/generator.hpp"
+
+namespace {
+
+/// Checks the duality on one platform: for k = 1..k_max the decision form
+/// must report >= k tasks at T = makespan(k) and < k tasks just below it;
+/// for k <= oracle_max the count must equal the brute-force oracle's.
+bool check_duality(const mst::api::Platform& platform, std::size_t k_max,
+                   std::size_t oracle_max) {
+  using namespace mst;
+  api::SolveOptions fast;
+  fast.materialize = false;
+
+  std::cout << to_string(api::kind_of(platform)) << ": " << api::describe(platform) << "\n\n";
+  Table table({"k", "makespan(k)", "tasks(makespan(k))", "tasks(makespan(k)-1)", "oracle"});
+  bool consistent = true;
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    const Time makespan = api::registry().solve(platform, "optimal", k, fast).makespan;
+    const std::size_t at = api::registry().max_tasks(platform, "optimal", makespan);
+    const std::size_t below = api::registry().max_tasks(platform, "optimal", makespan - 1);
+    std::string oracle = "-";
+    if (k <= oracle_max) {
+      const std::size_t exact = api::registry().max_tasks(platform, "brute-force", makespan);
+      oracle = std::to_string(exact);
+      consistent = consistent && at == exact;
+    }
+    table.row().cell(k).cell(makespan).cell(at).cell(below).cell(oracle);
+    consistent = consistent && at >= k && below < k;
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  return consistent;
+}
+
+/// The adapter path: a heuristic entry has no native decision form, so the
+/// registry inverts its makespan form.  Inverting at exactly T =
+/// heuristic_makespan(k) must recover at least k tasks.
+bool check_adapter(const mst::api::Platform& platform, const std::string& algorithm,
+                   std::size_t k_max) {
+  using namespace mst;
+  api::SolveOptions fast;
+  fast.materialize = false;
+  bool consistent = true;
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    const Time makespan = api::registry().solve(platform, algorithm, k, fast).makespan;
+    const std::size_t at = api::registry().max_tasks(platform, algorithm, makespan);
+    consistent = consistent && at >= k;
+  }
+  return consistent;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mst;
@@ -17,44 +73,25 @@ int main(int argc, char** argv) {
 
   Rng rng(seed);
   GeneratorParams params{1, 8, PlatformClass::kUniform};
-  const Chain chain = random_chain(rng, 4, params);
-  const Spider spider = random_spider(rng, 3, 2, params);
+  const api::Platform chain = random_chain(rng, 4, params);
+  const api::Platform fork = random_fork(rng, 4, params);
+  const api::Platform spider = random_spider(rng, 3, 2, params);
 
-  std::cout << "TLIM — decision form tasks(T) vs makespan form, chain edition\n";
-  std::cout << "chain: " << chain.describe() << "\n\n";
+  std::cout << "TLIM — decision form tasks(T) vs makespan form, via the registry\n\n";
 
   constexpr std::size_t kMax = 12;
+  constexpr std::size_t kOracleMax = 7;  // brute force stays tractable here
   bool consistent = true;
-
-  {
-    std::vector<Time> makespans(kMax + 1);
-    for (std::size_t k = 1; k <= kMax; ++k) makespans[k] = ChainScheduler::makespan(chain, k);
-    Table table({"k", "makespan(k)", "tasks(makespan(k))", "tasks(makespan(k)-1)"});
-    for (std::size_t k = 1; k <= kMax; ++k) {
-      const std::size_t at = ChainScheduler::max_tasks(chain, makespans[k], kMax + 2);
-      const std::size_t below = ChainScheduler::max_tasks(chain, makespans[k] - 1, kMax + 2);
-      table.row().cell(k).cell(makespans[k]).cell(at).cell(below);
-      consistent = consistent && at >= k && below < k;
-    }
-    table.print(std::cout);
+  for (const api::Platform* platform : {&chain, &fork, &spider}) {
+    consistent = consistent && check_duality(*platform, kMax, kOracleMax);
   }
 
-  std::cout << "\nspider: " << spider.describe() << "\n\n";
-  {
-    std::vector<Time> makespans(kMax + 1);
-    for (std::size_t k = 1; k <= kMax; ++k) makespans[k] = SpiderScheduler::makespan(spider, k);
-    Table table({"k", "makespan(k)", "tasks(makespan(k))", "tasks(makespan(k)-1)"});
-    for (std::size_t k = 1; k <= kMax; ++k) {
-      const std::size_t at = SpiderScheduler::max_tasks(spider, makespans[k], kMax + 2);
-      const std::size_t below = SpiderScheduler::max_tasks(spider, makespans[k] - 1, kMax + 2);
-      table.row().cell(k).cell(makespans[k]).cell(at).cell(below);
-      consistent = consistent && at >= k && below < k;
-    }
-    table.print(std::cout);
-  }
+  // Heuristic entries go through the makespan-inversion adapter.
+  consistent = consistent && check_adapter(chain, "forward-greedy", kMax);
+  consistent = consistent && check_adapter(spider, "round-robin", kMax);
 
   std::cout << (consistent
-                    ? "\nRESULT: decision and makespan forms are exact duals everywhere\n"
-                    : "\nRESULT: DUALITY VIOLATION\n");
+                    ? "RESULT: decision and makespan forms are exact duals everywhere\n"
+                    : "RESULT: DUALITY VIOLATION\n");
   return consistent ? 0 : 1;
 }

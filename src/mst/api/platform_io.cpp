@@ -1,0 +1,27 @@
+#include "mst/api/platform_io.hpp"
+
+#include <stdexcept>
+#include <variant>
+
+#include "mst/platform/io.hpp"
+
+namespace mst::api {
+
+Platform parse_any_platform(const std::string& text) {
+  const std::string kind = peek_platform_kind(text);
+  if (kind == "chain") return parse_chain(text);
+  if (kind == "fork") return parse_fork(text);
+  if (kind == "spider") return parse_spider(text);
+  if (kind == "tree") return parse_tree(text);
+  throw std::invalid_argument("unknown platform kind '" + kind +
+                              "' (expected chain|fork|spider|tree)");
+}
+
+std::string write_platform(const Platform& platform) {
+  if (const auto* chain = std::get_if<Chain>(&platform)) return write_chain(*chain);
+  if (const auto* fork = std::get_if<Fork>(&platform)) return write_fork(*fork);
+  if (const auto* spider = std::get_if<Spider>(&platform)) return write_spider(*spider);
+  return write_tree(std::get<Tree>(platform));
+}
+
+}  // namespace mst::api

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "mst/api/registry.hpp"
+
+/// \file platform_io.hpp
+/// Typed platform text I/O for the registry layer.
+///
+/// `mst::parse_platform` (platform/io.hpp) predates the registry and returns
+/// every topology as a `Spider`, which silently erases the platform kind —
+/// a chain file stops dispatching to the chain algorithms.  These functions
+/// parse into the registry's `api::Platform` variant instead, so the header
+/// keyword of the file decides which algorithm family a solve dispatches to.
+
+namespace mst::api {
+
+/// Parses any platform text (`chain` / `fork` / `spider` / `tree` headers,
+/// format of mst/platform/io.hpp) into the typed variant.  Throws
+/// `std::invalid_argument` on malformed input or unknown keywords.
+Platform parse_any_platform(const std::string& text);
+
+/// Serializes the variant back to text; `parse_any_platform` round-trips it
+/// exactly, preserving the kind.
+std::string write_platform(const Platform& platform);
+
+}  // namespace mst::api

@@ -1,8 +1,10 @@
 #include "mst/api/registry.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 
 #include "mst/baselines/asap.hpp"
@@ -101,87 +103,216 @@ void require_tasks(std::size_t n) {
 // Results
 
 double SolveResult::throughput() const {
-  if (makespan <= 0) return 0.0;
+  if (tasks == 0) return 0.0;
+  // A nonempty schedule claiming zero (or negative) time is a degenerate
+  // platform description, not a slow one — surface it as +inf so sweep
+  // tables cannot silently bury it at the bottom of a ranking.
+  if (makespan <= 0) return std::numeric_limits<double>::infinity();
   return static_cast<double>(tasks) / static_cast<double>(makespan);
+}
+
+double DecisionResult::throughput() const {
+  if (tasks == 0) return 0.0;
+  if (deadline <= 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(tasks) / static_cast<double>(deadline);
 }
 
 namespace {
 
-void check_task_count(const SolveResult& result, std::size_t scheduled, FeasibilityReport& out) {
-  if (scheduled != result.tasks) {
+void check_task_count(std::size_t claimed, std::size_t scheduled, FeasibilityReport& out) {
+  if (scheduled != claimed) {
     std::ostringstream os;
-    os << "task count mismatch: result claims " << result.tasks << " tasks, schedule holds "
+    os << "task count mismatch: result claims " << claimed << " tasks, schedule holds "
        << scheduled;
     out.add_violation(os.str());
   }
 }
 
-void check_makespan(const SolveResult& result, Time actual, bool exact, FeasibilityReport& out) {
-  const bool bad = exact ? actual != result.makespan : actual > result.makespan;
+void check_makespan(Time claimed, Time actual, bool exact, FeasibilityReport& out) {
+  const bool bad = exact ? actual != claimed : actual > claimed;
   if (bad) {
     std::ostringstream os;
-    os << "makespan mismatch: result claims " << result.makespan << ", schedule "
+    os << "makespan mismatch: result claims " << claimed << ", schedule "
        << (exact ? "has" : "replays to") << " " << actual;
     out.add_violation(os.str());
   }
 }
 
+/// The payload checks shared by the makespan- and decision-form reports:
+/// Definition 1 feasibility plus task-count / makespan consistency.
+FeasibilityReport check_payload(const AnySchedule& schedule, std::size_t tasks, Time makespan) {
+  FeasibilityReport report;
+  if (tasks > 0 && makespan <= 0) {
+    std::ostringstream os;
+    os << "degenerate result: " << tasks << " tasks in non-positive makespan " << makespan;
+    report.add_violation(os.str());
+  }
+  std::visit(
+      [&](const auto& payload) {
+        using S = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<S, ChainSchedule> || std::is_same_v<S, ForkSchedule> ||
+                      std::is_same_v<S, SpiderSchedule>) {
+          const FeasibilityReport inner = mst::check_feasibility(payload);
+          for (const std::string& v : inner.violations()) report.add_violation(v);
+          check_task_count(tasks, payload.num_tasks(), report);
+          check_makespan(makespan, payload.makespan(), /*exact=*/true, report);
+        } else if constexpr (std::is_same_v<S, TreeDispatch>) {
+          bool dests_ok = true;
+          for (NodeId dest : payload.dests) {
+            if (dest == 0 || dest >= payload.tree.size()) {
+              std::ostringstream os;
+              os << "dispatch destination " << dest << " is not a slave of the tree";
+              report.add_violation(os.str());
+              dests_ok = false;
+            }
+          }
+          if (dests_ok) {
+            // No link-level timing to verify — replay the plan operationally.
+            // The replay may only move work earlier (eager forwarding), so
+            // the reported makespan must be an upper bound on it.
+            const sim::SimResult replay = sim::simulate_dispatch(payload.tree, payload.dests);
+            check_task_count(tasks, replay.num_tasks(), report);
+            check_makespan(makespan, replay.makespan, /*exact=*/false, report);
+          }
+        } else {
+          report.add_violation("algorithm reported a makespan without a materialized schedule");
+        }
+      },
+      schedule);
+  return report;
+}
+
 }  // namespace
 
 FeasibilityReport check_feasibility(const SolveResult& result) {
+  return check_payload(result.schedule, result.tasks, result.makespan);
+}
+
+FeasibilityReport check_feasibility(const DecisionResult& result) {
   FeasibilityReport report;
-  if (const auto* s = std::get_if<ChainSchedule>(&result.schedule)) {
-    report = mst::check_feasibility(*s);
-    check_task_count(result, s->num_tasks(), report);
-    check_makespan(result, s->makespan(), /*exact=*/true, report);
-  } else if (const auto* s = std::get_if<ForkSchedule>(&result.schedule)) {
-    report = mst::check_feasibility(*s);
-    check_task_count(result, s->num_tasks(), report);
-    check_makespan(result, s->makespan(), /*exact=*/true, report);
-  } else if (const auto* s = std::get_if<SpiderSchedule>(&result.schedule)) {
-    report = mst::check_feasibility(*s);
-    check_task_count(result, s->num_tasks(), report);
-    check_makespan(result, s->makespan(), /*exact=*/true, report);
-  } else if (const auto* d = std::get_if<TreeDispatch>(&result.schedule)) {
-    for (NodeId dest : d->dests) {
-      if (dest == 0 || dest >= d->tree.size()) {
-        std::ostringstream os;
-        os << "dispatch destination " << dest << " is not a slave of the tree";
-        report.add_violation(os.str());
-      }
+  if (result.tasks == 0) {
+    // An empty decision result is the correct answer for an impossible
+    // window (including negative deadlines); it must carry no payload and
+    // claim no completion time.
+    if (!std::holds_alternative<std::monostate>(result.schedule)) {
+      report.add_violation("empty decision result carries a schedule payload");
     }
-    if (report.ok()) {
-      // No link-level timing to verify — replay the plan operationally.  The
-      // replay may only move work earlier (eager forwarding), so the
-      // reported makespan must be an upper bound on it.
-      const sim::SimResult replay = sim::simulate_dispatch(d->tree, d->dests);
-      check_task_count(result, replay.num_tasks(), report);
-      check_makespan(result, replay.makespan, /*exact=*/false, report);
+    if (result.makespan != 0) {
+      std::ostringstream os;
+      os << "empty decision result claims a makespan of " << result.makespan;
+      report.add_violation(os.str());
     }
-  } else {
-    report.add_violation("algorithm reported a makespan without a materialized schedule");
+    return report;
   }
+  if (result.makespan > result.deadline) {
+    std::ostringstream os;
+    os << "deadline exceeded: makespan " << result.makespan << " > deadline " << result.deadline;
+    report.add_violation(os.str());
+  }
+  const FeasibilityReport payload = check_payload(result.schedule, result.tasks, result.makespan);
+  for (const std::string& v : payload.violations()) report.add_violation(v);
   return report;
 }
 
 // ---------------------------------------------------------------------------
 // Registry mechanics
 
+// ---------------------------------------------------------------------------
+// Scheduler defaults: decision form by makespan inversion
+
+DecisionResult Scheduler::solve_within(const Platform& platform, Time deadline,
+                                       const SolveOptions& options) const {
+  // Invert the makespan form: the largest `n` whose makespan fits the
+  // window, found by exponential growth then binary search.  Exact whenever
+  // the algorithm's makespan is monotone non-decreasing in the task count.
+  SolveOptions probe = options;
+  probe.materialize = false;
+  const std::size_t cap = std::max<std::size_t>(1, options.cap);
+
+  DecisionResult out;
+  out.kind = kind_of(platform);
+  out.deadline = deadline;
+  // Trivially-empty window: skip the probe solve entirely.  The algorithm
+  // name stays empty here; Registry::solve_within fills it on dispatch.
+  if (deadline <= 0) return out;
+
+  const SolveResult first = solve(platform, 1, probe);
+  out.algorithm = first.algorithm;
+  out.optimal = first.optimal;  // an optimal makespan form inverts exactly
+  if (first.makespan > deadline) return out;
+
+  std::size_t lo = 1;  // largest count known to fit
+  Time lo_makespan = first.makespan;
+  std::size_t hi = 1;  // first count known not to fit, once lo < hi
+  while (lo == hi && hi < cap) {
+    const std::size_t next = hi > cap / 2 ? cap : hi * 2;
+    const SolveResult r = solve(platform, next, probe);
+    if (r.makespan <= deadline) {
+      lo = next;
+      lo_makespan = r.makespan;
+    }
+    hi = next;
+  }
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const SolveResult r = solve(platform, mid, probe);
+    if (r.makespan <= deadline) {
+      lo = mid;
+      lo_makespan = r.makespan;
+    } else {
+      hi = mid;
+    }
+  }
+
+  out.tasks = lo;
+  out.makespan = lo_makespan;
+  // A search stopped by the cap may be truncated — the count is then not
+  // provably maximal no matter how exact the makespan form is.
+  out.optimal = out.optimal && lo < cap;
+  if (options.materialize) {
+    SolveResult full = solve(platform, lo, options);
+    out.makespan = full.makespan;
+    out.schedule = std::move(full.schedule);
+  }
+  return out;
+}
+
+std::size_t Scheduler::max_tasks(const Platform& platform, Time deadline,
+                                 const SolveOptions& options) const {
+  SolveOptions count_only = options;
+  count_only.materialize = false;
+  return solve_within(platform, deadline, count_only).tasks;
+}
+
 namespace {
 
-/// Adapts a callable to the Scheduler interface (used by the lambda overload
-/// of Registry::add and by every built-in registration below).
+/// Adapts callables to the Scheduler interface (used by both lambda
+/// overloads of Registry::add and by every built-in registration below).
+/// Enforces the `materialize` contract centrally: legacy two-argument
+/// callables get the fast path by payload stripping.
 class FunctionScheduler final : public Scheduler {
  public:
-  explicit FunctionScheduler(std::function<SolveResult(const Platform&, std::size_t)> fn)
-      : fn_(std::move(fn)) {}
+  FunctionScheduler(Registry::SolveFn solve_fn, Registry::DecisionFn within_fn)
+      : solve_fn_(std::move(solve_fn)), within_fn_(std::move(within_fn)) {}
 
-  [[nodiscard]] SolveResult solve(const Platform& platform, std::size_t n) const override {
-    return fn_(platform, n);
+  [[nodiscard]] SolveResult solve(const Platform& platform, std::size_t n,
+                                  const SolveOptions& options) const override {
+    SolveResult result = solve_fn_(platform, n, options);
+    if (!options.materialize) result.schedule = std::monostate{};
+    return result;
+  }
+
+  [[nodiscard]] DecisionResult solve_within(const Platform& platform, Time deadline,
+                                            const SolveOptions& options) const override {
+    if (!within_fn_) return Scheduler::solve_within(platform, deadline, options);
+    DecisionResult result = within_fn_(platform, deadline, options);
+    if (!options.materialize) result.schedule = std::monostate{};
+    return result;
   }
 
  private:
-  std::function<SolveResult(const Platform&, std::size_t)> fn_;
+  Registry::SolveFn solve_fn_;
+  Registry::DecisionFn within_fn_;
 };
 
 }  // namespace
@@ -198,7 +329,18 @@ void Registry::add(AlgorithmInfo info, std::shared_ptr<const Scheduler> schedule
 
 void Registry::add(AlgorithmInfo info,
                    std::function<SolveResult(const Platform&, std::size_t)> fn) {
-  add(std::move(info), std::make_shared<const FunctionScheduler>(std::move(fn)));
+  if (fn == nullptr) throw std::invalid_argument("registry: null solve function");
+  add(std::move(info),
+      [fn = std::move(fn)](const Platform& p, std::size_t n, const SolveOptions&) {
+        return fn(p, n);
+      },
+      nullptr);
+}
+
+void Registry::add(AlgorithmInfo info, SolveFn solve_fn, DecisionFn within_fn) {
+  if (solve_fn == nullptr) throw std::invalid_argument("registry: null solve function");
+  add(std::move(info),
+      std::make_shared<const FunctionScheduler>(std::move(solve_fn), std::move(within_fn)));
 }
 
 const Scheduler* Registry::find(PlatformKind kind, std::string_view name) const {
@@ -238,17 +380,41 @@ std::vector<std::string> Registry::names(PlatformKind kind) const {
   return out;
 }
 
-SolveResult Registry::solve(const Platform& platform, std::string_view algorithm,
-                            std::size_t n) const {
+namespace {
+
+const Scheduler& resolve(const Registry& registry, const Platform& platform,
+                         std::string_view algorithm) {
   const PlatformKind kind = kind_of(platform);
-  const Scheduler* scheduler = find(kind, algorithm);
+  const Scheduler* scheduler = registry.find(kind, algorithm);
   if (scheduler == nullptr) {
     std::ostringstream os;
     os << "no algorithm '" << algorithm << "' for " << to_string(kind) << " platforms; known:";
-    for (const std::string& name : names(kind)) os << " " << name;
+    for (const std::string& name : registry.names(kind)) os << " " << name;
     throw std::invalid_argument(os.str());
   }
-  return scheduler->solve(platform, n);
+  return *scheduler;
+}
+
+}  // namespace
+
+SolveResult Registry::solve(const Platform& platform, std::string_view algorithm, std::size_t n,
+                            const SolveOptions& options) const {
+  return resolve(*this, platform, algorithm).solve(platform, n, options);
+}
+
+DecisionResult Registry::solve_within(const Platform& platform, std::string_view algorithm,
+                                      Time deadline, const SolveOptions& options) const {
+  DecisionResult result =
+      resolve(*this, platform, algorithm).solve_within(platform, deadline, options);
+  // The adapter's empty-window early return has no probe to learn its
+  // registry name from.
+  if (result.algorithm.empty()) result.algorithm = algorithm;
+  return result;
+}
+
+std::size_t Registry::max_tasks(const Platform& platform, std::string_view algorithm,
+                                Time deadline, const SolveOptions& options) const {
+  return resolve(*this, platform, algorithm).max_tasks(platform, deadline, options);
 }
 
 // ---------------------------------------------------------------------------
@@ -294,6 +460,81 @@ SolveResult tree_result(const char* algorithm, const Tree& tree, std::vector<Nod
                      /*optimal=*/false, std::move(dispatch));
 }
 
+DecisionResult make_decision(const char* algorithm, PlatformKind kind, Time deadline,
+                             std::size_t tasks, Time makespan, bool optimal,
+                             AnySchedule schedule) {
+  DecisionResult result;
+  result.algorithm = algorithm;
+  result.kind = kind;
+  result.deadline = deadline;
+  result.tasks = tasks;
+  result.makespan = makespan;
+  result.optimal = optimal;
+  result.schedule = std::move(schedule);
+  return result;
+}
+
+std::size_t decision_cap(const SolveOptions& options) {
+  return std::max<std::size_t>(1, options.cap);
+}
+
+/// Wraps a core decision-form schedule (`schedule_within` family) into a
+/// DecisionResult.  The core schedules stay absolute in `[0, deadline]`, so
+/// `makespan() <= deadline` by construction; an empty selection yields a
+/// payload-free result.  A count that hit `cap` may be truncated, so it is
+/// never reported as provably maximal.
+template <typename Schedule>
+DecisionResult decision_from_schedule(const char* algorithm, PlatformKind kind, Time deadline,
+                                      bool optimal, std::size_t cap, Schedule schedule) {
+  const std::size_t tasks = schedule.num_tasks();
+  const Time makespan = schedule.makespan();
+  AnySchedule payload;
+  if (tasks > 0) payload = std::move(schedule);
+  return make_decision(algorithm, kind, deadline, tasks, makespan, optimal && tasks < cap,
+                       std::move(payload));
+}
+
+/// Decision form of the exhaustive oracles: exact count from the monotone
+/// makespan staircase, optionally materialized as the optimal schedule of
+/// that count (its makespan fits the window by definition of the count).
+DecisionResult chain_brute_force_decision(const Chain& chain, Time deadline,
+                                          const SolveOptions& options) {
+  const std::size_t cap = decision_cap(options);
+  const std::size_t tasks = deadline > 0 ? brute_force_chain_max_tasks(chain, deadline, cap) : 0;
+  Time makespan = 0;
+  AnySchedule payload;
+  if (tasks > 0) {
+    if (options.materialize) {
+      ChainSchedule schedule = brute_force_chain_schedule(chain, tasks);
+      makespan = schedule.makespan();
+      payload = std::move(schedule);
+    } else {
+      makespan = brute_force_chain_makespan(chain, tasks);
+    }
+  }
+  return make_decision("brute-force", PlatformKind::kChain, deadline, tasks, makespan,
+                       /*optimal=*/tasks < cap, std::move(payload));
+}
+
+DecisionResult spider_brute_force_decision(PlatformKind kind, const Spider& spider, Time deadline,
+                                           const SolveOptions& options) {
+  const std::size_t cap = decision_cap(options);
+  const std::size_t tasks = deadline > 0 ? brute_force_spider_max_tasks(spider, deadline, cap) : 0;
+  Time makespan = 0;
+  AnySchedule payload;
+  if (tasks > 0) {
+    if (options.materialize) {
+      SpiderSchedule schedule = brute_force_spider_schedule(spider, tasks);
+      makespan = schedule.makespan();
+      payload = std::move(schedule);
+    } else {
+      makespan = brute_force_spider_makespan(spider, tasks);
+    }
+  }
+  return make_decision("brute-force", kind, deadline, tasks, makespan, /*optimal=*/tasks < cap,
+                       std::move(payload));
+}
+
 /// The bandwidth-centric baseline as a makespan-form scheduler: dispatch the
 /// first `n` destinations of the repeated periodic block with ASAP timing.
 ChainSchedule periodic_prefix_schedule(const Chain& chain, std::size_t n) {
@@ -334,8 +575,8 @@ ForkSchedule fork_greedy_schedule(const Fork& fork, std::size_t n) {
 }
 
 SolveResult solve_tree_online(const Tree& tree, std::size_t n, sim::OnlinePolicy policy,
-                              const char* algorithm) {
-  const sim::SimResult run = sim::simulate_online(tree, n, policy, /*seed=*/1);
+                              const char* algorithm, std::uint64_t seed) {
+  const sim::SimResult run = sim::simulate_online(tree, n, policy, seed);
   std::vector<NodeId> dests;
   dests.reserve(run.tasks.size());
   for (const sim::SimTask& task : run.tasks) dests.push_back(task.dest);
@@ -345,10 +586,18 @@ SolveResult solve_tree_online(const Tree& tree, std::size_t n, sim::OnlinePolicy
 void register_chain_algorithms(Registry& r) {
   const PlatformKind k = PlatformKind::kChain;
   r.add({k, "optimal", "backward construction, Theorem 1 (O(n*p^2))", /*optimal=*/true},
-        [](const Platform& p, std::size_t n) {
+        [](const Platform& p, std::size_t n, const SolveOptions&) {
           require_tasks(n);
           const Chain& chain = expect_chain(p, "optimal");
           return chain_result("optimal", ChainScheduler::schedule(chain, n), n, true);
+        },
+        [k](const Platform& p, Time deadline, const SolveOptions& opts) {
+          const Chain& chain = expect_chain(p, "optimal");
+          if (deadline <= 0) return make_decision("optimal", k, deadline, 0, 0, true, {});
+          const std::size_t cap = decision_cap(opts);
+          return decision_from_schedule(
+              "optimal", k, deadline, /*optimal=*/true, cap,
+              ChainScheduler::schedule_within(chain, deadline, cap));
         });
   r.add({k, "forward-greedy", "earliest-completion-time list scheduling"},
         [](const Platform& p, std::size_t n) {
@@ -376,32 +625,51 @@ void register_chain_algorithms(Registry& r) {
         });
   r.add({k, "brute-force", "exhaustive destination-sequence search", /*optimal=*/true,
          /*exponential=*/true},
-        [](const Platform& p, std::size_t n) {
+        [](const Platform& p, std::size_t n, const SolveOptions&) {
           require_tasks(n);
           const Chain& chain = expect_chain(p, "brute-force");
           return chain_result("brute-force", brute_force_chain_schedule(chain, n), n, true);
+        },
+        [](const Platform& p, Time deadline, const SolveOptions& opts) {
+          return chain_brute_force_decision(expect_chain(p, "brute-force"), deadline, opts);
         });
 }
 
 void register_fork_algorithms(Registry& r) {
   const PlatformKind k = PlatformKind::kFork;
   r.add({k, "optimal", "Moore-Hodgson virtual-node selection, Fig 6", /*optimal=*/true},
-        [](const Platform& p, std::size_t n) {
+        [k](const Platform& p, std::size_t n, const SolveOptions&) {
           require_tasks(n);
           const Fork& fork = expect_fork(p, "optimal");
           ForkSchedule schedule = ForkScheduler::schedule(fork, n);
           const Time lb = spider_makespan_lower_bound(Spider::from_fork(fork), n);
           const Time makespan = schedule.makespan();
           return make_result("optimal", k, n, makespan, lb, true, std::move(schedule));
+        },
+        [k](const Platform& p, Time deadline, const SolveOptions& opts) {
+          const Fork& fork = expect_fork(p, "optimal");
+          if (deadline <= 0) return make_decision("optimal", k, deadline, 0, 0, true, {});
+          const std::size_t cap = decision_cap(opts);
+          return decision_from_schedule(
+              "optimal", k, deadline, /*optimal=*/true, cap,
+              ForkScheduler::schedule_within(fork, deadline, cap));
         });
   r.add({k, "greedy", "the paper's ascending-c greedy (Beaumont et al.)"},
-        [](const Platform& p, std::size_t n) {
+        [k](const Platform& p, std::size_t n, const SolveOptions&) {
           require_tasks(n);
           const Fork& fork = expect_fork(p, "greedy");
           ForkSchedule schedule = fork_greedy_schedule(fork, n);
           const Time lb = spider_makespan_lower_bound(Spider::from_fork(fork), n);
           const Time makespan = schedule.makespan();
           return make_result("greedy", k, n, makespan, lb, false, std::move(schedule));
+        },
+        [k](const Platform& p, Time deadline, const SolveOptions& opts) {
+          const Fork& fork = expect_fork(p, "greedy");
+          if (deadline <= 0) return make_decision("greedy", k, deadline, 0, 0, false, {});
+          const std::size_t cap = decision_cap(opts);
+          return decision_from_schedule(
+              "greedy", k, deadline, /*optimal=*/false, cap,
+              ForkScheduler::greedy_schedule_within(fork, deadline, cap));
         });
   r.add({k, "forward-greedy", "earliest-completion-time list scheduling"},
         [](const Platform& p, std::size_t n) {
@@ -426,21 +694,33 @@ void register_fork_algorithms(Registry& r) {
         });
   r.add({k, "brute-force", "exhaustive destination-sequence search", /*optimal=*/true,
          /*exponential=*/true},
-        [](const Platform& p, std::size_t n) {
+        [k](const Platform& p, std::size_t n, const SolveOptions&) {
           require_tasks(n);
           const Fork& fork = expect_fork(p, "brute-force");
           return spider_result("brute-force", k,
                                brute_force_spider_schedule(Spider::from_fork(fork), n), n, true);
+        },
+        [k](const Platform& p, Time deadline, const SolveOptions& opts) {
+          const Fork& fork = expect_fork(p, "brute-force");
+          return spider_brute_force_decision(k, Spider::from_fork(fork), deadline, opts);
         });
 }
 
 void register_spider_algorithms(Registry& r) {
   const PlatformKind k = PlatformKind::kSpider;
   r.add({k, "optimal", "per-leg decision form + Moore-Hodgson, Theorem 3", /*optimal=*/true},
-        [](const Platform& p, std::size_t n) {
+        [k](const Platform& p, std::size_t n, const SolveOptions&) {
           require_tasks(n);
           const Spider& spider = expect_spider(p, "optimal");
           return spider_result("optimal", k, SpiderScheduler::schedule(spider, n), n, true);
+        },
+        [k](const Platform& p, Time deadline, const SolveOptions& opts) {
+          const Spider& spider = expect_spider(p, "optimal");
+          if (deadline <= 0) return make_decision("optimal", k, deadline, 0, 0, true, {});
+          const std::size_t cap = decision_cap(opts);
+          return decision_from_schedule(
+              "optimal", k, deadline, /*optimal=*/true, cap,
+              SpiderScheduler::schedule_within(spider, deadline, cap));
         });
   r.add({k, "forward-greedy", "earliest-completion-time list scheduling"},
         [](const Platform& p, std::size_t n) {
@@ -462,10 +742,13 @@ void register_spider_algorithms(Registry& r) {
         });
   r.add({k, "brute-force", "exhaustive destination-sequence search", /*optimal=*/true,
          /*exponential=*/true},
-        [](const Platform& p, std::size_t n) {
+        [k](const Platform& p, std::size_t n, const SolveOptions&) {
           require_tasks(n);
           const Spider& spider = expect_spider(p, "brute-force");
           return spider_result("brute-force", k, brute_force_spider_schedule(spider, n), n, true);
+        },
+        [k](const Platform& p, Time deadline, const SolveOptions& opts) {
+          return spider_brute_force_decision(k, expect_spider(p, "brute-force"), deadline, opts);
         });
 }
 
@@ -496,23 +779,38 @@ void register_tree_algorithms(Registry& r) {
                              n);
         });
   r.add({k, "online-ect", "simulated online earliest-completion policy"},
-        [](const Platform& p, std::size_t n) {
+        [](const Platform& p, std::size_t n, const SolveOptions& opts) {
           require_tasks(n);
           return solve_tree_online(expect_tree(p, "online-ect"), n,
-                                   sim::OnlinePolicy::kEarliestCompletion, "online-ect");
-        });
+                                   sim::OnlinePolicy::kEarliestCompletion, "online-ect",
+                                   opts.seed);
+        },
+        nullptr);
   r.add({k, "online-jsq", "simulated online join-shortest-queue policy"},
-        [](const Platform& p, std::size_t n) {
+        [](const Platform& p, std::size_t n, const SolveOptions& opts) {
           require_tasks(n);
           return solve_tree_online(expect_tree(p, "online-jsq"), n,
-                                   sim::OnlinePolicy::kJoinShortestQueue, "online-jsq");
-        });
+                                   sim::OnlinePolicy::kJoinShortestQueue, "online-jsq",
+                                   opts.seed);
+        },
+        nullptr);
   r.add({k, "online-round-robin", "simulated online round-robin policy"},
-        [](const Platform& p, std::size_t n) {
+        [](const Platform& p, std::size_t n, const SolveOptions& opts) {
           require_tasks(n);
           return solve_tree_online(expect_tree(p, "online-round-robin"), n,
-                                   sim::OnlinePolicy::kRoundRobin, "online-round-robin");
-        });
+                                   sim::OnlinePolicy::kRoundRobin, "online-round-robin",
+                                   opts.seed);
+        },
+        nullptr);
+  // Registered now that solves carry options: the policy is deterministic
+  // per SolveOptions::seed, so mstctl runs are reproducible.
+  r.add({k, "online-random", "simulated online uniform-random policy (SolveOptions::seed)"},
+        [](const Platform& p, std::size_t n, const SolveOptions& opts) {
+          require_tasks(n);
+          return solve_tree_online(expect_tree(p, "online-random"), n,
+                                   sim::OnlinePolicy::kRandom, "online-random", opts.seed);
+        },
+        nullptr);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -34,6 +35,20 @@
 /// algorithm becomes visible to `mstctl --mode=list`, the experiment sweeps
 /// and the registry test through a single `add()` call — no per-consumer
 /// wiring.
+///
+/// Both of the paper's equivalent problem statements are exposed:
+///
+///  * makespan form — schedule exactly `n` tasks as fast as possible
+///    (`solve`), and
+///  * decision form — schedule as many tasks as possible within a deadline
+///    `T` (`solve_within` / `max_tasks`).
+///
+/// Every entry supports the decision form: algorithms with a native decision
+/// procedure (the chain backward construction, the fork/spider Moore–Hodgson
+/// selections, the brute-force oracles) register it directly; every other
+/// entry inherits an adapter that inverts its makespan form by exponential +
+/// binary search, which is exact whenever the makespan is monotone in the
+/// task count (true for all built-ins).
 
 namespace mst::api {
 
@@ -77,6 +92,21 @@ struct TreeDispatch {
 using AnySchedule =
     std::variant<std::monostate, ChainSchedule, ForkSchedule, SpiderSchedule, TreeDispatch>;
 
+/// Per-call knobs, carried by every registry solve.  Defaults reproduce the
+/// historical behaviour, so `solve(platform, n)` call sites never change.
+struct SolveOptions {
+  /// When false, the algorithm may skip building placement vectors and
+  /// return a `monostate` schedule — the count/makespan-only fast path for
+  /// sweeps.  `check_feasibility` flags such results as unchecked.
+  bool materialize = true;
+  /// Seed for randomized policies (currently only the tree `online-random`
+  /// entry); deterministic per (platform, n, seed).
+  std::uint64_t seed = 1;
+  /// Upper bound on the task count explored by decision-form solves (both
+  /// the native counting procedures and the makespan-inversion adapter).
+  std::size_t cap = 1u << 20;
+};
+
 /// Uniform outcome of `Scheduler::solve`: the schedule plus the metrics the
 /// experiment tables need.
 struct SolveResult {
@@ -88,7 +118,27 @@ struct SolveResult {
   bool optimal = false;     ///< guaranteed optimal by construction
   AnySchedule schedule;
 
-  /// Tasks per unit time, `tasks / makespan` (0 for empty schedules).
+  /// Tasks per unit time, `tasks / makespan`.  0 for empty results; +inf for
+  /// the degenerate "nonempty schedule in zero time" case, so sweep tables
+  /// show the anomaly instead of silently ranking the platform last.
+  [[nodiscard]] double throughput() const;
+};
+
+/// Outcome of the decision form `solve_within(platform, T)`: the maximum
+/// number of tasks completable by the deadline, plus the witness schedule
+/// when materialization was requested.
+struct DecisionResult {
+  std::string algorithm;    ///< registry name that produced this
+  PlatformKind kind = PlatformKind::kChain;
+  Time deadline = 0;        ///< the queried window `T`
+  std::size_t tasks = 0;    ///< tasks completing within the window
+  Time makespan = 0;        ///< completion time achieved (`<= deadline`)
+  /// The count is provably maximal.  Always false when the search stopped
+  /// at `SolveOptions::cap` — a truncated count proves nothing.
+  bool optimal = false;
+  AnySchedule schedule;     ///< `monostate` unless options.materialize
+
+  /// Window utilization, `tasks / deadline` (0 for an empty window).
   [[nodiscard]] double throughput() const;
 };
 
@@ -96,20 +146,47 @@ struct SolveResult {
 /// fork / spider payloads, operational replay for tree dispatch plans
 /// (replayed makespan must not exceed the reported one), and task-count
 /// consistency.  A `monostate` payload yields an "unchecked" violation so
-/// callers never mistake makespan-only results for verified ones.
+/// callers never mistake makespan-only results for verified ones, and a
+/// nonempty result claiming a non-positive makespan is rejected outright.
 FeasibilityReport check_feasibility(const SolveResult& result);
+
+/// Decision-form variant: the same payload checks, plus `makespan <=
+/// deadline`.  An empty result (`tasks == 0`) with no payload is valid — it
+/// asserts that nothing fits in the window.
+FeasibilityReport check_feasibility(const DecisionResult& result);
 
 // ---------------------------------------------------------------------------
 // Schedulers and the registry
 
-/// Polymorphic scheduling algorithm: pure function of (platform, n).
+/// Polymorphic scheduling algorithm: pure function of (platform, n, options).
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
-  /// Schedules exactly `n >= 1` tasks.  Throws `std::invalid_argument` if
-  /// the platform alternative does not match the algorithm's kind.
-  [[nodiscard]] virtual SolveResult solve(const Platform& platform, std::size_t n) const = 0;
+  /// Makespan form: schedules exactly `n >= 1` tasks.  Throws
+  /// `std::invalid_argument` if the platform alternative does not match the
+  /// algorithm's kind.  Implementations must honor
+  /// `options.materialize == false` by returning a `monostate` schedule.
+  [[nodiscard]] virtual SolveResult solve(const Platform& platform, std::size_t n,
+                                          const SolveOptions& options) const = 0;
+
+  /// Convenience with default options.
+  [[nodiscard]] SolveResult solve(const Platform& platform, std::size_t n) const {
+    return solve(platform, n, SolveOptions{});
+  }
+
+  /// Decision form: the maximum number of tasks (at most `options.cap`)
+  /// completable within `deadline`, with a witness schedule when
+  /// `options.materialize`.  The base implementation inverts the makespan
+  /// form by exponential + binary search on the task count (exact for
+  /// monotone makespans); algorithms with a native decision procedure
+  /// override it.
+  [[nodiscard]] virtual DecisionResult solve_within(const Platform& platform, Time deadline,
+                                                    const SolveOptions& options) const;
+
+  /// Count-only decision form (never materializes).
+  [[nodiscard]] std::size_t max_tasks(const Platform& platform, Time deadline,
+                                      const SolveOptions& options = {}) const;
 };
 
 /// Metadata shown by `mstctl --mode=list` and used by sweeps to filter.
@@ -133,13 +210,26 @@ class Registry {
   /// The process-wide registry, built-ins registered on first use.
   static Registry& instance();
 
+  /// Makespan-form callable; receives the per-call options (materialize /
+  /// seed) and must honor them.
+  using SolveFn = std::function<SolveResult(const Platform&, std::size_t, const SolveOptions&)>;
+  /// Native decision-form callable.
+  using DecisionFn = std::function<DecisionResult(const Platform&, Time, const SolveOptions&)>;
+
   /// Registers an algorithm.  Throws `std::invalid_argument` if
   /// `(info.kind, info.name)` is already taken or the name is empty.
   void add(AlgorithmInfo info, std::shared_ptr<const Scheduler> scheduler);
 
   /// One-line registration from a callable — this is the extension point:
   ///   registry().add(info, [](const Platform& p, std::size_t n) {...});
+  /// Entries registered this way get the decision form through the
+  /// makespan-inversion adapter, and `materialize == false` by payload
+  /// stripping.
   void add(AlgorithmInfo info, std::function<SolveResult(const Platform&, std::size_t)> fn);
+
+  /// Options-aware registration, with an optional native decision form
+  /// (pass `nullptr` to keep the adapter).
+  void add(AlgorithmInfo info, SolveFn solve_fn, DecisionFn within_fn);
 
   /// Lookup; null when absent.
   [[nodiscard]] const Scheduler* find(PlatformKind kind, std::string_view name) const;
@@ -158,7 +248,16 @@ class Registry {
   /// `std::invalid_argument` naming the known algorithms when the lookup
   /// fails.
   [[nodiscard]] SolveResult solve(const Platform& platform, std::string_view algorithm,
-                                  std::size_t n) const;
+                                  std::size_t n, const SolveOptions& options = {}) const;
+
+  /// Decision-form dispatch: the maximum number of tasks completable within
+  /// `deadline`, with a witness schedule when `options.materialize`.
+  [[nodiscard]] DecisionResult solve_within(const Platform& platform, std::string_view algorithm,
+                                            Time deadline, const SolveOptions& options = {}) const;
+
+  /// Count-only decision-form dispatch (never materializes).
+  [[nodiscard]] std::size_t max_tasks(const Platform& platform, std::string_view algorithm,
+                                      Time deadline, const SolveOptions& options = {}) const;
 
  private:
   struct Entry {

@@ -55,6 +55,7 @@
 #include "mst/analysis/robustness.hpp"
 #include "mst/analysis/throughput.hpp"
 
+#include "mst/api/platform_io.hpp"
 #include "mst/api/registry.hpp"
 
 #include "mst/heuristics/local_search.hpp"

@@ -119,6 +119,17 @@ std::string write_spider(const Spider& spider) {
   return os.str();
 }
 
+std::string write_tree(const Tree& tree) {
+  std::ostringstream os;
+  os << "tree " << tree.num_slaves() << '\n';
+  // One line per slave in id order; `add_node` assigns ids sequentially, so
+  // parents always precede children and `parse_tree` can rebuild verbatim.
+  for (NodeId v = 1; v < tree.size(); ++v) {
+    os << tree.parent(v) << ' ' << tree.proc(v).comm << ' ' << tree.proc(v).work << '\n';
+  }
+  return os.str();
+}
+
 Chain parse_chain(const std::string& text) {
   Lexer lex(text);
   lex.expect("chain");
@@ -152,13 +163,40 @@ Spider parse_spider(const std::string& text) {
   return Spider(std::move(chains));
 }
 
-Spider parse_platform(const std::string& text) {
+Tree parse_tree(const std::string& text) {
+  Lexer lex(text);
+  lex.expect("tree");
+  const std::size_t slaves = lex.next_count("slave count");
+  Tree tree;
+  for (std::size_t i = 1; i <= slaves; ++i) {
+    const Time parent = lex.next_time("parent id");
+    MST_REQUIRE(parent >= 0 && static_cast<std::size_t>(parent) < i,
+                "slave " + std::to_string(i) + ": parent must be 0 (the master) or an earlier "
+                "slave id, got " + std::to_string(parent));
+    const Time c = lex.next_time("link latency");
+    const Time w = lex.next_time("processing time");
+    tree.add_node(static_cast<NodeId>(parent), Processor{c, w});
+  }
+  lex.expect_end();
+  return tree;
+}
+
+std::string peek_platform_kind(const std::string& text) {
   Lexer probe(text);
-  const std::string kind = probe.next("platform kind");
+  return probe.next("platform kind");
+}
+
+// The deprecated alias keeps compiling without tripping -Werror on its own
+// translation unit.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+Spider parse_platform(const std::string& text) {
+  const std::string kind = peek_platform_kind(text);
   if (kind == "chain") return Spider({parse_chain(text)});
   if (kind == "fork") return Spider::from_fork(parse_fork(text));
   if (kind == "spider") return parse_spider(text);
   detail::throw_requirement("platform kind", "unknown platform kind '" + kind + "'");
 }
+#pragma GCC diagnostic pop
 
 }  // namespace mst

@@ -6,6 +6,7 @@
 #include "mst/platform/chain.hpp"
 #include "mst/platform/fork.hpp"
 #include "mst/platform/spider.hpp"
+#include "mst/platform/tree.hpp"
 
 /// \file io.hpp
 /// Plain-text platform descriptions.
@@ -26,6 +27,10 @@
 ///     leg <p>
 ///     ...
 ///
+///     tree <slaves>
+///     <parent_1> <c_1> <w_1>   # slaves in id order 1..slaves; parent is 0
+///     ...                      # (the master) or an earlier slave id
+///
 /// `parse_*` throws `std::invalid_argument` with a line number on malformed
 /// input.  `write_*`/`parse_*` round-trip exactly.
 
@@ -34,13 +39,23 @@ namespace mst {
 std::string write_chain(const Chain& chain);
 std::string write_fork(const Fork& fork);
 std::string write_spider(const Spider& spider);
+std::string write_tree(const Tree& tree);
 
 Chain parse_chain(const std::string& text);
 Fork parse_fork(const std::string& text);
 Spider parse_spider(const std::string& text);
+Tree parse_tree(const std::string& text);
+
+/// The header keyword of a platform description ("chain", "fork", "spider",
+/// "tree", ...), read with the same comment/whitespace rules as the parsers.
+/// Throws on empty input; does not validate the keyword.
+std::string peek_platform_kind(const std::string& text);
 
 /// Reads the header keyword and dispatches; returns the platform as a Spider
 /// (a chain becomes a one-leg spider, a fork becomes single-node legs).
+[[deprecated(
+    "collapses every topology into a Spider, losing the platform kind — use "
+    "api::parse_any_platform (mst/api/platform_io.hpp) instead")]]
 Spider parse_platform(const std::string& text);
 
 }  // namespace mst

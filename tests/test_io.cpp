@@ -3,11 +3,23 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <variant>
+#include <vector>
 
+#include "mst/api/platform_io.hpp"
 #include "mst/platform/io.hpp"
 
 namespace mst {
 namespace {
+
+Tree branching_tree() {
+  Tree tree;
+  const NodeId trunk = tree.add_node(0, {2, 3});
+  tree.add_node(trunk, {1, 2});
+  tree.add_node(trunk, {2, 4});
+  tree.add_node(0, {3, 2});
+  return tree;
+}
 
 TEST(Io, ChainRoundTrip) {
   const Chain chain = Chain::from_vectors({2, 3, 4}, {3, 5, 7});
@@ -37,22 +49,84 @@ chain 2
   EXPECT_EQ(chain.work(1), 5);
 }
 
-TEST(Io, ParsePlatformDispatchesOnKeyword) {
-  const Spider from_chain = parse_platform("chain 1\n4 5\n");
-  EXPECT_EQ(from_chain.num_legs(), 1u);
-  EXPECT_EQ(from_chain.leg(0).size(), 1u);
+TEST(Io, TreeRoundTrip) {
+  const Tree tree = branching_tree();
+  const Tree parsed = parse_tree(write_tree(tree));
+  ASSERT_EQ(parsed.size(), tree.size());
+  for (NodeId v = 1; v < tree.size(); ++v) {
+    EXPECT_EQ(parsed.parent(v), tree.parent(v));
+    EXPECT_EQ(parsed.proc(v), tree.proc(v));
+  }
+  EXPECT_EQ(write_tree(parsed), write_tree(tree));
+}
 
-  const Spider from_fork = parse_platform("fork 2\n1 2\n3 4\n");
-  EXPECT_EQ(from_fork.num_legs(), 2u);
-  EXPECT_TRUE(from_fork.is_fork());
+TEST(Io, ParsesTreeWithCommentsAndForwardParents) {
+  const std::string text = R"(
+# a chain hanging off a star
+tree 3
+0 2 3   # first slave under the master
+1 1 2
+0 4 5
+)";
+  const Tree tree = parse_tree(text);
+  ASSERT_EQ(tree.num_slaves(), 3u);
+  EXPECT_EQ(tree.parent(2), 1u);
+  EXPECT_EQ(tree.parent(3), 0u);
+  EXPECT_EQ(tree.proc(3).work, 5);
+}
 
-  const Spider from_spider = parse_platform("spider 1\nleg 2\n1 2\n3 4\n");
-  EXPECT_EQ(from_spider.num_legs(), 1u);
-  EXPECT_EQ(from_spider.leg(0).size(), 2u);
+TEST(Io, TreeRejectsInvalidParents) {
+  // A slave may only attach to the master or an earlier slave.
+  EXPECT_THROW(parse_tree("tree 2\n0 1 2\n3 1 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("tree 1\n-1 1 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("tree 2\n2 1 2\n0 1 2\n"), std::invalid_argument);
+  // Self-parent is caught by the parser itself, with the slave id named.
+  try {
+    parse_tree("tree 2\n0 1 2\n2 1 2\n");
+    FAIL() << "expected an exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("slave 2"), std::string::npos) << e.what();
+  }
+}
+
+// The typed parser keeps the platform kind: a chain file must dispatch to
+// chain algorithms, not to a one-leg spider embedding.
+TEST(Io, ParseAnyPlatformPreservesTheKind) {
+  const api::Platform chain = api::parse_any_platform("chain 1\n4 5\n");
+  EXPECT_TRUE(std::holds_alternative<Chain>(chain));
+
+  const api::Platform fork = api::parse_any_platform("fork 2\n1 2\n3 4\n");
+  ASSERT_TRUE(std::holds_alternative<Fork>(fork));
+  EXPECT_EQ(std::get<Fork>(fork).size(), 2u);
+
+  const api::Platform spider = api::parse_any_platform("spider 1\nleg 2\n1 2\n3 4\n");
+  ASSERT_TRUE(std::holds_alternative<Spider>(spider));
+  EXPECT_EQ(std::get<Spider>(spider).leg(0).size(), 2u);
+
+  const api::Platform tree = api::parse_any_platform("tree 2\n0 1 2\n1 3 4\n");
+  ASSERT_TRUE(std::holds_alternative<Tree>(tree));
+  EXPECT_EQ(std::get<Tree>(tree).num_slaves(), 2u);
+}
+
+TEST(Io, WritePlatformRoundTripsEveryAlternative) {
+  const std::vector<api::Platform> platforms{
+      Chain::from_vectors({2, 3}, {3, 5}),
+      Fork({Processor{1, 2}, Processor{3, 4}}),
+      Spider{Chain::from_vectors({2, 3}, {3, 5}), Chain::from_vectors({4}, {2})},
+      branching_tree(),
+  };
+  for (const api::Platform& platform : platforms) {
+    const std::string text = api::write_platform(platform);
+    const api::Platform reparsed = api::parse_any_platform(text);
+    EXPECT_EQ(api::kind_of(reparsed), api::kind_of(platform));
+    EXPECT_EQ(api::write_platform(reparsed), text);
+    EXPECT_EQ(peek_platform_kind(text), to_string(api::kind_of(platform)));
+  }
 }
 
 TEST(Io, RejectsUnknownKeyword) {
-  EXPECT_THROW(parse_platform("mesh 2\n1 2\n3 4\n"), std::invalid_argument);
+  EXPECT_THROW(api::parse_any_platform("mesh 2\n1 2\n3 4\n"), std::invalid_argument);
+  EXPECT_THROW(api::parse_any_platform(""), std::invalid_argument);
   EXPECT_THROW(parse_chain("fork 1\n1 2\n"), std::invalid_argument);
 }
 
@@ -60,6 +134,7 @@ TEST(Io, RejectsTruncatedInput) {
   EXPECT_THROW(parse_chain("chain 2\n1 2\n"), std::invalid_argument);
   EXPECT_THROW(parse_chain("chain"), std::invalid_argument);
   EXPECT_THROW(parse_spider("spider 2\nleg 1\n1 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_tree("tree 2\n0 1 2\n"), std::invalid_argument);
 }
 
 TEST(Io, RejectsTrailingGarbage) {

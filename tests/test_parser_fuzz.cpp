@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "mst/api/platform_io.hpp"
 #include "mst/common/rng.hpp"
 #include "mst/core/spider_scheduler.hpp"
 #include "mst/platform/generator.hpp"
@@ -67,6 +68,37 @@ TEST_P(ParserFuzz, MutatedPlatformsParseOrThrow) {
   }
 }
 
+TEST_P(ParserFuzz, MutatedTreesParseOrThrow) {
+  Rng rng(GetParam() + 31);
+  GeneratorParams params{1, 9, PlatformClass::kUniform};
+  for (int trial = 0; trial < 60; ++trial) {
+    Rng inst = rng.split();
+    const Tree tree = random_tree(inst, static_cast<std::size_t>(rng.uniform(1, 8)), params);
+    const std::string clean = write_tree(tree);
+    // Clean text round-trips exactly.
+    EXPECT_EQ(write_tree(parse_tree(clean)), clean);
+
+    std::string text = clean;
+    const int mutations = static_cast<int>(rng.uniform(1, 4));
+    for (int m = 0; m < mutations; ++m) text = mutate_text(std::move(text), rng);
+    try {
+      const Tree parsed = parse_tree(text);
+      // If it parsed, it must be a structurally valid platform: acyclic by
+      // construction (parents precede children), sane processor values.
+      EXPECT_GE(parsed.size(), 1u);
+      for (NodeId v = 1; v < parsed.size(); ++v) {
+        EXPECT_LT(parsed.parent(v), v);
+        EXPECT_GE(parsed.proc(v).comm, 0);
+        EXPECT_GE(parsed.proc(v).work, 1);
+      }
+    } catch (const std::invalid_argument&) {
+      // Expected for most mutations.
+    } catch (const std::out_of_range&) {
+      // std::stoll on a huge duplicated digit string; acceptable rejection.
+    }
+  }
+}
+
 TEST_P(ParserFuzz, MutatedSchedulesParseOrThrow) {
   Rng rng(GetParam() + 77);
   GeneratorParams params{1, 8, PlatformClass::kUniform};
@@ -100,11 +132,12 @@ TEST_P(ParserFuzz, RandomGarbageNeverCrashes) {
     for (std::size_t i = 0; i < len; ++i) {
       garbage.push_back(static_cast<char>(rng.uniform(9, 126)));
     }
-    for (int which = 0; which < 3; ++which) {
+    for (int which = 0; which < 4; ++which) {
       try {
         switch (which) {
-          case 0: (void)parse_platform(garbage); break;
-          case 1: (void)parse_chain_schedule(garbage); break;
+          case 0: (void)api::parse_any_platform(garbage); break;
+          case 1: (void)parse_tree(garbage); break;
+          case 2: (void)parse_chain_schedule(garbage); break;
           default: (void)parse_spider_schedule(garbage); break;
         }
       } catch (const std::invalid_argument&) {

@@ -1,23 +1,29 @@
 // mstctl — command-line front end to the library.
 //
-//   mstctl --mode=list     [--kind=chain|fork|spider|tree]
-//   mstctl --mode=solve    --platform=FILE --algo=NAME|all --tasks=N
-//   mstctl --mode=schedule --platform=FILE --tasks=N [--format=summary|gantt|svg|json|schedule]
-//   mstctl --mode=count    --platform=FILE --tlim=T [--cap=K]
-//   mstctl --mode=validate --schedule=FILE
-//   mstctl --mode=rate     --platform=FILE
-//   mstctl --mode=demo     [--dir=.]        # writes a sample platform file
+//   mstctl --mode=list      [--kind=chain|fork|spider|tree]
+//   mstctl --mode=solve     --platform=FILE --algo=NAME|all --tasks=N [--seed=S]
+//   mstctl --mode=max-tasks --platform=FILE --deadline=T
+//                           [--algo=NAME|all] [--cap=K] [--seed=S] [--fast]
+//   mstctl --mode=count     --platform=FILE --tlim=T   # bare number (script-friendly)
+//   mstctl --mode=schedule  --platform=FILE --tasks=N [--format=summary|gantt|svg|json|schedule]
+//   mstctl --mode=validate  --schedule=FILE
+//   mstctl --mode=rate      --platform=FILE
+//   mstctl --mode=demo      [--dir=.]        # writes sample platform files
 //
 // Scheduling algorithms are resolved through the registry
 // (mst/api/registry.hpp): `list` enumerates every registered
-// (platform kind, algorithm) pair and `solve` dispatches any of them by
-// name.  Platforms use the text format of mst/platform/io.hpp (chain /
-// fork / spider); schedules use mst/schedule/schedule_io.hpp.  Exit status
-// is 0 on success, 1 on validation failure, 2 on usage errors.
+// (platform kind, algorithm) pair, `solve` dispatches the makespan form and
+// `max-tasks` the decision form ("how many tasks fit in the window T?") by
+// name.  Platform files use the text format of mst/platform/io.hpp (chain /
+// fork / spider / tree) and are parsed into the typed `api::Platform`
+// variant, so the header keyword of the file decides which algorithm family
+// runs.  `--seed` makes the randomized online policies reproducible.  Exit
+// status is 0 on success, 1 on validation failure, 2 on usage errors.
 
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <type_traits>
 
 #include "mst/mst.hpp"
 
@@ -31,18 +37,33 @@ std::string slurp(const std::string& path) {
   return os.str();
 }
 
-/// Parses a platform file into the registry's variant, keyed by the header
-/// keyword, so chain files dispatch to chain algorithms (not to the one-leg
-/// spider embedding `parse_platform` would produce).
 mst::api::Platform load_platform(const std::string& path) {
-  const std::string text = slurp(path);
-  std::istringstream probe(text);
-  std::string kind;
-  while (probe >> kind && kind.front() == '#') probe.ignore(1 << 20, '\n');
-  if (kind == "chain") return mst::parse_chain(text);
-  if (kind == "fork") return mst::parse_fork(text);
-  if (kind == "spider") return mst::parse_spider(text);
-  throw std::invalid_argument("unknown platform kind '" + kind + "' in " + path);
+  try {
+    return mst::api::parse_any_platform(slurp(path));
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+/// Per-call options from the shared flags (`--seed`, `--cap`).
+mst::api::SolveOptions solve_options(const mst::Args& args, std::int64_t default_cap = 1 << 20) {
+  mst::api::SolveOptions options;
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::int64_t cap = args.get_int("cap", default_cap);
+  if (cap < 1) throw std::invalid_argument("--cap must be >= 1");
+  options.cap = static_cast<std::size_t>(cap);
+  return options;
+}
+
+/// "optimal" where an exact algorithm exists, else the first registered
+/// entry (trees: "spider-cover").
+std::string default_algorithm(mst::api::PlatformKind kind) {
+  if (mst::api::registry().find(kind, "optimal") != nullptr) return "optimal";
+  const std::vector<std::string> names = mst::api::registry().names(kind);
+  if (names.empty()) {
+    throw std::invalid_argument("no algorithms registered for " + to_string(kind) + " platforms");
+  }
+  return names.front();
 }
 
 int run_list(const mst::Args& args) {
@@ -71,22 +92,20 @@ std::size_t task_count(const mst::Args& args) {
   return static_cast<std::size_t>(n);
 }
 
-int run_solve(const mst::Args& args) {
+/// Resolves `--algo=NAME|all` against the registry, skipping exponential
+/// entries in `all` sweeps when `skip_exponential` says the instance is too
+/// big for them.
+std::vector<mst::api::AlgorithmInfo> select_algorithms(const mst::Args& args,
+                                                       mst::api::PlatformKind kind,
+                                                       bool skip_exponential,
+                                                       const char* skip_reason) {
   using namespace mst;
-  const api::Platform platform = load_platform(args.get("platform", ""));
-  const api::PlatformKind kind = api::kind_of(platform);
-  const std::size_t n = task_count(args);
   const std::string algo = args.get("algo", "all");
-
-  std::cout << "platform : " << api::describe(platform) << "\n";
-  std::cout << "tasks    : " << n << "\n\n";
-
   std::vector<api::AlgorithmInfo> selected;
   if (algo == "all") {
     for (const api::AlgorithmInfo& info : api::registry().list(kind)) {
-      // Brute force is exponential in n; only sweep it on small instances.
-      if (info.exponential && n > 10) {
-        std::cout << "(skipping " << info.name << ": exponential, tasks > 10)\n";
+      if (info.exponential && skip_exponential) {
+        std::cout << "(skipping " << info.name << ": " << skip_reason << ")\n";
         continue;
       }
       selected.push_back(info);
@@ -94,17 +113,32 @@ int run_solve(const mst::Args& args) {
   } else {
     const api::AlgorithmInfo* info = api::registry().info(kind, algo);
     if (info == nullptr) {
-      std::cerr << "no algorithm '" << algo << "' for " << to_string(kind)
-                << " platforms; see --mode=list\n";
-      return 2;
+      throw std::invalid_argument("no algorithm '" + algo + "' for " + to_string(kind) +
+                                  " platforms; see --mode=list");
     }
     selected.push_back(*info);
   }
+  return selected;
+}
+
+int run_solve(const mst::Args& args) {
+  using namespace mst;
+  const api::Platform platform = load_platform(args.get("platform", ""));
+  const api::PlatformKind kind = api::kind_of(platform);
+  const std::size_t n = task_count(args);
+  const api::SolveOptions options = solve_options(args);
+
+  std::cout << "platform : " << api::describe(platform) << "\n";
+  std::cout << "tasks    : " << n << "\n\n";
+
+  // Brute force is exponential in n; only sweep it on small instances.
+  const std::vector<api::AlgorithmInfo> selected =
+      select_algorithms(args, kind, n > 10, "exponential, tasks > 10");
 
   Table table({"algorithm", "optimal", "makespan", "lower bound", "throughput", "feasible"});
   bool all_feasible = true;
   for (const api::AlgorithmInfo& info : selected) {
-    const api::SolveResult result = api::registry().solve(platform, info.name, n);
+    const api::SolveResult result = api::registry().solve(platform, info.name, n, options);
     const FeasibilityReport report = api::check_feasibility(result);
     all_feasible = all_feasible && report.ok();
     table.row()
@@ -119,51 +153,138 @@ int run_solve(const mst::Args& args) {
   return all_feasible ? 0 : 1;
 }
 
-int run_schedule(const mst::Args& args) {
+int run_max_tasks(const mst::Args& args) {
   using namespace mst;
-  const Spider platform = parse_platform(slurp(args.get("platform", "")));
-  const std::size_t n = task_count(args);
-  const api::SolveResult result = api::registry().solve(platform, "optimal", n);
-  const SpiderSchedule& schedule = std::get<SpiderSchedule>(result.schedule);
-  const std::string format = args.get("format", "summary");
+  const api::Platform platform = load_platform(args.get("platform", ""));
+  const api::PlatformKind kind = api::kind_of(platform);
+  const Time deadline = args.get_int("deadline", args.get_int("tlim", 100));
+  api::SolveOptions options = solve_options(args);
+  // `--fast` takes the count/makespan-only path: no placement vectors are
+  // materialized and no feasibility check runs.
+  options.materialize = !args.has("fast");
 
-  if (format == "summary") {
-    std::cout << "platform : " << platform.describe() << "\n";
-    std::cout << "tasks    : " << n << "\n";
-    std::cout << "makespan : " << result.makespan << " (optimal)\n";
-    const auto counts = schedule.tasks_per_leg();
-    for (std::size_t l = 0; l < counts.size(); ++l) {
-      std::cout << "  leg " << l << ": " << counts[l] << " tasks\n";
-    }
-    std::cout << "lower bound    : " << result.lower_bound << "\n";
-    std::cout << "steady rate    : " << spider_steady_state_rate(platform) << " tasks/unit\n";
-    std::cout << "forward greedy : "
-              << api::registry().solve(platform, "forward-greedy", n).makespan << "\n";
-    std::cout << "round robin    : "
-              << api::registry().solve(platform, "round-robin", n).makespan << "\n";
-  } else if (format == "gantt") {
-    const Time scale = std::max<Time>(1, schedule.makespan() / 100);
-    std::cout << render_gantt(schedule, scale);
-  } else if (format == "svg") {
-    std::cout << render_svg(schedule);
-  } else if (format == "json") {
-    std::cout << to_json(schedule) << "\n";
-  } else if (format == "schedule") {
-    std::cout << write_schedule(schedule);
+  std::cout << "platform : " << api::describe(platform) << "\n";
+  std::cout << "deadline : " << deadline << "\n\n";
+
+  std::vector<api::AlgorithmInfo> selected;
+  if (args.has("algo")) {
+    selected = select_algorithms(args, kind, true, "exponential; pass --algo=brute-force");
   } else {
-    std::cerr << "unknown --format=" << format << "\n";
-    return 2;
+    // Default: the exact algorithm (or the strongest heuristic for trees).
+    const std::string name = default_algorithm(kind);
+    selected.push_back(*api::registry().info(kind, name));
   }
+
+  Table table({"algorithm", "optimal", "tasks", "makespan", "tasks/T", "feasible"});
+  bool all_feasible = true;
+  for (const api::AlgorithmInfo& info : selected) {
+    api::SolveOptions algo_options = options;
+    // An exhaustive oracle re-searches every count up to the cap; an
+    // uncapped window would hang.  Mirror the solve-mode small-instance
+    // rule unless the user sized the cap themselves.
+    if (info.exponential && !args.has("cap") && algo_options.cap > 10) {
+      std::cout << "(" << info.name << ": exponential, capping the count at 10; "
+                   "pass --cap to raise)\n";
+      algo_options.cap = 10;
+    }
+    const api::DecisionResult result =
+        api::registry().solve_within(platform, info.name, deadline, algo_options);
+    std::string feasible = "unchecked";
+    if (options.materialize) {
+      const FeasibilityReport report = api::check_feasibility(result);
+      all_feasible = all_feasible && report.ok();
+      feasible = report.ok() ? "yes" : report.summary();
+    }
+    table.row()
+        .cell(result.algorithm)
+        .cell(result.optimal ? "yes" : "no")
+        .cell(result.tasks)
+        .cell(result.makespan)
+        .cell(result.throughput(), 4)
+        .cell(feasible);
+  }
+  table.print(std::cout);
+  return all_feasible ? 0 : 1;
+}
+
+// The legacy count mode keeps its bare-number output contract (scripts do
+// `count=$(mstctl --mode=count ...)`), including the old --tlim/--cap
+// defaults, but now answers for every platform kind through the registry.
+int run_count(const mst::Args& args) {
+  using namespace mst;
+  const api::Platform platform = load_platform(args.get("platform", ""));
+  const Time deadline = args.get_int("tlim", args.get_int("deadline", 100));
+  const api::SolveOptions options = solve_options(args, /*default_cap=*/100000);
+  const std::string algo = args.get("algo", default_algorithm(api::kind_of(platform)));
+  std::cout << api::registry().max_tasks(platform, algo, deadline, options) << "\n";
   return 0;
 }
 
-int run_count(const mst::Args& args) {
+int run_schedule(const mst::Args& args) {
   using namespace mst;
-  const Spider platform = parse_platform(slurp(args.get("platform", "")));
-  const Time t_lim = args.get_int("tlim", 100);
-  const auto cap = static_cast<std::size_t>(args.get_int("cap", 100000));
-  std::cout << SpiderScheduler::max_tasks(platform, t_lim, cap) << "\n";
-  return 0;
+  api::Platform platform = load_platform(args.get("platform", ""));
+  if (api::kind_of(platform) == api::PlatformKind::kTree) {
+    std::cerr << "tree platforms produce dispatch plans, not link-level schedules; "
+                 "use --mode=solve or --mode=max-tasks\n";
+    return 2;
+  }
+  // Forks render through their spider embedding (identical platform, one
+  // single-node leg per slave), so one spider code path serves both.
+  if (const auto* fork = std::get_if<Fork>(&platform)) {
+    platform = Spider::from_fork(*fork);
+  }
+  const std::size_t n = task_count(args);
+  const api::SolveResult result = api::registry().solve(platform, "optimal", n);
+  const std::string format = args.get("format", "summary");
+
+  return std::visit(
+      [&](const auto& schedule) -> int {
+        using S = std::decay_t<decltype(schedule)>;
+        if constexpr (std::is_same_v<S, ChainSchedule> || std::is_same_v<S, SpiderSchedule>) {
+          if (format == "summary") {
+            std::cout << "platform : " << api::describe(platform) << "\n";
+            std::cout << "tasks    : " << n << "\n";
+            std::cout << "makespan : " << result.makespan << " (optimal)\n";
+            if constexpr (std::is_same_v<S, ChainSchedule>) {
+              const auto counts = schedule.tasks_per_proc();
+              for (std::size_t i = 0; i < counts.size(); ++i) {
+                std::cout << "  proc " << i << ": " << counts[i] << " tasks\n";
+              }
+              std::cout << "steady rate    : " << chain_steady_state_rate(schedule.chain)
+                        << " tasks/unit\n";
+            } else {
+              const auto counts = schedule.tasks_per_leg();
+              for (std::size_t l = 0; l < counts.size(); ++l) {
+                std::cout << "  leg " << l << ": " << counts[l] << " tasks\n";
+              }
+              std::cout << "steady rate    : " << spider_steady_state_rate(schedule.spider)
+                        << " tasks/unit\n";
+            }
+            std::cout << "lower bound    : " << result.lower_bound << "\n";
+            std::cout << "forward greedy : "
+                      << api::registry().solve(platform, "forward-greedy", n).makespan << "\n";
+            std::cout << "round robin    : "
+                      << api::registry().solve(platform, "round-robin", n).makespan << "\n";
+          } else if (format == "gantt") {
+            const Time scale = std::max<Time>(1, schedule.makespan() / 100);
+            std::cout << render_gantt(schedule, scale);
+          } else if (format == "svg") {
+            std::cout << render_svg(schedule);
+          } else if (format == "json") {
+            std::cout << to_json(schedule) << "\n";
+          } else if (format == "schedule") {
+            std::cout << write_schedule(schedule);
+          } else {
+            std::cerr << "unknown --format=" << format << "\n";
+            return 2;
+          }
+          return 0;
+        } else {
+          std::cerr << "--mode=schedule expects a chain/fork/spider optimal schedule\n";
+          return 2;
+        }
+      },
+      result.schedule);
 }
 
 int run_validate(const mst::Args& args) {
@@ -198,24 +319,45 @@ int run_validate(const mst::Args& args) {
 
 int run_rate(const mst::Args& args) {
   using namespace mst;
-  const Spider platform = parse_platform(slurp(args.get("platform", "")));
-  std::cout << "steady-state rate: " << spider_steady_state_rate(platform)
-            << " tasks/unit\n";
-  for (std::size_t l = 0; l < platform.num_legs(); ++l) {
-    std::cout << "  leg " << l << " rate: " << chain_steady_state_rate(platform.leg(l))
-              << "\n";
+  const api::Platform platform = load_platform(args.get("platform", ""));
+  if (const auto* chain = std::get_if<Chain>(&platform)) {
+    std::cout << "steady-state rate: " << chain_steady_state_rate(*chain) << " tasks/unit\n";
+  } else if (const auto* fork = std::get_if<Fork>(&platform)) {
+    std::cout << "steady-state rate: " << spider_steady_state_rate(Spider::from_fork(*fork))
+              << " tasks/unit\n";
+  } else if (const auto* spider = std::get_if<Spider>(&platform)) {
+    std::cout << "steady-state rate: " << spider_steady_state_rate(*spider) << " tasks/unit\n";
+    for (std::size_t l = 0; l < spider->num_legs(); ++l) {
+      std::cout << "  leg " << l << " rate: " << chain_steady_state_rate(spider->leg(l)) << "\n";
+    }
+  } else {
+    std::cout << "steady-state rate: " << tree_steady_state_rate(std::get<Tree>(platform))
+              << " tasks/unit\n";
   }
   return 0;
 }
 
 int run_demo(const mst::Args& args) {
   using namespace mst;
-  const std::string path = args.get("dir", ".") + "/demo_platform.txt";
+  const std::string dir = args.get("dir", ".");
+  const std::string spider_path = dir + "/demo_platform.txt";
   const Spider demo{Chain::from_vectors({2, 3}, {3, 5}), Chain::from_vectors({4}, {2})};
-  std::ofstream out(path);
+  std::ofstream out(spider_path);
   out << "# demo: the paper's Fig 2 chain plus a leaf pool\n" << write_spider(demo);
-  std::cout << "wrote " << path << "\n";
-  std::cout << "try: mstctl --mode=solve --platform=" << path << " --tasks=8\n";
+  std::cout << "wrote " << spider_path << "\n";
+
+  const std::string tree_path = dir + "/demo_tree.txt";
+  Tree tree;
+  const NodeId trunk = tree.add_node(0, {2, 3});
+  tree.add_node(trunk, {1, 2});
+  tree.add_node(trunk, {2, 4});
+  tree.add_node(0, {3, 2});
+  std::ofstream tree_out(tree_path);
+  tree_out << "# demo: a 4-slave tree with a branching trunk\n" << write_tree(tree);
+  std::cout << "wrote " << tree_path << "\n";
+
+  std::cout << "try: mstctl --mode=solve --platform=" << spider_path << " --tasks=8\n";
+  std::cout << "try: mstctl --mode=max-tasks --platform=" << tree_path << " --deadline=40\n";
   return 0;
 }
 
@@ -227,13 +369,14 @@ int main(int argc, char** argv) {
     const std::string mode = args.get("mode", "schedule");
     if (mode == "list") return run_list(args);
     if (mode == "solve") return run_solve(args);
-    if (mode == "schedule") return run_schedule(args);
+    if (mode == "max-tasks") return run_max_tasks(args);
     if (mode == "count") return run_count(args);
+    if (mode == "schedule") return run_schedule(args);
     if (mode == "validate") return run_validate(args);
     if (mode == "rate") return run_rate(args);
     if (mode == "demo") return run_demo(args);
     std::cerr << "unknown --mode=" << mode
-              << " (expected list|solve|schedule|count|validate|rate|demo)\n";
+              << " (expected list|solve|max-tasks|count|schedule|validate|rate|demo)\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "mstctl: " << e.what() << "\n";
