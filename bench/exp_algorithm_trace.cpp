@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "mst/api/registry.hpp"
 #include "mst/common/table.hpp"
 #include "mst/core/chain_trace.hpp"
 #include "mst/schedule/gantt.hpp"
@@ -42,5 +43,12 @@ int main() {
   std::cout << "final schedule after the -C^1_1 shift (makespan "
             << trace.schedule.makespan() << "):\n"
             << render_gantt(trace.schedule);
-  return 0;
+
+  // The traced replay must land on the same optimum the registry's entry
+  // produces — the trace exists to explain that algorithm, not to fork it.
+  const Time registry_makespan = api::registry().solve(Chain{chain}, "optimal", n).makespan;
+  const bool ok = trace.schedule.makespan() == registry_makespan;
+  std::cout << "registry makespan: " << registry_makespan
+            << (ok ? "  (matches the trace)\n" : "  (MISMATCH)\n");
+  return ok ? 0 : 1;
 }

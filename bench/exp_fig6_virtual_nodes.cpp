@@ -1,9 +1,14 @@
 // FIG6: regenerates the paper's Figure 6 — expansion of a single fork slave
 // (c_i, w_i) into virtual single-task nodes with processing times
 // w_i, w_i + m_i, w_i + 2·m_i, … where m_i = max(c_i, w_i).
+//
+// The expansion is cross-checked against the registry's decision form: the
+// rank-q node exists iff q+1 tasks fit on the slave within T_lim, so the
+// node count must equal `max_tasks` of the single-slave fork.
 
 #include <iostream>
 
+#include "mst/api/registry.hpp"
 #include "mst/common/table.hpp"
 #include "mst/core/virtual_nodes.hpp"
 
@@ -22,19 +27,31 @@ int main() {
       {{4, 4}, 24, "balanced (m = 4)"},
   };
 
+  bool consistent = true;
   for (const Case& c : cases) {
     std::cout << "slave (c=" << c.slave.comm << ", w=" << c.slave.work << "), T_lim=" << c.t_lim
               << " — " << c.regime << '\n';
+    const std::vector<VirtualNode> nodes = expand_fork_slave(c.slave, 0, c.t_lim, 16);
     Table table({"virtual node rank q", "processing time w+q*m", "emission deadline T_lim-exec"});
-    for (const VirtualNode& node : expand_fork_slave(c.slave, 0, c.t_lim, 16)) {
+    for (const VirtualNode& node : nodes) {
       table.row().cell(node.rank).cell(node.exec).cell(node.deadline(c.t_lim));
     }
     table.print(std::cout);
-    std::cout << '\n';
+
+    // Registry cross-check: "rank q selected" means "q+1 tasks on this
+    // slave", so the feasible node count is exactly the optimal task count
+    // of the one-slave fork within the window.
+    const api::Platform fork = Fork{{c.slave}};
+    const std::size_t max_tasks = api::registry().max_tasks(fork, "optimal", c.t_lim);
+    std::cout << "registry max-tasks within T_lim: " << max_tasks
+              << (max_tasks == nodes.size() ? "  (= node count)" : "  (MISMATCH)") << "\n\n";
+    consistent = consistent && max_tasks == nodes.size();
   }
 
   std::cout << "Paper's reading: selecting the rank-q node means \"this slave runs q+1\n"
                "tasks\"; the node's processing time reserves room for the whole suffix\n"
                "of tasks behind it, whether the slave is compute- or link-bound.\n";
-  return 0;
+  std::cout << (consistent ? "RESULT: expansion agrees with the registry decision form\n"
+                           : "RESULT: MISMATCH with the registry decision form\n");
+  return consistent ? 0 : 1;
 }

@@ -2,86 +2,103 @@
 // match the exhaustive optimum on every instance of a randomized sweep, for
 // every platform class.  The paper proves optimality; this table measures it
 // (gap counts must all be zero).
+//
+// The grid is a declarative scenario sweep (tests/data/specs/optimality.spec
+// is the same grid for `mstctl --mode=sweep`): every cell runs `optimal` and
+// `brute-force` through the registry on the parallel runner with
+// materialized, feasibility-checked schedules, and this driver reduces the
+// long-form outcomes to the per-class gap table.
 
 #include <iostream>
+#include <map>
+#include <tuple>
 
-#include "mst/baselines/brute_force.hpp"
 #include "mst/common/cli.hpp"
-#include "mst/common/rng.hpp"
 #include "mst/common/table.hpp"
-#include "mst/core/chain_scheduler.hpp"
-#include "mst/core/spider_scheduler.hpp"
-#include "mst/platform/generator.hpp"
-#include "mst/schedule/feasibility.hpp"
+#include "mst/scenario/report.hpp"
+#include "mst/scenario/runner.hpp"
+#include "mst/scenario/spec.hpp"
 
 int main(int argc, char** argv) {
   using namespace mst;
   const Args args(argc, argv);
-  const auto trials = static_cast<int>(args.get_int("trials", 60));
+  const auto instances = static_cast<std::size_t>(args.get_int("instances", 5));
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 20030422));
 
+  scenario::SweepSpec spec;
+  spec.name = "optimality";
+  spec.seed = seed;
+  spec.kinds = {api::PlatformKind::kChain, api::PlatformKind::kSpider};
+  spec.classes = all_platform_classes();
+  spec.sizes = {1, 2, 3};  // chain processors / spider legs
+  spec.instances = instances;
+  spec.lo = 1;
+  spec.hi = 9;
+  spec.min_leg_len = 1;
+  spec.max_leg_len = 2;
+  spec.tasks = {1, 3, 5, 6};
+  spec.algorithms = {"optimal", "brute-force"};
+
+  scenario::RunOptions run;
+  run.threads = static_cast<unsigned>(args.get_int("threads", 0));  // 0 = all cores
+  run.materialize = true;
+  run.check = true;
+
   std::cout << "OPT — optimality of the chain (Theorem 1) and spider (Theorem 3)\n"
-            << "algorithms against exhaustive search; " << trials
-            << " instances per class and shape.\n\n";
+            << "algorithms against exhaustive search; " << instances
+            << " instances per class, size and task count, via the scenario runner.\n\n";
+
+  const std::vector<scenario::CellOutcome> outcomes = scenario::run_sweep(spec, run);
+
+  // Join each instance's two algorithms, then reduce per (class, shape).
+  using InstanceKey = std::tuple<std::string, std::string, std::size_t, std::size_t,
+                                 std::size_t>;  // (kind, class, size, instance, n)
+  struct Pair {
+    Time optimal = -1;
+    Time oracle = -1;
+    bool infeasible = false;
+  };
+  std::map<InstanceKey, Pair> pairs;
+  for (const scenario::CellOutcome& out : outcomes) {
+    const scenario::Cell& cell = out.cell;
+    Pair& pair = pairs[{cell.kind, cell.cls, cell.size, cell.instance, cell.n}];
+    if (cell.algorithm == "optimal") {
+      pair.optimal = out.makespan;
+    } else {
+      pair.oracle = out.makespan;
+    }
+    pair.infeasible = pair.infeasible || !out.ok();
+  }
+
+  struct CellStats {
+    int instances = 0;
+    int optimal = 0;
+    int infeasible = 0;
+    Time max_gap = 0;
+  };
+  std::map<std::pair<std::string, std::string>, CellStats> stats;  // (class, kind)
+  for (const auto& [key, pair] : pairs) {
+    CellStats& s = stats[{std::get<1>(key), std::get<0>(key)}];
+    ++s.instances;
+    const Time gap = pair.optimal - pair.oracle;
+    if (gap == 0) ++s.optimal;
+    if (pair.infeasible) ++s.infeasible;
+    s.max_gap = std::max(s.max_gap, gap);
+  }
 
   Table table({"class", "shape", "instances", "optimal", "infeasible", "max gap"});
   bool all_ok = true;
-
   for (PlatformClass cls : all_platform_classes()) {
-    GeneratorParams params{1, 9, cls};
-
-    // Chains.
-    {
-      Rng rng(seed);
-      int optimal = 0;
-      int infeasible = 0;
-      Time max_gap = 0;
-      for (int t = 0; t < trials; ++t) {
-        Rng inst = rng.split();
-        const auto p = static_cast<std::size_t>(rng.uniform(1, 4));
-        const auto n = static_cast<std::size_t>(rng.uniform(1, 7));
-        const Chain chain = random_chain(inst, p, params);
-        const ChainSchedule s = ChainScheduler::schedule(chain, n);
-        if (!check_feasibility(s).ok()) ++infeasible;
-        const Time gap = s.makespan() - brute_force_chain_makespan(chain, n);
-        if (gap == 0) ++optimal;
-        max_gap = std::max(max_gap, gap);
-      }
+    for (const char* shape : {"chain", "spider"}) {
+      const CellStats& s = stats[{to_string(cls), shape}];
       table.row()
           .cell(to_string(cls))
-          .cell("chain")
-          .cell(trials)
-          .cell(optimal)
-          .cell(infeasible)
-          .cell(max_gap);
-      all_ok = all_ok && optimal == trials && infeasible == 0;
-    }
-
-    // Spiders.
-    {
-      Rng rng(seed + 1);
-      int optimal = 0;
-      int infeasible = 0;
-      Time max_gap = 0;
-      for (int t = 0; t < trials; ++t) {
-        Rng inst = rng.split();
-        const auto legs = static_cast<std::size_t>(rng.uniform(1, 3));
-        const auto n = static_cast<std::size_t>(rng.uniform(1, 6));
-        const Spider spider = random_spider(inst, legs, 2, params);
-        const SpiderSchedule s = SpiderScheduler::schedule(spider, n);
-        if (!check_feasibility(s).ok()) ++infeasible;
-        const Time gap = s.makespan() - brute_force_spider_makespan(spider, n);
-        if (gap == 0) ++optimal;
-        max_gap = std::max(max_gap, gap);
-      }
-      table.row()
-          .cell(to_string(cls))
-          .cell("spider")
-          .cell(trials)
-          .cell(optimal)
-          .cell(infeasible)
-          .cell(max_gap);
-      all_ok = all_ok && optimal == trials && infeasible == 0;
+          .cell(shape)
+          .cell(s.instances)
+          .cell(s.optimal)
+          .cell(s.infeasible)
+          .cell(s.max_gap);
+      all_ok = all_ok && s.optimal == s.instances && s.infeasible == 0;
     }
   }
 

@@ -1,36 +1,31 @@
 // CPLX-CHAIN / CPLX-SPIDER: measured complexity of the algorithms.  The
 // paper claims O(n·p²) for the chain algorithm (§3) and a polynomial below
-// O(n²·p²) for the spider algorithm (Theorem 2).  This harness times the
-// implementations over geometric sweeps and fits log-log slopes: the chain
-// exponent in n must be ~1 and in p ~<=2.  Solves dispatch through the
-// algorithm registry, so the measured path is the one the CLI and the other
-// experiments exercise.
+// O(n²·p²) for the spider algorithm (Theorem 2).  This harness runs
+// geometric sweeps as declarative scenario grids on the sweep runner
+// (single-threaded, best-of-`reps` wall times, registry dispatch — the path
+// the CLI and the other experiments exercise) and fits log-log slopes: the
+// chain exponent in n must be ~1 and in p ~<=2.
 
-#include <chrono>
-#include <functional>
 #include <iostream>
 #include <vector>
 
-#include "mst/api/registry.hpp"
 #include "mst/common/cli.hpp"
-#include "mst/common/rng.hpp"
 #include "mst/common/stats.hpp"
 #include "mst/common/table.hpp"
-#include "mst/platform/generator.hpp"
+#include "mst/scenario/runner.hpp"
+#include "mst/scenario/spec.hpp"
 
 namespace {
 
-double time_once(const std::function<void()>& fn) {
-  const auto start = std::chrono::steady_clock::now();
-  fn();
-  const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::micro>(end - start).count();
-}
-
-double time_best_of(int reps, const std::function<void()>& fn) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) best = std::min(best, time_once(fn));
-  return best;
+/// Runs one timing grid: single worker (timing integrity), payload-free
+/// fast path, best-of-`reps` per cell.
+std::vector<mst::scenario::CellOutcome> run_timing(const mst::scenario::SweepSpec& spec,
+                                                   int reps) {
+  mst::scenario::RunOptions options;
+  options.threads = 1;
+  options.materialize = false;
+  options.reps = reps;
+  return mst::scenario::run_sweep(spec, options);
 }
 
 }  // namespace
@@ -39,22 +34,32 @@ int main(int argc, char** argv) {
   using namespace mst;
   const Args args(argc, argv);
   const int reps = static_cast<int>(args.get_int("reps", 3));
-  GeneratorParams params{1, 10, PlatformClass::kUniform};
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 0xA11CE));
 
   std::cout << "CPLX — measured scaling of the schedulers (best of " << reps << " runs)\n\n";
 
+  scenario::SweepSpec base;
+  base.seed = seed;
+  base.classes = {PlatformClass::kUniform};
+  base.lo = 1;
+  base.hi = 10;
+  base.algorithms = {"optimal"};
+
   // Chain: sweep n at fixed p.
   {
+    scenario::SweepSpec spec = base;
+    spec.name = "cplx-chain-n";
+    spec.kinds = {api::PlatformKind::kChain};
+    spec.sizes = {16};
+    spec.tasks = {128, 256, 512, 1024, 2048, 4096, 8192};
+
     Table table({"n (p=16)", "time [us]", "us per task"});
-    Rng rng(0xA11CE);
-    const api::Platform chain = random_chain(rng, 16, params);
     std::vector<double> xs;
     std::vector<double> ys;
-    for (std::size_t n = 128; n <= 8192; n *= 2) {
-      const double us =
-          time_best_of(reps, [&] { (void)api::registry().solve(chain, "optimal", n); });
-      table.row().cell(n).cell(us, 1).cell(us / static_cast<double>(n), 4);
-      xs.push_back(static_cast<double>(n));
+    for (const scenario::CellOutcome& out : run_timing(spec, reps)) {
+      const double us = out.wall_ms * 1000.0;
+      table.row().cell(out.cell.n).cell(us, 1).cell(us / static_cast<double>(out.cell.n), 4);
+      xs.push_back(static_cast<double>(out.cell.n));
       ys.push_back(us);
     }
     table.print(std::cout);
@@ -64,16 +69,19 @@ int main(int argc, char** argv) {
 
   // Chain: sweep p at fixed n.
   {
+    scenario::SweepSpec spec = base;
+    spec.name = "cplx-chain-p";
+    spec.kinds = {api::PlatformKind::kChain};
+    spec.sizes = {4, 8, 16, 32, 64, 128, 256};
+    spec.tasks = {512};
+
     Table table({"p (n=512)", "time [us]"});
     std::vector<double> xs;
     std::vector<double> ys;
-    for (std::size_t p = 4; p <= 256; p *= 2) {
-      Rng rng(0xB0B + p);
-      const api::Platform chain = random_chain(rng, p, params);
-      const double us =
-          time_best_of(reps, [&] { (void)api::registry().solve(chain, "optimal", 512); });
-      table.row().cell(p).cell(us, 1);
-      xs.push_back(static_cast<double>(p));
+    for (const scenario::CellOutcome& out : run_timing(spec, reps)) {
+      const double us = out.wall_ms * 1000.0;
+      table.row().cell(out.cell.size).cell(us, 1);
+      xs.push_back(static_cast<double>(out.cell.size));
       ys.push_back(us);
     }
     table.print(std::cout);
@@ -81,20 +89,23 @@ int main(int argc, char** argv) {
               << "  (paper: 2.0 — O(n·p²))\n\n";
   }
 
-  // Spider: sweep n.
+  // Spider: sweep n (6 legs of exactly 3 processors).
   {
+    scenario::SweepSpec spec = base;
+    spec.name = "cplx-spider-n";
+    spec.kinds = {api::PlatformKind::kSpider};
+    spec.sizes = {6};
+    spec.min_leg_len = 3;
+    spec.max_leg_len = 3;
+    spec.tasks = {32, 64, 128, 256, 512, 1024};
+
     Table table({"n (6 legs x 3)", "time [us]"});
     std::vector<double> xs;
     std::vector<double> ys;
-    Rng rng(0x5317);
-    std::vector<Chain> legs;
-    for (int l = 0; l < 6; ++l) legs.push_back(random_chain(rng, 3, params));
-    const api::Platform spider = Spider(legs);
-    for (std::size_t n = 32; n <= 1024; n *= 2) {
-      const double us =
-          time_best_of(reps, [&] { (void)api::registry().solve(spider, "optimal", n); });
-      table.row().cell(n).cell(us, 1);
-      xs.push_back(static_cast<double>(n));
+    for (const scenario::CellOutcome& out : run_timing(spec, reps)) {
+      const double us = out.wall_ms * 1000.0;
+      table.row().cell(out.cell.n).cell(us, 1);
+      xs.push_back(static_cast<double>(out.cell.n));
       ys.push_back(us);
     }
     table.print(std::cout);

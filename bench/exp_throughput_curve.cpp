@@ -2,14 +2,37 @@
 // finite-horizon optimum meets the steady-state analysis it cites.  Prints
 // M(n), the marginal cost per task, the fitted (startup, rate) split and
 // the warm-up length needed to reach 95% / 99% of the LP rate.
+//
+// Platforms come from the scenario generators; the curves are sampled by
+// the registry-driven `throughput_curve` (analysis/throughput.hpp), i.e.
+// every makespan is an `api::Registry` dispatch on the fast path.
 
 #include <iostream>
+#include <variant>
 
 #include "mst/analysis/throughput.hpp"
 #include "mst/common/cli.hpp"
-#include "mst/common/rng.hpp"
 #include "mst/common/table.hpp"
-#include "mst/platform/generator.hpp"
+#include "mst/scenario/generators.hpp"
+
+namespace {
+
+void print_curve(const mst::ThroughputCurve& curve) {
+  using namespace mst;
+  Table table({"n", "M(n)", "marginal", "throughput"});
+  for (std::size_t i = 0; i < curve.n.size(); ++i) {
+    table.row().cell(curve.n[i]).cell(curve.makespan[i]).cell(curve.marginal[i]).cell(
+        static_cast<double>(curve.n[i]) / static_cast<double>(curve.makespan[i]), 4);
+  }
+  table.print(std::cout);
+  std::cout << "LP steady-state rate : " << curve.steady_rate << "\n";
+  std::cout << "fitted tail rate     : " << curve.fitted_rate << "\n";
+  std::cout << "fitted startup cost  : " << curve.fitted_startup << "\n";
+  std::cout << "efficiency at n=" << curve.n.back() << "  : " << curve.efficiency_at_tail()
+            << "\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mst;
@@ -18,44 +41,32 @@ int main(int argc, char** argv) {
 
   std::cout << "CURVE — optimal makespan curve and its affine steady-state tail\n\n";
 
-  Rng rng(seed);
-  GeneratorParams params{1, 9, PlatformClass::kUniform};
-
   {
-    const Chain chain = random_chain(rng, 5, params);
-    std::cout << "chain: " << chain.describe() << "\n";
-    const ThroughputCurve curve =
-        chain_throughput_curve(chain, {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
-    Table table({"n", "M(n)", "marginal", "throughput"});
-    for (std::size_t i = 0; i < curve.n.size(); ++i) {
-      table.row().cell(curve.n[i]).cell(curve.makespan[i]).cell(curve.marginal[i]).cell(
-          static_cast<double>(curve.n[i]) / static_cast<double>(curve.makespan[i]), 4);
-    }
-    table.print(std::cout);
-    std::cout << "LP steady-state rate : " << curve.steady_rate << "\n";
-    std::cout << "fitted tail rate     : " << curve.fitted_rate << "\n";
-    std::cout << "fitted startup cost  : " << curve.fitted_startup << "\n";
-    std::cout << "efficiency at n=512  : " << curve.efficiency_at_tail() << "\n";
-    std::cout << "tasks to reach 95% of rate: " << tasks_to_reach_rate_fraction(chain, 0.95)
-              << "\n";
-    std::cout << "tasks to reach 99% of rate: " << tasks_to_reach_rate_fraction(chain, 0.99)
-              << "\n\n";
+    scenario::PlatformSpec spec;
+    spec.kind = api::PlatformKind::kChain;
+    spec.size = 5;
+    spec.lo = 1;
+    spec.hi = 9;
+    const api::Platform chain = scenario::make_platform(spec, scenario::derive_seed(seed, 0));
+    std::cout << "chain: " << api::describe(chain) << "\n";
+    print_curve(throughput_curve(chain, {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}));
+    std::cout << "tasks to reach 95% of rate: "
+              << tasks_to_reach_rate_fraction(std::get<Chain>(chain), 0.95) << "\n";
+    std::cout << "tasks to reach 99% of rate: "
+              << tasks_to_reach_rate_fraction(std::get<Chain>(chain), 0.99) << "\n\n";
   }
 
   {
-    const Spider spider = random_spider(rng, 4, 3, params);
-    std::cout << "spider: " << spider.describe() << "\n";
-    const ThroughputCurve curve = spider_throughput_curve(spider, {1, 2, 4, 8, 16, 32, 64, 128});
-    Table table({"n", "M(n)", "marginal", "throughput"});
-    for (std::size_t i = 0; i < curve.n.size(); ++i) {
-      table.row().cell(curve.n[i]).cell(curve.makespan[i]).cell(curve.marginal[i]).cell(
-          static_cast<double>(curve.n[i]) / static_cast<double>(curve.makespan[i]), 4);
-    }
-    table.print(std::cout);
-    std::cout << "LP steady-state rate : " << curve.steady_rate << "\n";
-    std::cout << "fitted tail rate     : " << curve.fitted_rate << "\n";
-    std::cout << "fitted startup cost  : " << curve.fitted_startup << "\n";
-    std::cout << "efficiency at n=128  : " << curve.efficiency_at_tail() << "\n";
+    scenario::PlatformSpec spec;
+    spec.kind = api::PlatformKind::kSpider;
+    spec.size = 4;  // legs
+    spec.lo = 1;
+    spec.hi = 9;
+    spec.min_leg_len = 1;
+    spec.max_leg_len = 3;
+    const api::Platform spider = scenario::make_platform(spec, scenario::derive_seed(seed, 1));
+    std::cout << "spider: " << api::describe(spider) << "\n";
+    print_curve(throughput_curve(spider, {1, 2, 4, 8, 16, 32, 64, 128}));
   }
 
   std::cout << "\nExpected shape: marginal cost settles at 1/rate; the curve is\n"

@@ -48,28 +48,42 @@ double ThroughputCurve::efficiency_at_tail() const {
   return tp / steady_rate;
 }
 
-ThroughputCurve chain_throughput_curve(const Chain& chain,
-                                       const std::vector<std::size_t>& ns) {
+ThroughputCurve throughput_curve(const api::Platform& platform,
+                                 const std::vector<std::size_t>& ns,
+                                 std::string_view algorithm) {
   validate_counts(ns);
+  const std::string name =
+      algorithm.empty() ? api::default_algorithm(api::kind_of(platform))
+                        : std::string(algorithm);
   ThroughputCurve curve;
   curve.n = ns;
   curve.makespan.reserve(ns.size());
-  for (std::size_t n : ns) curve.makespan.push_back(ChainScheduler::makespan(chain, n));
-  curve.steady_rate = chain_steady_state_rate(chain);
+  api::SolveOptions fast;
+  fast.materialize = false;
+  for (std::size_t n : ns) {
+    curve.makespan.push_back(api::registry().solve(platform, name, n, fast).makespan);
+  }
+  if (const auto* chain = std::get_if<Chain>(&platform)) {
+    curve.steady_rate = chain_steady_state_rate(*chain);
+  } else if (const auto* fork = std::get_if<Fork>(&platform)) {
+    curve.steady_rate = spider_steady_state_rate(Spider::from_fork(*fork));
+  } else if (const auto* spider = std::get_if<Spider>(&platform)) {
+    curve.steady_rate = spider_steady_state_rate(*spider);
+  } else {
+    curve.steady_rate = tree_steady_state_rate(std::get<Tree>(platform));
+  }
   finish(curve);
   return curve;
 }
 
+ThroughputCurve chain_throughput_curve(const Chain& chain,
+                                       const std::vector<std::size_t>& ns) {
+  return throughput_curve(chain, ns, "optimal");
+}
+
 ThroughputCurve spider_throughput_curve(const Spider& spider,
                                         const std::vector<std::size_t>& ns) {
-  validate_counts(ns);
-  ThroughputCurve curve;
-  curve.n = ns;
-  curve.makespan.reserve(ns.size());
-  for (std::size_t n : ns) curve.makespan.push_back(SpiderScheduler::makespan(spider, n));
-  curve.steady_rate = spider_steady_state_rate(spider);
-  finish(curve);
-  return curve;
+  return throughput_curve(spider, ns, "optimal");
 }
 
 std::size_t tasks_to_reach_rate_fraction(const Chain& chain, double fraction,

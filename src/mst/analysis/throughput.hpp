@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <string_view>
 #include <vector>
 
+#include "mst/api/registry.hpp"
 #include "mst/common/time.hpp"
 #include "mst/platform/chain.hpp"
 #include "mst/platform/spider.hpp"
@@ -35,7 +37,19 @@ struct ThroughputCurve {
   [[nodiscard]] double efficiency_at_tail() const;
 };
 
+/// Samples `M(n)` at the given counts (must be increasing, >= 1) by
+/// dispatching `algorithm` through `api::registry()` on the makespan-only
+/// fast path — any platform kind, any registered algorithm.  An empty
+/// `algorithm` picks the kind's default: "optimal" where an exact algorithm
+/// is registered, else the first registered entry (trees: "spider-cover").
+/// The steady rate comes from the matching LP bound (trees use the
+/// bandwidth-centric tree rate).
+ThroughputCurve throughput_curve(const api::Platform& platform,
+                                 const std::vector<std::size_t>& ns,
+                                 std::string_view algorithm = {});
+
 /// Samples `M(n)` at the given counts (must be increasing, >= 1).
+/// Convenience wrappers over the registry-driven `throughput_curve`.
 ThroughputCurve chain_throughput_curve(const Chain& chain, const std::vector<std::size_t>& ns);
 ThroughputCurve spider_throughput_curve(const Spider& spider,
                                         const std::vector<std::size_t>& ns);

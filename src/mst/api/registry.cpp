@@ -595,6 +595,16 @@ void register_chain_algorithms(Registry& r) {
           const Chain& chain = expect_chain(p, "optimal");
           if (deadline <= 0) return make_decision("optimal", k, deadline, 0, 0, true, {});
           const std::size_t cap = decision_cap(opts);
+          if (!opts.materialize) {
+            // Genuinely allocation-free counting for sweeps: per-thread
+            // warm scratch, no placement vectors ever built.  A nonempty
+            // backward construction always ends exactly at the horizon, so
+            // the completion time is `deadline` itself.
+            static thread_local ChainCountScratch scratch;
+            const std::size_t tasks = ChainScheduler::count_within(chain, deadline, cap, scratch);
+            return make_decision("optimal", k, deadline, tasks, tasks > 0 ? deadline : 0,
+                                 /*optimal=*/tasks < cap, {});
+          }
           return decision_from_schedule(
               "optimal", k, deadline, /*optimal=*/true, cap,
               ChainScheduler::schedule_within(chain, deadline, cap));
@@ -718,6 +728,16 @@ void register_spider_algorithms(Registry& r) {
           const Spider& spider = expect_spider(p, "optimal");
           if (deadline <= 0) return make_decision("optimal", k, deadline, 0, 0, true, {});
           const std::size_t cap = decision_cap(opts);
+          if (!opts.materialize) {
+            // Allocation-free counting (per-leg backward count + count-only
+            // Moore–Hodgson); any kept leg's latest task ends at the
+            // horizon, so a nonempty count completes exactly at `deadline`.
+            static thread_local SpiderCountScratch scratch;
+            const std::size_t tasks =
+                SpiderScheduler::count_within(spider, deadline, cap, scratch);
+            return make_decision("optimal", k, deadline, tasks, tasks > 0 ? deadline : 0,
+                                 /*optimal=*/tasks < cap, {});
+          }
           return decision_from_schedule(
               "optimal", k, deadline, /*optimal=*/true, cap,
               SpiderScheduler::schedule_within(spider, deadline, cap));
@@ -828,5 +848,15 @@ Registry& Registry::instance() {
 }
 
 Registry& registry() { return Registry::instance(); }
+
+std::string default_algorithm(PlatformKind kind) {
+  if (registry().find(kind, "optimal") != nullptr) return "optimal";
+  const std::vector<std::string> names = registry().names(kind);
+  if (names.empty()) {
+    throw std::invalid_argument("no algorithms registered for " + to_string(kind) +
+                                " platforms");
+  }
+  return names.front();
+}
 
 }  // namespace mst::api

@@ -270,4 +270,10 @@ class Registry {
 /// Shorthand for `Registry::instance()`.
 Registry& registry();
 
+/// The kind's conventional default in `registry()`: "optimal" where an
+/// exact algorithm is registered, else the first registered entry (trees:
+/// "spider-cover").  Throws `std::invalid_argument` when the kind has no
+/// entries.  Shared by `mstctl` and the analysis curves.
+std::string default_algorithm(PlatformKind kind);
+
 }  // namespace mst::api

@@ -93,7 +93,73 @@ ChainSchedule ChainScheduler::schedule_within(const Chain& chain, Time t_lim,
 }
 
 std::size_t ChainScheduler::max_tasks(const Chain& chain, Time t_lim, std::size_t cap) {
-  return schedule_within(chain, t_lim, cap).tasks.size();
+  ChainCountScratch scratch;
+  return count_within(chain, t_lim, cap, scratch);
+}
+
+namespace {
+
+/// Shared body of the counting entry points; `first_emissions` may be null.
+std::size_t count_backward(const Chain& chain, Time t_lim, std::size_t cap,
+                           ChainCountScratch& scratch, std::vector<Time>* first_emissions) {
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  const std::size_t p = chain.size();
+
+  // The hull/occupancy state of `build_backward`, in reusable buffers.
+  // `assign` only allocates when the capacity grows, so a warm scratch makes
+  // the whole loop allocation-free.
+  scratch.hull.assign(p, t_lim);
+  scratch.occupancy.assign(p, t_lim);
+  scratch.candidate.resize(p);
+  scratch.best.resize(p);
+  Time* const hull = scratch.hull.data();
+  Time* const occupancy = scratch.occupancy.data();
+  Time* const candidate = scratch.candidate.data();
+  Time* const best = scratch.best.data();
+
+  std::size_t count = 0;
+  while (count < cap) {
+    // Greatest candidate communication vector over all destinations, with
+    // the vectors living in the two scratch buffers instead of CommVectors.
+    std::size_t best_len = 0;
+    for (std::size_t k1 = p; k1 >= 1; --k1) {
+      const std::size_t k = k1 - 1;
+      candidate[k] = std::min(occupancy[k] - chain.work(k) - chain.comm(k),
+                              hull[k] - chain.comm(k));
+      for (std::size_t j1 = k; j1 >= 1; --j1) {
+        const std::size_t j = j1 - 1;
+        candidate[j] = std::min(candidate[j + 1] - chain.comm(j), hull[j] - chain.comm(j));
+      }
+      if (best_len == 0 || precedes(best, best_len, candidate, k + 1)) {
+        std::copy(candidate, candidate + k + 1, best);
+        best_len = k + 1;
+      }
+    }
+    MST_ASSERT(best_len >= 1);
+
+    // Decision form: no further task fits in the window.
+    if (best[0] < 0) break;
+
+    const std::size_t dest = best_len - 1;
+    occupancy[dest] -= chain.work(dest);
+    for (std::size_t k = 0; k <= dest; ++k) hull[k] = best[k];
+    if (first_emissions != nullptr) first_emissions->push_back(best[0]);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::size_t ChainScheduler::count_within(const Chain& chain, Time t_lim, std::size_t cap,
+                                         ChainCountScratch& scratch) {
+  return count_backward(chain, t_lim, cap, scratch, nullptr);
+}
+
+std::size_t ChainScheduler::count_within_emissions(const Chain& chain, Time t_lim,
+                                                   std::size_t cap, ChainCountScratch& scratch,
+                                                   std::vector<Time>& first_emissions) {
+  return count_backward(chain, t_lim, cap, scratch, &first_emissions);
 }
 
 }  // namespace mst

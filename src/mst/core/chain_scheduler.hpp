@@ -29,6 +29,18 @@
 
 namespace mst {
 
+/// Reusable buffers for the allocation-free counting path
+/// (`ChainScheduler::count_within`).  Keep one per thread: after the first
+/// call the buffers are warm, and every further call on a chain of the same
+/// (or smaller) size performs no heap allocation at all — the sweep runner's
+/// hot path relies on this.
+struct ChainCountScratch {
+  std::vector<Time> hull;
+  std::vector<Time> occupancy;
+  std::vector<Time> candidate;
+  std::vector<Time> best;
+};
+
 /// Optimal scheduling on chains (stateless; all methods are pure functions
 /// of their arguments).
 class ChainScheduler {
@@ -53,7 +65,26 @@ class ChainScheduler {
   static ChainSchedule schedule_within(const Chain& chain, Time t_lim, std::size_t max_tasks);
 
   /// Number of tasks the decision form schedules (throughput counting).
+  /// Runs the counting construction below with a private scratch.
   static std::size_t max_tasks(const Chain& chain, Time t_lim, std::size_t cap);
+
+  /// Decision-form counting without materialization: replays the backward
+  /// construction of `schedule_within` but commits only the hull/occupancy
+  /// updates, never building `ChainTask`s or communication vectors.  Returns
+  /// exactly `schedule_within(chain, t_lim, cap).tasks.size()`.  With a warm
+  /// `scratch` this performs zero heap allocations — the registry's
+  /// `materialize == false` fast path and the spider binary search both sit
+  /// on it.
+  static std::size_t count_within(const Chain& chain, Time t_lim, std::size_t cap,
+                                  ChainCountScratch& scratch);
+
+  /// Counting variant that also records each counted task's first-link
+  /// emission `C^i_1` by appending to `first_emissions` (construction order:
+  /// latest task first).  The spider reduction builds its virtual-node
+  /// deadlines from these without materializing the leg schedules.
+  static std::size_t count_within_emissions(const Chain& chain, Time t_lim, std::size_t cap,
+                                            ChainCountScratch& scratch,
+                                            std::vector<Time>& first_emissions);
 
   /// Raw backward construction anchored at an arbitrary horizon, exposed for
   /// the property tests of Lemma 2 (sub-chain projection) and Lemma 4

@@ -54,6 +54,27 @@ std::vector<std::size_t> moore_hodgson(std::vector<DeadlineJob> jobs) {
   return ids;
 }
 
+std::size_t moore_hodgson_count(std::vector<DeadlineJob>& jobs, std::vector<Time>& heap_scratch) {
+  std::sort(jobs.begin(), jobs.end(), edd_less);
+
+  // Same eviction rule as `moore_hodgson`, but the heap only needs the
+  // processing times: the count is invariant under which of several
+  // longest-job ties gets evicted.
+  heap_scratch.clear();
+  Time total = 0;
+  for (const DeadlineJob& job : jobs) {
+    heap_scratch.push_back(job.proc_time);
+    std::push_heap(heap_scratch.begin(), heap_scratch.end());
+    total += job.proc_time;
+    if (total > job.deadline) {
+      std::pop_heap(heap_scratch.begin(), heap_scratch.end());
+      total -= heap_scratch.back();
+      heap_scratch.pop_back();
+    }
+  }
+  return heap_scratch.size();
+}
+
 bool edd_feasible(std::vector<DeadlineJob> jobs) {
   std::sort(jobs.begin(), jobs.end(), edd_less);
   Time total = 0;

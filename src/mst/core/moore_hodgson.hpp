@@ -34,6 +34,13 @@ struct DeadlineJob {
 /// selected.  Deterministic: ties are broken by (deadline, proc_time, id).
 std::vector<std::size_t> moore_hodgson(std::vector<DeadlineJob> jobs);
 
+/// Count-only Moore–Hodgson for sweep hot paths: sorts `jobs` in place and
+/// keeps the selected processing times in `heap_scratch` (cleared, capacity
+/// reused), so a warmed-up caller triggers no allocation.  Returns the same
+/// cardinality `moore_hodgson` selects — the optimum is unique even when the
+/// selection is not.
+std::size_t moore_hodgson_count(std::vector<DeadlineJob>& jobs, std::vector<Time>& heap_scratch);
+
 /// True iff the given jobs all meet their deadlines when run back-to-back in
 /// EDD order — the canonical feasibility test for a selection.
 bool edd_feasible(std::vector<DeadlineJob> jobs);

@@ -110,7 +110,31 @@ SpiderSchedule SpiderScheduler::schedule_within(const Spider& spider, Time t_lim
 }
 
 std::size_t SpiderScheduler::max_tasks(const Spider& spider, Time t_lim, std::size_t cap) {
-  return schedule_within(spider, t_lim, cap).tasks.size();
+  SpiderCountScratch scratch;
+  return count_within(spider, t_lim, cap, scratch);
+}
+
+std::size_t SpiderScheduler::count_within(const Spider& spider, Time t_lim, std::size_t cap,
+                                          SpiderCountScratch& scratch) {
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  // Steps (1)–(3) of `schedule_within` without materialization: each leg's
+  // backward construction is replayed count-only, its first-link emissions
+  // become virtual-node deadlines (`expand_leg`: deadline = C_1 + c_1), and
+  // the count-only Moore–Hodgson gives the selected cardinality.  Counts are
+  // per-leg capped like the materialized path; the global cap trim of step
+  // (3b) only ever reduces the total to `cap`, so `min` reproduces it.
+  scratch.jobs.clear();
+  for (std::size_t l = 0; l < spider.num_legs(); ++l) {
+    const Chain& leg = spider.leg(l);
+    scratch.emissions.clear();
+    ChainScheduler::count_within_emissions(leg, t_lim, cap, scratch.chain, scratch.emissions);
+    const Time c1 = leg.comm(0);
+    for (const Time emission : scratch.emissions) {
+      scratch.jobs.push_back(DeadlineJob{c1, emission + c1, scratch.jobs.size()});
+    }
+  }
+  const std::size_t picked = moore_hodgson_count(scratch.jobs, scratch.heap);
+  return std::min(picked, cap);
 }
 
 SpiderSchedule SpiderScheduler::schedule(const Spider& spider, std::size_t n) {
@@ -120,9 +144,11 @@ SpiderSchedule SpiderScheduler::schedule(const Spider& spider, std::size_t n) {
   Time hi = kTimeInfinity;
   for (const Chain& leg : spider.legs()) hi = std::min(hi, leg.t_infinity(n));
   Time lo = 0;
+  // The probes only need counts; one scratch serves the whole search.
+  SpiderCountScratch scratch;
   while (lo < hi) {
     const Time mid = lo + (hi - lo) / 2;
-    if (max_tasks(spider, mid, n) >= n) {
+    if (count_within(spider, mid, n, scratch) >= n) {
       hi = mid;
     } else {
       lo = mid + 1;

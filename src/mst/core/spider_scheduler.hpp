@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "mst/core/chain_scheduler.hpp"
+#include "mst/core/moore_hodgson.hpp"
 #include "mst/core/virtual_nodes.hpp"
 #include "mst/platform/spider.hpp"
 #include "mst/schedule/chain_schedule.hpp"
@@ -40,6 +42,16 @@ struct SpiderTransformation {
   std::vector<VirtualNode> nodes;
 };
 
+/// Reusable buffers for `SpiderScheduler::count_within`.  Keep one per
+/// thread; with warm buffers the whole spider count — per-leg backward
+/// counting plus the Moore–Hodgson selection — runs without allocating.
+struct SpiderCountScratch {
+  ChainCountScratch chain;          ///< shared across legs
+  std::vector<Time> emissions;      ///< one leg's first-link emissions
+  std::vector<DeadlineJob> jobs;    ///< the fork-graph instance
+  std::vector<Time> heap;           ///< Moore–Hodgson selection heap
+};
+
 class SpiderScheduler {
  public:
   /// Steps (1)-(2): per-leg schedules and the fork-graph instance (Fig 7).
@@ -49,8 +61,17 @@ class SpiderScheduler {
   /// tasks (at most `cap`) completing by `t_lim`.
   static SpiderSchedule schedule_within(const Spider& spider, Time t_lim, std::size_t cap);
 
-  /// Count-only decision form.
+  /// Count-only decision form (private scratch; see `count_within`).
   static std::size_t max_tasks(const Spider& spider, Time t_lim, std::size_t cap);
+
+  /// Allocation-free counting: runs the per-leg backward counting and the
+  /// count-only Moore–Hodgson selection entirely in `scratch`, never
+  /// materializing leg schedules or virtual-node vectors.  Returns exactly
+  /// `schedule_within(spider, t_lim, cap).tasks.size()`.  Both the makespan
+  /// form's binary search and the registry's `materialize == false` fast
+  /// path run on this.
+  static std::size_t count_within(const Spider& spider, Time t_lim, std::size_t cap,
+                                  SpiderCountScratch& scratch);
 
   /// Makespan form: optimal schedule of exactly `n` tasks.
   static SpiderSchedule schedule(const Spider& spider, std::size_t n);

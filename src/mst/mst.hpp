@@ -47,6 +47,7 @@
 #include "mst/baselines/periodic.hpp"
 #include "mst/baselines/tree_asap.hpp"
 
+#include "mst/sim/dispatch_render.hpp"
 #include "mst/sim/engine.hpp"
 #include "mst/sim/online.hpp"
 #include "mst/sim/platform_sim.hpp"
@@ -57,6 +58,11 @@
 
 #include "mst/api/platform_io.hpp"
 #include "mst/api/registry.hpp"
+
+#include "mst/scenario/generators.hpp"
+#include "mst/scenario/report.hpp"
+#include "mst/scenario/runner.hpp"
+#include "mst/scenario/spec.hpp"
 
 #include "mst/heuristics/local_search.hpp"
 #include "mst/heuristics/tree_cover.hpp"

@@ -70,24 +70,42 @@ Fork random_fork(Rng& rng, std::size_t p, const GeneratorParams& params) {
 
 Spider random_spider(Rng& rng, std::size_t legs, std::size_t max_leg_len,
                      const GeneratorParams& params) {
+  return random_spider(rng, legs, 1, max_leg_len, params);
+}
+
+Spider random_spider(Rng& rng, std::size_t legs, std::size_t min_leg_len,
+                     std::size_t max_leg_len, const GeneratorParams& params) {
   MST_REQUIRE(legs >= 1, "spider needs at least one leg");
-  MST_REQUIRE(max_leg_len >= 1, "legs need at least one processor");
+  MST_REQUIRE(min_leg_len >= 1 && min_leg_len <= max_leg_len,
+              "need 1 <= min_leg_len <= max_leg_len");
   std::vector<Chain> chains;
   chains.reserve(legs);
   for (std::size_t l = 0; l < legs; ++l) {
-    const auto len = static_cast<std::size_t>(rng.uniform(1, static_cast<Time>(max_leg_len)));
+    const auto len = static_cast<std::size_t>(
+        rng.uniform(static_cast<Time>(min_leg_len), static_cast<Time>(max_leg_len)));
     chains.push_back(random_chain(rng, len, params));
   }
   return Spider(std::move(chains));
 }
 
 Tree random_tree(Rng& rng, std::size_t slaves, const GeneratorParams& params) {
+  return random_tree(rng, slaves, params, 0.0);
+}
+
+Tree random_tree(Rng& rng, std::size_t slaves, const GeneratorParams& params,
+                 double depth_bias) {
   MST_REQUIRE(slaves >= 1, "tree needs at least one slave");
+  MST_REQUIRE(depth_bias >= 0.0 && depth_bias <= 1.0, "depth_bias must be in [0, 1]");
   Tree tree;
+  NodeId last = 0;
   for (std::size_t i = 0; i < slaves; ++i) {
-    const auto parent =
-        static_cast<NodeId>(rng.uniform(0, static_cast<Time>(tree.size() - 1)));
-    tree.add_node(parent, random_processor(rng, params));
+    // No `chance` draw at bias 0: the uniform-parent stream must stay
+    // aligned with the historical `random_tree` instances.
+    const bool extend = depth_bias > 0.0 && rng.chance(depth_bias);
+    const NodeId parent =
+        extend ? last
+               : static_cast<NodeId>(rng.uniform(0, static_cast<Time>(tree.size() - 1)));
+    last = tree.add_node(parent, random_processor(rng, params));
   }
   return tree;
 }

@@ -61,9 +61,22 @@ Fork random_fork(Rng& rng, std::size_t p, const GeneratorParams& params);
 Spider random_spider(Rng& rng, std::size_t legs, std::size_t max_leg_len,
                      const GeneratorParams& params);
 
+/// A spider whose leg lengths are uniform in `[min_leg_len, max_leg_len]`
+/// (the scenario specs' width knob; `min == max` pins the length exactly).
+Spider random_spider(Rng& rng, std::size_t legs, std::size_t min_leg_len,
+                     std::size_t max_leg_len, const GeneratorParams& params);
+
 /// A random tree with `slaves` slave nodes: each new node picks a uniformly
 /// random existing node as parent (yields realistic mixed shapes: stars near
 /// the root, chains in the tails).
 Tree random_tree(Rng& rng, std::size_t slaves, const GeneratorParams& params);
+
+/// Shape-controlled tree: with probability `depth_bias` a new node extends
+/// the most recently added node (deepening a path), otherwise it attaches
+/// to a uniformly random existing node.  `depth_bias = 0` reproduces
+/// `random_tree`; `1` yields a pure chain; values between interpolate from
+/// bushy/star-like to path-heavy — the scenario specs' depth knob.
+Tree random_tree(Rng& rng, std::size_t slaves, const GeneratorParams& params,
+                 double depth_bias);
 
 }  // namespace mst

@@ -71,6 +71,10 @@ class Tree {
   /// Construct a random-shaped tree is provided by `mst/platform/generator.hpp`.
   [[nodiscard]] std::string describe() const;
 
+  /// Structural equality (same parents and same processors in id order);
+  /// the scenario sweep specs compare embedded platforms with this.
+  friend bool operator==(const Tree&, const Tree&) = default;
+
  private:
   std::vector<NodeId> parent_;                 // parent_[0] == 0 (unused)
   std::vector<std::vector<NodeId>> children_;  // adjacency

@@ -1,0 +1,168 @@
+#include "mst/scenario/generators.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "mst/common/rng.hpp"
+
+namespace mst::scenario {
+
+api::Platform make_platform(const PlatformSpec& spec, std::uint64_t seed) {
+  Rng rng(seed);
+  const GeneratorParams params{spec.lo, spec.hi, spec.cls};
+  switch (spec.kind) {
+    case api::PlatformKind::kChain: return random_chain(rng, spec.size, params);
+    case api::PlatformKind::kFork: return random_fork(rng, spec.size, params);
+    case api::PlatformKind::kSpider:
+      return random_spider(rng, spec.size, spec.min_leg_len, spec.max_leg_len, params);
+    case api::PlatformKind::kTree:
+      return random_tree(rng, spec.size, params, spec.depth_bias);
+  }
+  throw std::invalid_argument("make_platform: unknown platform kind");
+}
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t a, std::uint64_t b,
+                          std::uint64_t c) {
+  // Each component advances an independent SplitMix64 step; feeding the
+  // running state back in keeps distinct (a, b, c) triples decorrelated.
+  Rng rng(root ^ (a * 0x9E3779B97F4A7C15ull));
+  std::uint64_t state = rng.next_u64();
+  state ^= Rng(state ^ (b * 0xBF58476D1CE4E5B9ull)).next_u64();
+  state ^= Rng(state ^ (c * 0x94D049BB133111EBull)).next_u64();
+  return state;
+}
+
+std::string to_string(CellMode mode) {
+  return mode == CellMode::kSolve ? "solve" : "within";
+}
+
+namespace {
+
+/// The algorithms a platform kind contributes to the sweep.
+std::vector<std::string> algorithms_for(const SweepSpec& spec, api::PlatformKind kind,
+                                        const api::Registry& registry) {
+  std::vector<std::string> names;
+  if (spec.algorithms.empty()) {
+    for (const api::AlgorithmInfo& info : registry.list(kind)) {
+      // Exponential oracles would hang on sweep-sized grids; specs must name
+      // them explicitly to include them.
+      if (!info.exponential) names.push_back(info.name);
+    }
+  } else {
+    for (const std::string& name : spec.algorithms) {
+      if (registry.find(kind, name) != nullptr) names.push_back(name);
+    }
+  }
+  return names;
+}
+
+/// Appends one platform's cells (all algorithms × all work-axis points),
+/// all sharing one immutable platform instance.
+void append_platform_cells(const SweepSpec& spec, const api::Registry& registry,
+                           std::shared_ptr<const api::Platform> platform,
+                           const std::string& cls_label, std::size_t size,
+                           std::size_t instance, std::uint64_t platform_seed,
+                           std::vector<Cell>& out) {
+  const api::PlatformKind kind = api::kind_of(*platform);
+  for (const std::string& algorithm : algorithms_for(spec, kind, registry)) {
+    auto push = [&](CellMode mode, std::size_t n, Time deadline) {
+      Cell cell;
+      cell.index = out.size();
+      cell.spec_name = spec.name;
+      cell.platform = platform;
+      cell.kind = to_string(kind);
+      cell.cls = cls_label;
+      cell.size = size;
+      cell.instance = instance;
+      cell.platform_seed = platform_seed;
+      cell.algorithm = algorithm;
+      cell.mode = mode;
+      cell.n = n;
+      cell.deadline = deadline;
+      cell.seed = derive_seed(spec.seed, /*a=*/0x5EEDCE11ull, platform_seed, out.size());
+      out.push_back(std::move(cell));
+    };
+    for (std::size_t n : spec.tasks) push(CellMode::kSolve, n, 0);
+    for (Time deadline : spec.deadlines) push(CellMode::kWithin, 0, deadline);
+  }
+}
+
+}  // namespace
+
+std::vector<Cell> expand(const SweepSpec& spec, const api::Registry& registry) {
+  if (spec.kinds.empty() && spec.platforms.empty()) {
+    throw std::invalid_argument("spec '" + spec.name +
+                                "': needs 'kinds' (a generator grid) or a 'platform' block");
+  }
+  if (!spec.kinds.empty() && spec.sizes.empty()) {
+    throw std::invalid_argument("spec '" + spec.name + "': a generator grid needs 'sizes'");
+  }
+  if (!spec.kinds.empty() && spec.classes.empty()) {
+    throw std::invalid_argument("spec '" + spec.name + "': a generator grid needs 'classes'");
+  }
+  if (spec.tasks.empty() && spec.deadlines.empty()) {
+    throw std::invalid_argument("spec '" + spec.name + "': needs 'tasks' or 'deadlines'");
+  }
+  if (spec.min_leg_len < 1 || spec.min_leg_len > spec.max_leg_len) {
+    throw std::invalid_argument("spec '" + spec.name + "': need 1 <= leg-len min <= max");
+  }
+  if (!spec.kinds.empty() && (spec.lo < 1 || spec.hi < spec.lo)) {
+    throw std::invalid_argument("spec '" + spec.name + "': need 1 <= times lo <= hi");
+  }
+  if (spec.depth_bias < 0.0 || spec.depth_bias > 1.0) {
+    throw std::invalid_argument("spec '" + spec.name + "': depth-bias must be in [0, 1]");
+  }
+  if (!spec.algorithms.empty()) {
+    // A name that matches no swept kind is a typo, not a filter.
+    for (const std::string& name : spec.algorithms) {
+      bool known = false;
+      for (api::PlatformKind kind : spec.kinds) {
+        known = known || registry.find(kind, name) != nullptr;
+      }
+      for (const api::Platform& platform : spec.platforms) {
+        known = known || registry.find(api::kind_of(platform), name) != nullptr;
+      }
+      if (!known) {
+        throw std::invalid_argument("spec '" + spec.name + "': algorithm '" + name +
+                                    "' is not registered for any swept platform kind");
+      }
+    }
+  }
+
+  std::vector<Cell> cells;
+  for (std::size_t i = 0; i < spec.platforms.size(); ++i) {
+    auto platform = std::make_shared<const api::Platform>(spec.platforms[i]);
+    const std::size_t size = api::num_processors(*platform);
+    append_platform_cells(spec, registry, std::move(platform), "-", size,
+                          /*instance=*/i, /*platform_seed=*/0, cells);
+  }
+  for (api::PlatformKind kind : spec.kinds) {
+    for (PlatformClass cls : spec.classes) {
+      for (std::size_t size : spec.sizes) {
+        for (std::size_t instance = 0; instance < spec.instances; ++instance) {
+          PlatformSpec pspec;
+          pspec.kind = kind;
+          pspec.cls = cls;
+          pspec.size = size;
+          pspec.lo = spec.lo;
+          pspec.hi = spec.hi;
+          pspec.min_leg_len = spec.min_leg_len;
+          pspec.max_leg_len = spec.max_leg_len;
+          pspec.depth_bias = spec.depth_bias;
+          const std::uint64_t platform_seed =
+              derive_seed(spec.seed,
+                          (static_cast<std::uint64_t>(kind) << 8) |
+                              static_cast<std::uint64_t>(cls),
+                          size, instance);
+          append_platform_cells(
+              spec, registry,
+              std::make_shared<const api::Platform>(make_platform(pspec, platform_seed)),
+              to_string(cls), size, instance, platform_seed, cells);
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace mst::scenario

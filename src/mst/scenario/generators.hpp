@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mst/api/registry.hpp"
+#include "mst/common/time.hpp"
+#include "mst/platform/generator.hpp"
+#include "mst/scenario/spec.hpp"
+
+/// \file generators.hpp
+/// Seeded platform families and the expansion of a `SweepSpec` into its
+/// deterministic cell grid.
+///
+/// Determinism contract: a `(PlatformSpec, seed)` pair fully determines the
+/// instance, and `expand` derives every platform seed and per-cell solve
+/// seed from `SweepSpec::seed` by stable mixing — never from global state —
+/// so the grid is byte-identical across runs, platforms, and (because the
+/// runner writes results by cell index) thread counts.
+
+namespace mst::scenario {
+
+/// One point of the generator grid: everything needed to synthesize a
+/// platform except the seed.
+struct PlatformSpec {
+  api::PlatformKind kind = api::PlatformKind::kChain;
+  PlatformClass cls = PlatformClass::kUniform;
+  std::size_t size = 1;         ///< processors (chain/fork), legs (spider), slaves (tree)
+  Time lo = 1;
+  Time hi = 10;
+  std::size_t min_leg_len = 1;  ///< spiders only
+  std::size_t max_leg_len = 3;
+  double depth_bias = 0.0;      ///< trees only
+
+  friend bool operator==(const PlatformSpec&, const PlatformSpec&) = default;
+};
+
+/// Synthesizes the platform; same (spec, seed) → identical platform.
+api::Platform make_platform(const PlatformSpec& spec, std::uint64_t seed);
+
+/// Stable seed derivation (SplitMix64 mixing).  Exposed so experiment
+/// drivers can derive per-trial seeds the same way the expander does.
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t a, std::uint64_t b = 0,
+                          std::uint64_t c = 0);
+
+/// Which problem form a cell exercises.
+enum class CellMode { kSolve, kWithin };
+
+std::string to_string(CellMode mode);
+
+/// One unit of sweep work: a concrete platform, an algorithm name and one
+/// point on a work axis.  Cells are self-contained — executing one touches
+/// no shared mutable state (the platform is shared immutably among the
+/// cells of one instance, so a grid of A algorithms × W work points holds
+/// one platform, not A·W copies) — which is what makes the runner
+/// embarrassingly parallel.
+struct Cell {
+  std::size_t index = 0;          ///< position in expansion order
+  std::string spec_name;
+  std::shared_ptr<const api::Platform> platform;  ///< never null after expand
+  std::string kind;               ///< label: "chain" / "fork" / ...
+  std::string cls;                ///< generator class label; "-" for explicit platforms
+  std::size_t size = 0;           ///< generator size; num_processors for explicit
+  std::size_t instance = 0;       ///< instance ordinal within the grid point
+  std::uint64_t platform_seed = 0;  ///< 0 for explicit platforms
+  std::string algorithm;
+  CellMode mode = CellMode::kSolve;
+  std::size_t n = 0;              ///< kSolve: task count
+  Time deadline = 0;              ///< kWithin: window length
+  std::uint64_t seed = 0;         ///< per-cell `SolveOptions::seed`
+};
+
+/// Expands the spec into its cell grid: explicit platforms first, then the
+/// generator grid in (kind, class, size, instance) order; per platform, the
+/// resolved algorithms each run every `tasks` entry then every `deadlines`
+/// entry.  Algorithm resolution: an empty list selects every registered
+/// non-exponential algorithm of the platform's kind; an explicit name is
+/// applied to the kinds that register it and must exist for at least one
+/// swept kind.  Throws `std::invalid_argument` on empty or inconsistent
+/// specs.
+std::vector<Cell> expand(const SweepSpec& spec,
+                         const api::Registry& registry = api::registry());
+
+}  // namespace mst::scenario

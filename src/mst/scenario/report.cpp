@@ -1,0 +1,114 @@
+#include "mst/scenario/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mst::scenario {
+
+namespace {
+
+/// Deterministic 9-significant-digit display rendering (table precision,
+/// not a bit-exact round trip); "inf" for the degenerate-platform sentinel
+/// of `SolveResult::throughput`.
+std::string format_double(double value) {
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+/// RFC-4180 quoting, applied only when the field needs it.
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (const char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_csv(const std::vector<CellOutcome>& outcomes, const ReportOptions& options) {
+  std::ostringstream os;
+  os << "spec,kind,class,size,instance,platform_seed,algorithm,mode,n,deadline,cell_seed,"
+        "tasks,makespan,lower_bound,optimal,throughput";
+  if (options.timing) os << ",wall_ms";
+  os << ",error\n";
+  for (const CellOutcome& out : outcomes) {
+    const Cell& cell = out.cell;
+    os << csv_escape(cell.spec_name) << ',' << cell.kind << ',' << cell.cls << ','
+       << cell.size << ',' << cell.instance << ',' << cell.platform_seed << ','
+       << cell.algorithm << ',' << to_string(cell.mode) << ',';
+    if (cell.mode == CellMode::kSolve) os << cell.n;
+    os << ',';
+    if (cell.mode == CellMode::kWithin) os << cell.deadline;
+    os << ',' << cell.seed << ',' << out.tasks << ',' << out.makespan << ','
+       << out.lower_bound << ',' << (out.optimal ? "yes" : "no") << ','
+       << format_double(out.throughput);
+    if (options.timing) os << ',' << format_double(out.wall_ms);
+    os << ',' << csv_escape(out.error) << '\n';
+  }
+  return os.str();
+}
+
+std::string to_json(const std::vector<CellOutcome>& outcomes, const ReportOptions& options) {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const CellOutcome& out = outcomes[i];
+    const Cell& cell = out.cell;
+    os << "  {\"spec\":\"" << json_escape(cell.spec_name) << "\",\"kind\":\"" << cell.kind
+       << "\",\"class\":\"" << cell.cls << "\",\"size\":" << cell.size
+       << ",\"instance\":" << cell.instance << ",\"platform_seed\":" << cell.platform_seed
+       << ",\"algorithm\":\"" << json_escape(cell.algorithm) << "\",\"mode\":\""
+       << to_string(cell.mode) << "\"";
+    if (cell.mode == CellMode::kSolve) {
+      os << ",\"n\":" << cell.n;
+    } else {
+      os << ",\"deadline\":" << cell.deadline;
+    }
+    os << ",\"cell_seed\":" << cell.seed << ",\"tasks\":" << out.tasks << ",\"makespan\":"
+       << out.makespan << ",\"lower_bound\":" << out.lower_bound << ",\"optimal\":"
+       << (out.optimal ? "true" : "false");
+    // JSON has no infinity literal; quote the sentinel.
+    if (std::isinf(out.throughput)) {
+      os << ",\"throughput\":\"inf\"";
+    } else {
+      os << ",\"throughput\":" << format_double(out.throughput);
+    }
+    if (options.timing) os << ",\"wall_ms\":" << format_double(out.wall_ms);
+    if (!out.error.empty()) os << ",\"error\":\"" << json_escape(out.error) << "\"";
+    os << "}" << (i + 1 < outcomes.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+}  // namespace mst::scenario

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mst/scenario/runner.hpp"
+
+/// \file report.hpp
+/// Long-form sweep tables: one row per cell, machine-readable.
+///
+/// Both writers are deterministic functions of the outcomes by default —
+/// `wall_ms` (the only value that varies between runs) is emitted only when
+/// `ReportOptions::timing` asks for it, so a fixed-seed sweep produces
+/// byte-identical CSV/JSON at any thread count.
+
+namespace mst::scenario {
+
+struct ReportOptions {
+  /// Include the `wall_ms` column.  Off by default: timing is the one
+  /// non-deterministic column, and determinism is the default contract.
+  bool timing = false;
+};
+
+/// Long-form CSV with header:
+///   spec,kind,class,size,instance,platform_seed,algorithm,mode,n,deadline,
+///   cell_seed,tasks,makespan,lower_bound,optimal,throughput[,wall_ms],error
+/// `n` is empty on decision-form rows and `deadline` on makespan-form rows;
+/// `error` is CSV-quoted when needed.
+std::string to_csv(const std::vector<CellOutcome>& outcomes, const ReportOptions& options = {});
+
+/// JSON array, one object per row (same fields, inapplicable ones omitted).
+std::string to_json(const std::vector<CellOutcome>& outcomes,
+                    const ReportOptions& options = {});
+
+}  // namespace mst::scenario

@@ -1,0 +1,105 @@
+#include "mst/scenario/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+namespace mst::scenario {
+
+namespace {
+
+double ms_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void run_one(const Cell& cell, const RunOptions& options, const api::Registry& registry,
+             CellOutcome& out) {
+  api::SolveOptions solve_options;
+  solve_options.materialize = options.materialize;
+  solve_options.seed = cell.seed;
+  solve_options.cap = options.cap;
+
+  try {
+    const int reps = options.reps < 1 ? 1 : options.reps;
+    if (cell.mode == CellMode::kSolve) {
+      api::SolveResult result;
+      for (int rep = 0; rep < reps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        result = registry.solve(*cell.platform, cell.algorithm, cell.n, solve_options);
+        const double ms = ms_since(start);
+        if (rep == 0 || ms < out.wall_ms) out.wall_ms = ms;
+      }
+      out.tasks = result.tasks;
+      out.makespan = result.makespan;
+      out.lower_bound = result.lower_bound;
+      out.optimal = result.optimal;
+      out.throughput = result.throughput();
+      if (options.check && options.materialize) {
+        const FeasibilityReport report = api::check_feasibility(result);
+        if (!report.ok()) out.error = report.summary();
+      }
+    } else {
+      api::DecisionResult result;
+      for (int rep = 0; rep < reps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        result = registry.solve_within(*cell.platform, cell.algorithm, cell.deadline,
+                                       solve_options);
+        const double ms = ms_since(start);
+        if (rep == 0 || ms < out.wall_ms) out.wall_ms = ms;
+      }
+      out.tasks = result.tasks;
+      out.makespan = result.makespan;
+      out.optimal = result.optimal;
+      out.throughput = result.throughput();
+      if (options.check && options.materialize) {
+        const FeasibilityReport report = api::check_feasibility(result);
+        if (!report.ok()) out.error = report.summary();
+      }
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+}
+
+}  // namespace
+
+std::vector<CellOutcome> run_cells(const std::vector<Cell>& cells, const RunOptions& options,
+                                   const api::Registry& registry) {
+  std::vector<CellOutcome> results(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) results[i].cell = cells[i];
+
+  unsigned threads =
+      options.threads == 0 ? std::thread::hardware_concurrency() : options.threads;
+  if (threads == 0) threads = 1;
+  if (static_cast<std::size_t>(threads) > cells.size()) {
+    threads = static_cast<unsigned>(cells.size());
+  }
+
+  // Work stealing by atomic index; slot `i` belongs to cell `i`, so the
+  // result order never depends on scheduling.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < cells.size(); i = next.fetch_add(1)) {
+      run_one(cells[i], options, registry, results[i]);
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return results;
+}
+
+std::vector<CellOutcome> run_sweep(const SweepSpec& spec, const RunOptions& options,
+                                   const api::Registry& registry) {
+  return run_cells(expand(spec, registry), options, registry);
+}
+
+}  // namespace mst::scenario

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mst/api/registry.hpp"
+#include "mst/scenario/generators.hpp"
+#include "mst/scenario/spec.hpp"
+
+/// \file runner.hpp
+/// The sweep executor: fans a cell grid over a thread pool, every solve
+/// dispatched through `api::Registry`.
+///
+/// Determinism: cells are self-contained and carry their own solve seed, a
+/// worker claims cells by atomic index, and results land in a vector slot
+/// keyed by `Cell::index` — so the output is identical at any thread count
+/// (`--threads` changes wall time, never results).  The default is the
+/// `materialize = false` fast path: no schedule payloads cross the registry
+/// boundary, and decision-form (`deadlines`) cells on chain/spider
+/// `optimal` run the genuinely allocation-free counting constructions on
+/// warm per-thread scratch.  Makespan-form (`tasks`) cells still compute
+/// placements internally — the makespan *is* the construction's output —
+/// they just skip returning them.
+
+namespace mst::scenario {
+
+/// Execution knobs.
+struct RunOptions {
+  /// Worker threads; 0 = `std::thread::hardware_concurrency()`.
+  unsigned threads = 1;
+  /// Materialize schedules.  Off (default) is the count/makespan-only fast
+  /// path; on enables `check`.
+  bool materialize = false;
+  /// With `materialize`, run `api::check_feasibility` on every result and
+  /// report violations through `CellOutcome::error`.
+  bool check = false;
+  /// Timing repetitions per cell; `wall_ms` keeps the best (smallest) run.
+  int reps = 1;
+  /// Decision-form search cap (`SolveOptions::cap`).
+  std::size_t cap = 1u << 20;
+};
+
+/// One cell's result row.
+struct CellOutcome {
+  Cell cell;
+  std::size_t tasks = 0;
+  Time makespan = 0;
+  Time lower_bound = 0;   ///< makespan form only (0 otherwise)
+  bool optimal = false;
+  double throughput = 0;  ///< tasks/makespan (solve) or tasks/deadline (within)
+  double wall_ms = 0;     ///< best-of-`reps` wall time of the solve call
+  std::string error;      ///< nonempty: the cell failed (dispatch/feasibility)
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Executes the cells; the returned vector is index-aligned with the input.
+std::vector<CellOutcome> run_cells(const std::vector<Cell>& cells, const RunOptions& options,
+                                   const api::Registry& registry = api::registry());
+
+/// `expand` + `run_cells`.
+std::vector<CellOutcome> run_sweep(const SweepSpec& spec, const RunOptions& options,
+                                   const api::Registry& registry = api::registry());
+
+}  // namespace mst::scenario

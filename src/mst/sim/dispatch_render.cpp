@@ -1,0 +1,80 @@
+#include "mst/sim/dispatch_render.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "mst/common/assert.hpp"
+
+namespace mst::sim {
+
+namespace {
+
+/// Same cell conventions as the chain/spider Gantt rows (gantt.cpp): a cell
+/// covers `scale` time units and is marked when any busy instant falls in it.
+class Row {
+ public:
+  Row(std::string name, Time horizon, Time scale)
+      : name_(std::move(name)),
+        scale_(scale),
+        cells_(static_cast<std::size_t>((horizon + scale - 1) / std::max<Time>(scale, 1)),
+               '.') {}
+
+  void paint(Time begin, Time end, std::size_t task) {
+    if (begin >= end) return;
+    const char mark = static_cast<char>('0' + task % 10);
+    const auto first = static_cast<std::size_t>(begin / scale_);
+    const auto last = static_cast<std::size_t>((end - 1) / scale_);
+    for (std::size_t c = first; c <= last && c < cells_.size(); ++c) cells_[c] = mark;
+  }
+
+  void print(std::ostream& os, std::size_t name_width) const {
+    os << name_;
+    os << std::string(name_width > name_.size() ? name_width - name_.size() : 0, ' ');
+    os << " |";
+    for (char c : cells_) os << c;
+    os << "|\n";
+  }
+
+  [[nodiscard]] std::size_t name_size() const { return name_.size(); }
+
+ private:
+  std::string name_;
+  Time scale_;
+  std::string cells_;
+};
+
+}  // namespace
+
+std::string render_dispatch(const Tree& tree, const SimResult& run, Time time_scale) {
+  MST_REQUIRE(time_scale >= 1, "time_scale must be >= 1");
+  const Time horizon = std::max<Time>(run.makespan, 1);
+
+  std::vector<Row> rows;
+  rows.emplace_back("port", horizon, time_scale);
+  for (NodeId v = 1; v < tree.size(); ++v) {
+    std::ostringstream name;
+    name << "node " << v << " (d=" << tree.depth(v) << ")";
+    rows.emplace_back(name.str(), horizon, time_scale);
+  }
+
+  for (std::size_t i = 0; i < run.tasks.size(); ++i) {
+    const SimTask& task = run.tasks[i];
+    MST_REQUIRE(task.dest >= 1 && task.dest < tree.size(),
+                "dispatch replay references a node outside the tree");
+    // The master's out-port is held for the first hop of the task's path:
+    // walk up to the depth-1 ancestor.
+    NodeId first_hop = task.dest;
+    while (tree.parent(first_hop) != 0) first_hop = tree.parent(first_hop);
+    rows[0].paint(task.master_emission, task.master_emission + tree.proc(first_hop).comm, i);
+    rows[task.dest].paint(task.start, task.end, i);
+  }
+
+  std::size_t width = 0;
+  for (const Row& row : rows) width = std::max(width, row.name_size());
+  std::ostringstream os;
+  for (const Row& row : rows) row.print(os, width);
+  return os.str();
+}
+
+}  // namespace mst::sim

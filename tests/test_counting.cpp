@@ -1,0 +1,124 @@
+// Allocation-free counting paths: the count-only decision forms must agree
+// exactly with the materializing constructions, and — after a warm-up call
+// that sizes the scratch buffers — perform zero heap allocations.  The
+// sweep runner's `materialize=false` hot path depends on both properties.
+//
+// The probe replaces the global allocation functions with counting
+// wrappers; the counters only matter between `probe::arm()` and
+// `probe::allocations()`, so the GTest machinery's own allocations are
+// irrelevant.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "mst/core/chain_scheduler.hpp"
+#include "mst/core/spider_scheduler.hpp"
+#include "mst/common/rng.hpp"
+#include "mst/platform/generator.hpp"
+
+namespace probe {
+
+std::atomic<long> g_allocations{0};
+
+void arm() { g_allocations.store(0, std::memory_order_relaxed); }
+long allocations() { return g_allocations.load(std::memory_order_relaxed); }
+
+}  // namespace probe
+
+// Counting replacements for the global allocation functions.  `malloc`
+// keeps them sanitizer-friendly (ASan intercepts it).
+void* operator new(std::size_t size) {
+  probe::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mst {
+namespace {
+
+TEST(ChainCounting, MatchesMaterializedConstruction) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    Rng inst = rng.split();
+    const auto p = static_cast<std::size_t>(rng.uniform(1, 5));
+    const GeneratorParams params{1, 9, all_platform_classes()[trial % 5]};
+    const Chain chain = random_chain(inst, p, params);
+    ChainCountScratch scratch;
+    for (const Time t_lim : {0, 3, 17, 40, 95}) {
+      const std::size_t cap = static_cast<std::size_t>(rng.uniform(1, 40));
+      EXPECT_EQ(ChainScheduler::count_within(chain, t_lim, cap, scratch),
+                ChainScheduler::schedule_within(chain, t_lim, cap).tasks.size())
+          << chain.describe() << " T=" << t_lim << " cap=" << cap;
+    }
+  }
+}
+
+TEST(SpiderCounting, MatchesMaterializedConstruction) {
+  Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    Rng inst = rng.split();
+    const auto legs = static_cast<std::size_t>(rng.uniform(1, 4));
+    const GeneratorParams params{1, 9, all_platform_classes()[trial % 5]};
+    const Spider spider = random_spider(inst, legs, 3, params);
+    SpiderCountScratch scratch;
+    for (const Time t_lim : {0, 5, 21, 60, 140}) {
+      const std::size_t cap = static_cast<std::size_t>(rng.uniform(1, 50));
+      EXPECT_EQ(SpiderScheduler::count_within(spider, t_lim, cap, scratch),
+                SpiderScheduler::schedule_within(spider, t_lim, cap).tasks.size())
+          << spider.describe() << " T=" << t_lim << " cap=" << cap;
+    }
+  }
+}
+
+TEST(ChainCounting, ZeroAllocationsAfterWarmup) {
+  Rng rng(11);
+  const Chain chain = random_chain(rng, 8, GeneratorParams{1, 9, PlatformClass::kUniform});
+  ChainCountScratch scratch;
+  const std::size_t expected = ChainScheduler::count_within(chain, 200, 4096, scratch);
+
+  probe::arm();
+  const std::size_t counted = ChainScheduler::count_within(chain, 200, 4096, scratch);
+  const long allocations = probe::allocations();
+  EXPECT_EQ(counted, expected);
+  EXPECT_GT(counted, 0u);
+  EXPECT_EQ(allocations, 0);
+}
+
+TEST(SpiderCounting, ZeroAllocationsAfterWarmup) {
+  Rng rng(12);
+  const Spider spider = random_spider(rng, 4, 3, GeneratorParams{1, 9, PlatformClass::kUniform});
+  SpiderCountScratch scratch;
+  const std::size_t expected = SpiderScheduler::count_within(spider, 300, 4096, scratch);
+
+  probe::arm();
+  const std::size_t counted = SpiderScheduler::count_within(spider, 300, 4096, scratch);
+  const long allocations = probe::allocations();
+  EXPECT_EQ(counted, expected);
+  EXPECT_GT(counted, 0u);
+  EXPECT_EQ(allocations, 0);
+}
+
+TEST(Counting, MooreHodgsonCountMatchesSelection) {
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<DeadlineJob> jobs;
+    const auto count = static_cast<std::size_t>(rng.uniform(0, 12));
+    for (std::size_t i = 0; i < count; ++i) {
+      jobs.push_back({rng.uniform(1, 9), rng.uniform(0, 40), i});
+    }
+    std::vector<DeadlineJob> scratch_jobs = jobs;
+    std::vector<Time> heap;
+    EXPECT_EQ(moore_hodgson_count(scratch_jobs, heap), moore_hodgson(jobs).size());
+  }
+}
+
+}  // namespace
+}  // namespace mst

@@ -1,0 +1,295 @@
+// Scenario engine: spec text round-trips, generator determinism, grid
+// expansion, runner thread-count invariance and reporter shape.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mst/api/platform_io.hpp"
+#include "mst/platform/io.hpp"
+#include "mst/scenario/generators.hpp"
+#include "mst/scenario/report.hpp"
+#include "mst/scenario/runner.hpp"
+#include "mst/scenario/spec.hpp"
+
+namespace mst::scenario {
+namespace {
+
+SweepSpec full_spec() {
+  SweepSpec spec;
+  spec.name = "roundtrip";
+  spec.seed = 123456789;
+  spec.kinds = {api::PlatformKind::kChain, api::PlatformKind::kTree};
+  spec.classes = {PlatformClass::kUniform, PlatformClass::kAntiCorrelated};
+  spec.sizes = {2, 5};
+  spec.instances = 3;
+  spec.lo = 2;
+  spec.hi = 17;
+  spec.min_leg_len = 2;
+  spec.max_leg_len = 4;
+  spec.depth_bias = 0.375;
+  spec.tasks = {4, 16};
+  spec.deadlines = {40, 90};
+  spec.algorithms = {"optimal", "forward-greedy"};
+  spec.platforms.push_back(Chain::from_vectors({2, 3}, {3, 5}));
+  Tree tree;
+  const NodeId trunk = tree.add_node(0, {2, 3});
+  tree.add_node(trunk, {1, 2});
+  spec.platforms.push_back(tree);
+  return spec;
+}
+
+/// A small all-kinds grid that exercises both work axes.
+SweepSpec small_grid() {
+  SweepSpec spec;
+  spec.name = "grid";
+  spec.seed = 42;
+  spec.kinds = {api::PlatformKind::kChain, api::PlatformKind::kFork,
+                api::PlatformKind::kSpider, api::PlatformKind::kTree};
+  spec.classes = {PlatformClass::kUniform};
+  spec.sizes = {2, 3};
+  spec.instances = 2;
+  spec.tasks = {4, 8};
+  spec.deadlines = {30};
+  return spec;
+}
+
+TEST(SweepSpecText, RoundTripsAllFields) {
+  const SweepSpec spec = full_spec();
+  const std::string text = write_spec(spec);
+  const SweepSpec parsed = parse_spec(text);
+  EXPECT_EQ(spec, parsed);
+  // Idempotent: canonical text re-renders identically.
+  EXPECT_EQ(text, write_spec(parsed));
+}
+
+TEST(SweepSpecText, RoundTripsDefaults) {
+  SweepSpec spec;
+  spec.kinds = {api::PlatformKind::kChain};
+  spec.sizes = {2};
+  spec.tasks = {4};
+  EXPECT_EQ(spec, parse_spec(write_spec(spec)));
+}
+
+TEST(SweepSpecText, ParsesCommentsAndMissingKeys) {
+  const SweepSpec spec = parse_spec(
+      "# a comment\n"
+      "sweep tiny\n"
+      "kinds chain  # trailing comment\n"
+      "sizes 3\n"
+      "tasks 5\n");
+  EXPECT_EQ(spec.name, "tiny");
+  ASSERT_EQ(spec.kinds.size(), 1u);
+  EXPECT_EQ(spec.kinds[0], api::PlatformKind::kChain);
+  // Unset keys keep their defaults.
+  EXPECT_EQ(spec.classes, std::vector<PlatformClass>{PlatformClass::kUniform});
+  EXPECT_EQ(spec.seed, 1u);
+}
+
+TEST(SweepSpecText, WriteRejectsUnserializableNames) {
+  SweepSpec spec = full_spec();
+  spec.name = "two words";
+  EXPECT_THROW(write_spec(spec), std::invalid_argument);
+  spec.name = "hash#tag";
+  EXPECT_THROW(write_spec(spec), std::invalid_argument);
+  spec.name = "";
+  EXPECT_THROW(write_spec(spec), std::invalid_argument);
+}
+
+TEST(SweepSpecText, RejectsGarbage) {
+  EXPECT_THROW(parse_spec(""), std::invalid_argument);
+  EXPECT_THROW(parse_spec("grid x\n"), std::invalid_argument);              // no header
+  EXPECT_THROW(parse_spec("sweep s\nbogus 1\n"), std::invalid_argument);    // unknown key
+  EXPECT_THROW(parse_spec("sweep s\nkinds blob\n"), std::invalid_argument); // unknown kind
+  EXPECT_THROW(parse_spec("sweep s\nseed -3\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("sweep s\nplatform\nchain 1\n1 2\n"),
+               std::invalid_argument);  // unterminated block
+}
+
+TEST(Generators, SameSeedSamePlatform) {
+  for (api::PlatformKind kind : api::all_platform_kinds()) {
+    PlatformSpec spec;
+    spec.kind = kind;
+    spec.cls = PlatformClass::kCorrelated;
+    spec.size = 6;
+    spec.depth_bias = 0.5;
+    const api::Platform a = make_platform(spec, 99);
+    const api::Platform b = make_platform(spec, 99);
+    EXPECT_EQ(api::write_platform(a), api::write_platform(b)) << to_string(kind);
+    const api::Platform c = make_platform(spec, 100);
+    EXPECT_NE(api::write_platform(a), api::write_platform(c)) << to_string(kind);
+  }
+}
+
+TEST(Generators, DepthBiasShapesTrees) {
+  PlatformSpec spec;
+  spec.kind = api::PlatformKind::kTree;
+  spec.size = 12;
+  spec.depth_bias = 1.0;
+  const auto chain_tree = std::get<Tree>(make_platform(spec, 5));
+  EXPECT_TRUE(chain_tree.is_chain());
+  // Bias 0 must reproduce the historical random_tree stream.
+  spec.depth_bias = 0.0;
+  Rng rng(5);
+  const Tree expected = random_tree(rng, 12, GeneratorParams{spec.lo, spec.hi, spec.cls});
+  EXPECT_EQ(std::get<Tree>(make_platform(spec, 5)), expected);
+}
+
+TEST(Expand, DeterministicGridWithStableSeeds) {
+  const SweepSpec spec = small_grid();
+  const std::vector<Cell> a = expand(spec);
+  const std::vector<Cell> b = expand(spec);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, i);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].platform_seed, b[i].platform_seed);
+    EXPECT_EQ(api::write_platform(*a[i].platform), api::write_platform(*b[i].platform));
+    seeds.insert(a[i].seed);
+  }
+  // Per-cell seeds are (practically) unique — online policies must not share
+  // streams across cells.
+  EXPECT_EQ(seeds.size(), a.size());
+}
+
+TEST(Expand, CoversKindsAlgorithmsAndModes) {
+  const std::vector<Cell> cells = expand(small_grid());
+  std::set<std::string> kinds;
+  std::set<std::string> modes;
+  for (const Cell& cell : cells) {
+    kinds.insert(cell.kind);
+    modes.insert(to_string(cell.mode));
+    // Default algorithm resolution never picks exponential oracles.
+    EXPECT_NE(cell.algorithm, "brute-force");
+  }
+  EXPECT_EQ(kinds, (std::set<std::string>{"chain", "fork", "spider", "tree"}));
+  EXPECT_EQ(modes, (std::set<std::string>{"solve", "within"}));
+}
+
+TEST(Expand, RejectsEmptyAndUnknown) {
+  SweepSpec spec;
+  EXPECT_THROW(expand(spec), std::invalid_argument);  // no kinds, no platforms
+  spec.kinds = {api::PlatformKind::kChain};
+  spec.sizes = {2};
+  EXPECT_THROW(expand(spec), std::invalid_argument);  // no work axis
+  spec.tasks = {4};
+  EXPECT_NO_THROW(expand(spec));
+  spec.algorithms = {"no-such-algorithm"};
+  EXPECT_THROW(expand(spec), std::invalid_argument);
+  spec.algorithms.clear();
+  spec.lo = 9;
+  spec.hi = 1;  // inverted times range fails with spec context, not deep in the generator
+  EXPECT_THROW(expand(spec), std::invalid_argument);
+}
+
+TEST(Runner, ThreadCountInvariance) {
+  const SweepSpec spec = small_grid();
+  RunOptions one;
+  one.threads = 1;
+  RunOptions many;
+  many.threads = 5;
+  const std::string csv_one = to_csv(run_sweep(spec, one));
+  const std::string csv_many = to_csv(run_sweep(spec, many));
+  EXPECT_EQ(csv_one, csv_many);
+  const std::string json_one = to_json(run_sweep(spec, one));
+  const std::string json_many = to_json(run_sweep(spec, many));
+  EXPECT_EQ(json_one, json_many);
+}
+
+TEST(Runner, FastPathMatchesMaterializedAndChecked) {
+  // The allocation-free counting paths and payload stripping must not change
+  // any reported number: the CSV (which excludes timing) is identical.
+  const SweepSpec spec = small_grid();
+  RunOptions fast;
+  fast.threads = 2;
+  RunOptions checked;
+  checked.threads = 2;
+  checked.materialize = true;
+  checked.check = true;
+  const std::vector<CellOutcome> a = run_sweep(spec, fast);
+  const std::vector<CellOutcome> b = run_sweep(spec, checked);
+  EXPECT_EQ(to_csv(a), to_csv(b));
+  for (const CellOutcome& out : b) EXPECT_TRUE(out.ok()) << out.error;
+}
+
+TEST(Runner, ErrorsAreReportedPerCell) {
+  // A private registry whose only entry throws: the runner must record the
+  // message per cell instead of aborting the sweep, and the reporters must
+  // quote/escape it.
+  api::Registry registry;
+  registry.add({api::PlatformKind::kChain, "boom", "always throws"},
+               [](const api::Platform&, std::size_t) -> api::SolveResult {
+                 throw std::runtime_error("kaboom, \"quoted\" failure");
+               });
+  SweepSpec spec;
+  spec.name = "boom";
+  spec.platforms.push_back(Chain::from_vectors({2}, {3}));
+  spec.tasks = {4};
+  spec.algorithms = {"boom"};
+  const std::vector<CellOutcome> outcomes =
+      run_cells(expand(spec, registry), RunOptions{}, registry);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].ok());
+  EXPECT_NE(outcomes[0].error.find("kaboom"), std::string::npos);
+  const std::string csv = to_csv(outcomes);
+  EXPECT_NE(csv.find("\"kaboom, \"\"quoted\"\" failure\""), std::string::npos);
+  const std::string json = to_json(outcomes);
+  EXPECT_NE(json.find("\"error\":\"kaboom, \\\"quoted\\\" failure\""), std::string::npos);
+}
+
+TEST(Runner, AlgorithmsFilterPerKind) {
+  SweepSpec spec;
+  spec.name = "filter";
+  spec.platforms.push_back(Chain::from_vectors({2}, {3}));
+  spec.tasks = {4};
+  spec.kinds = {api::PlatformKind::kTree};
+  spec.sizes = {2};
+  // "local-search" exists for trees but not for chains: the chain platform's
+  // cells simply skip it, while tree cells run it.
+  spec.algorithms = {"optimal", "local-search"};
+  const std::vector<CellOutcome> outcomes = run_cells(expand(spec), RunOptions{});
+  ASSERT_FALSE(outcomes.empty());
+  for (const CellOutcome& out : outcomes) EXPECT_TRUE(out.ok()) << out.error;
+  std::set<std::string> algorithms;
+  for (const CellOutcome& out : outcomes) algorithms.insert(out.cell.algorithm);
+  EXPECT_EQ(algorithms, (std::set<std::string>{"optimal", "local-search"}));
+}
+
+TEST(Report, CsvShape) {
+  SweepSpec spec;
+  spec.name = "csv";
+  spec.platforms.push_back(Chain::from_vectors({2, 3}, {3, 5}));
+  spec.tasks = {5};
+  spec.deadlines = {14};
+  spec.algorithms = {"optimal"};
+  const std::vector<CellOutcome> outcomes = run_sweep(spec, RunOptions{});
+  ASSERT_EQ(outcomes.size(), 2u);
+  const std::string csv = to_csv(outcomes);
+  EXPECT_NE(csv.find("spec,kind,class,size,instance,platform_seed,algorithm,mode,n,deadline,"
+                     "cell_seed,tasks,makespan,lower_bound,optimal,throughput,error"),
+            std::string::npos);
+  // Fig 2: 5 tasks take 14, and 5 tasks fit in a window of 14.
+  EXPECT_NE(csv.find("csv,chain,-,2,0,0,optimal,solve,5,,"), std::string::npos);
+  EXPECT_NE(csv.find(",5,14,"), std::string::npos);
+  ReportOptions timing;
+  timing.timing = true;
+  EXPECT_NE(to_csv(outcomes, timing).find(",wall_ms,"), std::string::npos);
+}
+
+TEST(Report, JsonShape) {
+  SweepSpec spec;
+  spec.name = "json";
+  spec.platforms.push_back(Chain::from_vectors({2, 3}, {3, 5}));
+  spec.tasks = {5};
+  spec.algorithms = {"optimal"};
+  const std::string json = to_json(run_sweep(spec, RunOptions{}));
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"algorithm\":\"optimal\""), std::string::npos);
+  EXPECT_NE(json.find("\"makespan\":14"), std::string::npos);
+  EXPECT_NE(json.find("\"optimal\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mst::scenario

@@ -6,6 +6,9 @@
 //                           [--algo=NAME|all] [--cap=K] [--seed=S] [--fast]
 //   mstctl --mode=count     --platform=FILE --tlim=T   # bare number (script-friendly)
 //   mstctl --mode=schedule  --platform=FILE --tasks=N [--format=summary|gantt|svg|json|schedule]
+//   mstctl --mode=sweep     --spec=FILE [--threads=N] [--out=csv|json]
+//                           [--out-file=PATH] [--seed=S] [--cap=K]
+//                           [--timing] [--check] [--reps=R]
 //   mstctl --mode=validate  --schedule=FILE
 //   mstctl --mode=rate      --platform=FILE
 //   mstctl --mode=demo      [--dir=.]        # writes sample platform files
@@ -19,6 +22,12 @@
 // variant, so the header keyword of the file decides which algorithm family
 // runs.  `--seed` makes the randomized online policies reproducible.  Exit
 // status is 0 on success, 1 on validation failure, 2 on usage errors.
+//
+// `sweep` runs a declarative scenario grid (mst/scenario/spec.hpp) through
+// the parallel sweep runner and prints long-form CSV (default) or JSON.
+// Output is byte-identical for a fixed spec seed at any --threads; --timing
+// adds the (non-deterministic) wall_ms column, --check materializes every
+// schedule and runs the feasibility checker on it.
 
 #include <fstream>
 #include <iostream>
@@ -53,17 +62,6 @@ mst::api::SolveOptions solve_options(const mst::Args& args, std::int64_t default
   if (cap < 1) throw std::invalid_argument("--cap must be >= 1");
   options.cap = static_cast<std::size_t>(cap);
   return options;
-}
-
-/// "optimal" where an exact algorithm exists, else the first registered
-/// entry (trees: "spider-cover").
-std::string default_algorithm(mst::api::PlatformKind kind) {
-  if (mst::api::registry().find(kind, "optimal") != nullptr) return "optimal";
-  const std::vector<std::string> names = mst::api::registry().names(kind);
-  if (names.empty()) {
-    throw std::invalid_argument("no algorithms registered for " + to_string(kind) + " platforms");
-  }
-  return names.front();
 }
 
 int run_list(const mst::Args& args) {
@@ -220,13 +218,51 @@ int run_count(const mst::Args& args) {
   return 0;
 }
 
+/// Tree branch of --mode=schedule: trees produce dispatch plans, not
+/// link-level schedules, so the rendering is the operational replay
+/// timeline of `sim::simulate_dispatch` (dispatch_render.hpp).
+int run_schedule_tree(const mst::Args& args, const mst::api::Platform& platform) {
+  using namespace mst;
+  const std::string format = args.get("format", "summary");
+  if (format != "summary" && format != "gantt") {
+    std::cerr << "tree dispatch plans render as --format=summary|gantt "
+                 "(no link-level timing for svg/json/schedule)\n";
+    return 2;
+  }
+  const std::size_t n = task_count(args);
+  const std::string algo = args.get("algo", default_algorithm(api::PlatformKind::kTree));
+  const api::SolveResult result =
+      api::registry().solve(platform, algo, n, solve_options(args));
+  const auto& dispatch = std::get<api::TreeDispatch>(result.schedule);
+  const sim::SimResult replay = sim::simulate_dispatch(dispatch.tree, dispatch.dests);
+  const Time scale = std::max<Time>(1, replay.makespan / 100);
+  if (format == "summary") {
+    std::cout << "platform : " << api::describe(platform) << "\n";
+    std::cout << "tasks    : " << n << "\n";
+    std::cout << "algorithm: " << result.algorithm << "\n";
+    std::cout << "makespan : " << result.makespan << " (replay " << replay.makespan << ")\n";
+    for (NodeId v = 1; v < dispatch.tree.size(); ++v) {
+      std::cout << "  node " << v << ": " << replay.tasks_per_node[v] << " tasks\n";
+    }
+    std::cout << "steady rate    : " << tree_steady_state_rate(dispatch.tree)
+              << " tasks/unit\n\n";
+  }
+  std::cout << sim::render_dispatch(dispatch.tree, replay, scale);
+  // Eager forwarding may only move work earlier: the replayed makespan must
+  // never exceed what the plan reported.
+  if (replay.makespan > result.makespan) {
+    std::cerr << "replay invariant violated: plan reports makespan " << result.makespan
+              << " but the dispatch replay needs " << replay.makespan << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 int run_schedule(const mst::Args& args) {
   using namespace mst;
   api::Platform platform = load_platform(args.get("platform", ""));
   if (api::kind_of(platform) == api::PlatformKind::kTree) {
-    std::cerr << "tree platforms produce dispatch plans, not link-level schedules; "
-                 "use --mode=solve or --mode=max-tasks\n";
-    return 2;
+    return run_schedule_tree(args, platform);
   }
   // Forks render through their spider embedding (identical platform, one
   // single-node leg per slave), so one spider code path serves both.
@@ -285,6 +321,69 @@ int run_schedule(const mst::Args& args) {
         }
       },
       result.schedule);
+}
+
+int run_sweep(const mst::Args& args) {
+  using namespace mst;
+  const std::string spec_path = args.get("spec", "");
+  if (spec_path.empty()) {
+    std::cerr << "--mode=sweep needs --spec=FILE (see tests/data/specs/)\n";
+    return 2;
+  }
+  scenario::SweepSpec spec;
+  try {
+    spec = scenario::parse_spec(slurp(spec_path));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << spec_path << ": " << e.what() << "\n";
+    return 2;
+  }
+  if (args.has("seed")) spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  scenario::RunOptions run;
+  const std::int64_t threads = args.get_int("threads", 1);
+  if (threads < 0) throw std::invalid_argument("--threads must be >= 0 (0 = all cores)");
+  run.threads = static_cast<unsigned>(threads);
+  run.check = args.has("check");
+  run.materialize = run.check;
+  run.reps = static_cast<int>(args.get_int("reps", 1));
+  const std::int64_t cap = args.get_int("cap", 1 << 20);
+  if (cap < 1) throw std::invalid_argument("--cap must be >= 1");
+  run.cap = static_cast<std::size_t>(cap);
+
+  const std::vector<scenario::CellOutcome> outcomes = scenario::run_sweep(spec, run);
+
+  scenario::ReportOptions report;
+  report.timing = args.has("timing");
+  const std::string out = args.get("out", "csv");
+  std::string text;
+  if (out == "csv") {
+    text = scenario::to_csv(outcomes, report);
+  } else if (out == "json") {
+    text = scenario::to_json(outcomes, report);
+  } else {
+    std::cerr << "unknown --out=" << out << " (expected csv|json)\n";
+    return 2;
+  }
+
+  const std::string out_file = args.get("out-file", "");
+  if (out_file.empty()) {
+    std::cout << text;
+  } else {
+    std::ofstream file(out_file);
+    if (!file) throw std::invalid_argument("cannot write file: " + out_file);
+    file << text;
+    std::cout << "wrote " << outcomes.size() << " rows to " << out_file << "\n";
+  }
+
+  std::size_t failed = 0;
+  for (const scenario::CellOutcome& outcome : outcomes) {
+    if (!outcome.ok()) ++failed;
+  }
+  if (failed > 0) {
+    std::cerr << "sweep: " << failed << " of " << outcomes.size() << " cells failed\n";
+    return 1;
+  }
+  return 0;
 }
 
 int run_validate(const mst::Args& args) {
@@ -372,11 +471,12 @@ int main(int argc, char** argv) {
     if (mode == "max-tasks") return run_max_tasks(args);
     if (mode == "count") return run_count(args);
     if (mode == "schedule") return run_schedule(args);
+    if (mode == "sweep") return run_sweep(args);
     if (mode == "validate") return run_validate(args);
     if (mode == "rate") return run_rate(args);
     if (mode == "demo") return run_demo(args);
     std::cerr << "unknown --mode=" << mode
-              << " (expected list|solve|max-tasks|count|schedule|validate|rate|demo)\n";
+              << " (expected list|solve|max-tasks|count|schedule|sweep|validate|rate|demo)\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "mstctl: " << e.what() << "\n";
