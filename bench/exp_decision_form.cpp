@@ -6,6 +6,7 @@
 // with its own makespan form.
 
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,46 @@ bool check_adapter(const mst::api::Platform& platform, const std::string& algori
   return consistent;
 }
 
+/// Release dates through the same duality: a staggered stream can only ever
+/// lower the count of a window, the released duality tasks(T*) >= k must
+/// hold at the released makespan T* of every prefix, and an all-zero
+/// release vector must reproduce the identical counts exactly.
+bool check_release_dates(const mst::api::Platform& platform, std::size_t k_max, mst::Time gap) {
+  using namespace mst;
+  api::SolveOptions fast;
+  fast.materialize = false;
+
+  std::cout << to_string(api::kind_of(platform)) << " + periodic releases (gap " << gap
+            << ")\n\n";
+  Table table({"k", "makespan(k)", "released makespan", "tasks(released)", "identical tasks"});
+  bool consistent = true;
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    std::vector<Time> releases;
+    for (std::size_t i = 0; i < k; ++i) releases.push_back(static_cast<Time>(i) * gap);
+    const auto pool = std::make_shared<const Workload>(Workload::released(std::move(releases)));
+
+    const Time identical = api::registry().solve(platform, "optimal", k, fast).makespan;
+    const Time released = api::registry().solve(platform, "optimal", *pool, fast).makespan;
+    consistent = consistent && released >= identical;
+
+    api::SolveOptions pooled = fast;
+    pooled.workload = pool;
+    const std::size_t at = api::registry().max_tasks(platform, "optimal", released, pooled);
+    consistent = consistent && at >= k;
+
+    // Degenerate pool (all releases 0) must reproduce the identical counts.
+    api::SolveOptions zeroed = fast;
+    zeroed.workload = std::make_shared<const Workload>(Workload::identical(k));
+    const std::size_t plain = api::registry().max_tasks(platform, "optimal", identical, zeroed);
+    consistent = consistent && plain == k;
+
+    table.row().cell(k).cell(identical).cell(released).cell(at).cell(plain);
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  return consistent;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,6 +130,12 @@ int main(int argc, char** argv) {
   // Heuristic entries go through the makespan-inversion adapter.
   consistent = consistent && check_adapter(chain, "forward-greedy", kMax);
   consistent = consistent && check_adapter(spider, "round-robin", kMax);
+
+  // The workload layer: native release-date handling on every exactly
+  // solved family.
+  for (const api::Platform* platform : {&chain, &fork, &spider}) {
+    consistent = consistent && check_release_dates(*platform, kMax / 2, /*gap=*/3);
+  }
 
   std::cout << (consistent
                     ? "RESULT: decision and makespan forms are exact duals everywhere\n"

@@ -7,11 +7,11 @@
 /// \file platform_io.hpp
 /// Typed platform text I/O for the registry layer.
 ///
-/// `mst::parse_platform` (platform/io.hpp) predates the registry and returns
-/// every topology as a `Spider`, which silently erases the platform kind —
-/// a chain file stops dispatching to the chain algorithms.  These functions
-/// parse into the registry's `api::Platform` variant instead, so the header
-/// keyword of the file decides which algorithm family a solve dispatches to.
+/// A kind-erasing `mst::parse_platform` (returning every topology as a
+/// `Spider`) predated the registry; it was deprecated in favour of these
+/// functions and has been removed.  They parse into the registry's
+/// `api::Platform` variant, so the header keyword of the file decides which
+/// algorithm family a solve dispatches to.
 
 namespace mst::api {
 

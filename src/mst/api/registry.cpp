@@ -97,6 +97,21 @@ void require_tasks(std::size_t n) {
   if (n == 0) throw std::invalid_argument("solve: need at least one task");
 }
 
+void require_tasks(const Workload& workload) { require_tasks(workload.count()); }
+
+/// The capability gate: unsupported workload features are rejected up
+/// front, with a message naming algorithm, feature and remedy — never
+/// silently mis-scheduled.
+void require_supported(std::string_view algorithm, const WorkloadFeatures& supports,
+                       const WorkloadFeatures& requested) {
+  if (requested.subset_of(supports)) return;
+  std::ostringstream os;
+  os << "algorithm '" << algorithm << "' does not support workloads with "
+     << to_string(requested) << " (supported: " << to_string(supports)
+     << "); see the capability matrix in mstctl --mode=list";
+  throw std::invalid_argument(os.str());
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -139,9 +154,14 @@ void check_makespan(Time claimed, Time actual, bool exact, FeasibilityReport& ou
 }
 
 /// The payload checks shared by the makespan- and decision-form reports:
-/// Definition 1 feasibility plus task-count / makespan consistency.
-FeasibilityReport check_payload(const AnySchedule& schedule, std::size_t tasks, Time makespan) {
+/// workload-aware Definition 1 feasibility plus task-count / makespan
+/// consistency.  Results built outside the registry may carry a default
+/// workload; they are checked under identical-task semantics.
+FeasibilityReport check_payload(const AnySchedule& schedule, std::size_t tasks, Time makespan,
+                                const Workload& workload) {
   FeasibilityReport report;
+  const Workload& effective =
+      workload.count() == tasks ? workload : Workload::identical(tasks);
   if (tasks > 0 && makespan <= 0) {
     std::ostringstream os;
     os << "degenerate result: " << tasks << " tasks in non-positive makespan " << makespan;
@@ -152,7 +172,10 @@ FeasibilityReport check_payload(const AnySchedule& schedule, std::size_t tasks, 
         using S = std::decay_t<decltype(payload)>;
         if constexpr (std::is_same_v<S, ChainSchedule> || std::is_same_v<S, ForkSchedule> ||
                       std::is_same_v<S, SpiderSchedule>) {
-          const FeasibilityReport inner = mst::check_feasibility(payload);
+          const Workload& payload_workload =
+              payload.num_tasks() == effective.count() ? effective
+                                                       : Workload::identical(payload.num_tasks());
+          const FeasibilityReport inner = mst::check_feasibility(payload, payload_workload);
           for (const std::string& v : inner.violations()) report.add_violation(v);
           check_task_count(tasks, payload.num_tasks(), report);
           check_makespan(makespan, payload.makespan(), /*exact=*/true, report);
@@ -167,10 +190,16 @@ FeasibilityReport check_payload(const AnySchedule& schedule, std::size_t tasks, 
             }
           }
           if (dests_ok) {
-            // No link-level timing to verify — replay the plan operationally.
-            // The replay may only move work earlier (eager forwarding), so
-            // the reported makespan must be an upper bound on it.
-            const sim::SimResult replay = sim::simulate_dispatch(payload.tree, payload.dests);
+            // No link-level timing to verify — replay the plan operationally
+            // (sizes scaled, release dates gating the master).  The replay
+            // may only move work earlier (eager forwarding), so the reported
+            // makespan must be an upper bound on it.
+            const Workload& replay_workload =
+                payload.dests.size() == effective.count()
+                    ? effective
+                    : Workload::identical(payload.dests.size());
+            const sim::SimResult replay =
+                sim::simulate_dispatch(payload.tree, payload.dests, replay_workload);
             check_task_count(tasks, replay.num_tasks(), report);
             check_makespan(makespan, replay.makespan, /*exact=*/false, report);
           }
@@ -185,7 +214,7 @@ FeasibilityReport check_payload(const AnySchedule& schedule, std::size_t tasks, 
 }  // namespace
 
 FeasibilityReport check_feasibility(const SolveResult& result) {
-  return check_payload(result.schedule, result.tasks, result.makespan);
+  return check_payload(result.schedule, result.tasks, result.makespan, result.workload);
 }
 
 FeasibilityReport check_feasibility(const DecisionResult& result) {
@@ -209,7 +238,8 @@ FeasibilityReport check_feasibility(const DecisionResult& result) {
     os << "deadline exceeded: makespan " << result.makespan << " > deadline " << result.deadline;
     report.add_violation(os.str());
   }
-  const FeasibilityReport payload = check_payload(result.schedule, result.tasks, result.makespan);
+  const FeasibilityReport payload =
+      check_payload(result.schedule, result.tasks, result.makespan, result.workload);
   for (const std::string& v : payload.violations()) report.add_violation(v);
   return report;
 }
@@ -222,21 +252,33 @@ FeasibilityReport check_feasibility(const DecisionResult& result) {
 
 DecisionResult Scheduler::solve_within(const Platform& platform, Time deadline,
                                        const SolveOptions& options) const {
-  // Invert the makespan form: the largest `n` whose makespan fits the
+  // Invert the makespan form: the largest task set whose makespan fits the
   // window, found by exponential growth then binary search.  Exact whenever
   // the algorithm's makespan is monotone non-decreasing in the task count.
+  // With a finite pool (`options.workload`) the probes are the pool's
+  // canonical prefixes — appending a task never shrinks a makespan, so the
+  // same search applies.
   SolveOptions probe = options;
   probe.materialize = false;
-  const std::size_t cap = std::max<std::size_t>(1, options.cap);
+  const Workload* pool = options.workload.get();
+  const std::size_t cap =
+      std::min(std::max<std::size_t>(1, options.cap),
+               pool != nullptr ? pool->count() : std::numeric_limits<std::size_t>::max());
 
   DecisionResult out;
   out.kind = kind_of(platform);
   out.deadline = deadline;
-  // Trivially-empty window: skip the probe solve entirely.  The algorithm
-  // name stays empty here; Registry::solve_within fills it on dispatch.
-  if (deadline <= 0) return out;
+  // Trivially-empty window (or empty pool): skip the probe solve entirely.
+  // The algorithm name stays empty here; Registry::solve_within fills it on
+  // dispatch.
+  if (deadline <= 0 || cap == 0) return out;
 
-  const SolveResult first = solve(platform, 1, probe);
+  const auto probe_solve = [&](std::size_t k, const SolveOptions& solve_options) {
+    return pool != nullptr ? solve(platform, pool->prefix(k), solve_options)
+                           : solve(platform, k, solve_options);
+  };
+
+  const SolveResult first = probe_solve(1, probe);
   out.algorithm = first.algorithm;
   out.optimal = first.optimal;  // an optimal makespan form inverts exactly
   if (first.makespan > deadline) return out;
@@ -246,7 +288,7 @@ DecisionResult Scheduler::solve_within(const Platform& platform, Time deadline,
   std::size_t hi = 1;  // first count known not to fit, once lo < hi
   while (lo == hi && hi < cap) {
     const std::size_t next = hi > cap / 2 ? cap : hi * 2;
-    const SolveResult r = solve(platform, next, probe);
+    const SolveResult r = probe_solve(next, probe);
     if (r.makespan <= deadline) {
       lo = next;
       lo_makespan = r.makespan;
@@ -255,7 +297,7 @@ DecisionResult Scheduler::solve_within(const Platform& platform, Time deadline,
   }
   while (hi - lo > 1) {
     const std::size_t mid = lo + (hi - lo) / 2;
-    const SolveResult r = solve(platform, mid, probe);
+    const SolveResult r = probe_solve(mid, probe);
     if (r.makespan <= deadline) {
       lo = mid;
       lo_makespan = r.makespan;
@@ -267,10 +309,11 @@ DecisionResult Scheduler::solve_within(const Platform& platform, Time deadline,
   out.tasks = lo;
   out.makespan = lo_makespan;
   // A search stopped by the cap may be truncated — the count is then not
-  // provably maximal no matter how exact the makespan form is.
-  out.optimal = out.optimal && lo < cap;
+  // provably maximal no matter how exact the makespan form is.  Exhausting
+  // a finite pool, by contrast, is proof.
+  out.optimal = out.optimal && (lo < cap || (pool != nullptr && lo >= pool->count()));
   if (options.materialize) {
-    SolveResult full = solve(platform, lo, options);
+    SolveResult full = probe_solve(lo, options);
     out.makespan = full.makespan;
     out.schedule = std::move(full.schedule);
   }
@@ -288,22 +331,33 @@ namespace {
 
 /// Adapts callables to the Scheduler interface (used by both lambda
 /// overloads of Registry::add and by every built-in registration below).
-/// Enforces the `materialize` contract centrally: legacy two-argument
-/// callables get the fast path by payload stripping.
+/// Enforces the `materialize` contract and the workload capability gate
+/// centrally, so individual registrations cannot forget either.
 class FunctionScheduler final : public Scheduler {
  public:
-  FunctionScheduler(Registry::SolveFn solve_fn, Registry::DecisionFn within_fn)
-      : solve_fn_(std::move(solve_fn)), within_fn_(std::move(within_fn)) {}
+  FunctionScheduler(std::string name, WorkloadFeatures supports, Registry::SolveFn solve_fn,
+                    Registry::DecisionFn within_fn)
+      : name_(std::move(name)),
+        supports_(supports),
+        solve_fn_(std::move(solve_fn)),
+        within_fn_(std::move(within_fn)) {}
 
-  [[nodiscard]] SolveResult solve(const Platform& platform, std::size_t n,
+  using Scheduler::solve;
+
+  [[nodiscard]] SolveResult solve(const Platform& platform, const Workload& workload,
                                   const SolveOptions& options) const override {
-    SolveResult result = solve_fn_(platform, n, options);
+    require_supported(name_, supports_, workload.features());
+    SolveResult result = solve_fn_(platform, workload, options);
+    result.workload = workload;
     if (!options.materialize) result.schedule = std::monostate{};
     return result;
   }
 
   [[nodiscard]] DecisionResult solve_within(const Platform& platform, Time deadline,
                                             const SolveOptions& options) const override {
+    if (options.workload != nullptr) {
+      require_supported(name_, supports_, options.workload->features());
+    }
     if (!within_fn_) return Scheduler::solve_within(platform, deadline, options);
     DecisionResult result = within_fn_(platform, deadline, options);
     if (!options.materialize) result.schedule = std::monostate{};
@@ -311,6 +365,8 @@ class FunctionScheduler final : public Scheduler {
   }
 
  private:
+  std::string name_;
+  WorkloadFeatures supports_;
   Registry::SolveFn solve_fn_;
   Registry::DecisionFn within_fn_;
 };
@@ -330,17 +386,27 @@ void Registry::add(AlgorithmInfo info, std::shared_ptr<const Scheduler> schedule
 void Registry::add(AlgorithmInfo info,
                    std::function<SolveResult(const Platform&, std::size_t)> fn) {
   if (fn == nullptr) throw std::invalid_argument("registry: null solve function");
+  // The callable only sees a count: identical workloads only, whatever the
+  // info claims.
+  info.supports = WorkloadFeatures{};
   add(std::move(info),
-      [fn = std::move(fn)](const Platform& p, std::size_t n, const SolveOptions&) {
-        return fn(p, n);
+      [fn = std::move(fn)](const Platform& p, const Workload& w, const SolveOptions&) {
+        return fn(p, w.count());
       },
       nullptr);
 }
 
 void Registry::add(AlgorithmInfo info, SolveFn solve_fn, DecisionFn within_fn) {
   if (solve_fn == nullptr) throw std::invalid_argument("registry: null solve function");
-  add(std::move(info),
-      std::make_shared<const FunctionScheduler>(std::move(solve_fn), std::move(within_fn)));
+  auto scheduler = std::make_shared<const FunctionScheduler>(
+      info.name, info.supports, std::move(solve_fn), std::move(within_fn));
+  add(std::move(info), std::move(scheduler));
+}
+
+bool Registry::supports(PlatformKind kind, std::string_view name,
+                        const WorkloadFeatures& features) const {
+  const AlgorithmInfo* entry = info(kind, name);
+  return entry != nullptr && features.subset_of(entry->supports);
 }
 
 const Scheduler* Registry::find(PlatformKind kind, std::string_view name) const {
@@ -397,18 +463,40 @@ const Scheduler& resolve(const Registry& registry, const Platform& platform,
 
 }  // namespace
 
+SolveResult Registry::solve(const Platform& platform, std::string_view algorithm,
+                            const Workload& workload, const SolveOptions& options) const {
+  // Central capability gate (FunctionScheduler re-checks for direct
+  // Scheduler access; custom schedulers registered by pointer rely on this
+  // one).
+  if (const AlgorithmInfo* entry = info(kind_of(platform), algorithm)) {
+    require_supported(algorithm, entry->supports, workload.features());
+  }
+  SolveResult result = resolve(*this, platform, algorithm).solve(platform, workload, options);
+  result.workload = workload;
+  return result;
+}
+
 SolveResult Registry::solve(const Platform& platform, std::string_view algorithm, std::size_t n,
                             const SolveOptions& options) const {
-  return resolve(*this, platform, algorithm).solve(platform, n, options);
+  return solve(platform, algorithm, Workload::identical(n), options);
 }
 
 DecisionResult Registry::solve_within(const Platform& platform, std::string_view algorithm,
                                       Time deadline, const SolveOptions& options) const {
+  if (options.workload != nullptr) {
+    if (const AlgorithmInfo* entry = info(kind_of(platform), algorithm)) {
+      require_supported(algorithm, entry->supports, options.workload->features());
+    }
+  }
   DecisionResult result =
       resolve(*this, platform, algorithm).solve_within(platform, deadline, options);
   // The adapter's empty-window early return has no probe to learn its
   // registry name from.
   if (result.algorithm.empty()) result.algorithm = algorithm;
+  // The tasks that made the count: canonical prefix of the pool, or the
+  // identical stream's first `tasks`.
+  result.workload = options.workload != nullptr ? options.workload->prefix(result.tasks)
+                                                : Workload::identical(result.tasks);
   return result;
 }
 
@@ -478,20 +566,41 @@ std::size_t decision_cap(const SolveOptions& options) {
   return std::max<std::size_t>(1, options.cap);
 }
 
+/// Workload features the built-ins declare.
+constexpr WorkloadFeatures kReleaseOnly{/*sizes=*/false, /*release=*/true};
+constexpr WorkloadFeatures kSizesAndRelease{/*sizes=*/true, /*release=*/true};
+
+/// The decision-form task pool, when one was supplied.
+const Workload* pool_of(const SolveOptions& options) { return options.workload.get(); }
+
+/// Effective decision cap: the search cap, clamped to a finite pool.
+std::size_t decision_cap(const SolveOptions& options, const Workload* pool) {
+  const std::size_t cap = decision_cap(options);
+  return pool != nullptr ? std::min(cap, pool->count()) : cap;
+}
+
+/// A count is provably maximal when the search was not truncated: it ended
+/// strictly inside the cap, or it exhausted a finite pool.
+bool decision_maximal(std::size_t tasks, std::size_t cap, const Workload* pool) {
+  if (pool != nullptr && tasks >= pool->count()) return true;
+  return tasks < cap;
+}
+
 /// Wraps a core decision-form schedule (`schedule_within` family) into a
 /// DecisionResult.  The core schedules stay absolute in `[0, deadline]`, so
 /// `makespan() <= deadline` by construction; an empty selection yields a
 /// payload-free result.  A count that hit `cap` may be truncated, so it is
-/// never reported as provably maximal.
+/// only reported as provably maximal when it also exhausted a finite pool.
 template <typename Schedule>
 DecisionResult decision_from_schedule(const char* algorithm, PlatformKind kind, Time deadline,
-                                      bool optimal, std::size_t cap, Schedule schedule) {
+                                      bool optimal, std::size_t cap, const Workload* pool,
+                                      Schedule schedule) {
   const std::size_t tasks = schedule.num_tasks();
   const Time makespan = schedule.makespan();
   AnySchedule payload;
   if (tasks > 0) payload = std::move(schedule);
-  return make_decision(algorithm, kind, deadline, tasks, makespan, optimal && tasks < cap,
-                       std::move(payload));
+  return make_decision(algorithm, kind, deadline, tasks, makespan,
+                       optimal && decision_maximal(tasks, cap, pool), std::move(payload));
 }
 
 /// Decision form of the exhaustive oracles: exact count from the monotone
@@ -499,8 +608,10 @@ DecisionResult decision_from_schedule(const char* algorithm, PlatformKind kind, 
 /// that count (its makespan fits the window by definition of the count).
 DecisionResult chain_brute_force_decision(const Chain& chain, Time deadline,
                                           const SolveOptions& options) {
-  const std::size_t cap = decision_cap(options);
-  const std::size_t tasks = deadline > 0 ? brute_force_chain_max_tasks(chain, deadline, cap) : 0;
+  const Workload* pool = pool_of(options);
+  const std::size_t cap = decision_cap(options, pool);
+  const std::size_t tasks =
+      deadline > 0 && cap > 0 ? brute_force_chain_max_tasks(chain, deadline, cap) : 0;
   Time makespan = 0;
   AnySchedule payload;
   if (tasks > 0) {
@@ -513,13 +624,15 @@ DecisionResult chain_brute_force_decision(const Chain& chain, Time deadline,
     }
   }
   return make_decision("brute-force", PlatformKind::kChain, deadline, tasks, makespan,
-                       /*optimal=*/tasks < cap, std::move(payload));
+                       /*optimal=*/decision_maximal(tasks, cap, pool), std::move(payload));
 }
 
 DecisionResult spider_brute_force_decision(PlatformKind kind, const Spider& spider, Time deadline,
                                            const SolveOptions& options) {
-  const std::size_t cap = decision_cap(options);
-  const std::size_t tasks = deadline > 0 ? brute_force_spider_max_tasks(spider, deadline, cap) : 0;
+  const Workload* pool = pool_of(options);
+  const std::size_t cap = decision_cap(options, pool);
+  const std::size_t tasks =
+      deadline > 0 && cap > 0 ? brute_force_spider_max_tasks(spider, deadline, cap) : 0;
   Time makespan = 0;
   AnySchedule payload;
   if (tasks > 0) {
@@ -531,8 +644,8 @@ DecisionResult spider_brute_force_decision(PlatformKind kind, const Spider& spid
       makespan = brute_force_spider_makespan(spider, tasks);
     }
   }
-  return make_decision("brute-force", kind, deadline, tasks, makespan, /*optimal=*/tasks < cap,
-                       std::move(payload));
+  return make_decision("brute-force", kind, deadline, tasks, makespan,
+                       /*optimal=*/decision_maximal(tasks, cap, pool), std::move(payload));
 }
 
 /// The bandwidth-centric baseline as a makespan-form scheduler: dispatch the
@@ -574,59 +687,82 @@ ForkSchedule fork_greedy_schedule(const Fork& fork, std::size_t n) {
   return schedule;
 }
 
-SolveResult solve_tree_online(const Tree& tree, std::size_t n, sim::OnlinePolicy policy,
-                              const char* algorithm, std::uint64_t seed) {
-  const sim::SimResult run = sim::simulate_online(tree, n, policy, seed);
+SolveResult solve_tree_online(const Tree& tree, const Workload& workload,
+                              sim::OnlinePolicy policy, const char* algorithm,
+                              std::uint64_t seed) {
+  const sim::SimResult run = sim::simulate_online(tree, workload, policy, seed);
   std::vector<NodeId> dests;
   dests.reserve(run.tasks.size());
   for (const sim::SimTask& task : run.tasks) dests.push_back(task.dest);
-  return tree_result(algorithm, tree, std::move(dests), run.makespan, n);
+  return tree_result(algorithm, tree, std::move(dests), run.makespan, workload.count());
 }
 
 void register_chain_algorithms(Registry& r) {
   const PlatformKind k = PlatformKind::kChain;
-  r.add({k, "optimal", "backward construction, Theorem 1 (O(n*p^2))", /*optimal=*/true},
-        [](const Platform& p, std::size_t n, const SolveOptions&) {
-          require_tasks(n);
+  r.add({k, "optimal", "backward construction, Theorem 1 (O(n*p^2))", /*optimal=*/true,
+         /*exponential=*/false, kReleaseOnly},
+        [](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Chain& chain = expect_chain(p, "optimal");
-          return chain_result("optimal", ChainScheduler::schedule(chain, n), n, true);
+          // Identical workloads take the historical path inside the core
+          // scheduler; release dates anchor the backward construction at
+          // the minimal feasible horizon instead.
+          return chain_result("optimal", ChainScheduler::schedule(chain, w), w.count(), true);
         },
         [k](const Platform& p, Time deadline, const SolveOptions& opts) {
           const Chain& chain = expect_chain(p, "optimal");
           if (deadline <= 0) return make_decision("optimal", k, deadline, 0, 0, true, {});
-          const std::size_t cap = decision_cap(opts);
+          const Workload* pool = pool_of(opts);
+          const std::size_t cap = decision_cap(opts, pool);
           if (!opts.materialize) {
             // Genuinely allocation-free counting for sweeps: per-thread
             // warm scratch, no placement vectors ever built.  A nonempty
             // backward construction always ends exactly at the horizon, so
-            // the completion time is `deadline` itself.
+            // the completion time is `deadline` itself (release dates
+            // included — the horizon anchor is unchanged).
             static thread_local ChainCountScratch scratch;
-            const std::size_t tasks = ChainScheduler::count_within(chain, deadline, cap, scratch);
+            const std::size_t tasks =
+                pool != nullptr && pool->has_release_dates()
+                    ? ChainScheduler::count_within(chain, deadline, *pool, decision_cap(opts),
+                                                   scratch)
+                    : ChainScheduler::count_within(chain, deadline, cap, scratch);
             return make_decision("optimal", k, deadline, tasks, tasks > 0 ? deadline : 0,
-                                 /*optimal=*/tasks < cap, {});
+                                 /*optimal=*/decision_maximal(tasks, cap, pool), {});
+          }
+          if (pool != nullptr && pool->has_release_dates()) {
+            return decision_from_schedule(
+                "optimal", k, deadline, /*optimal=*/true, cap, pool,
+                ChainScheduler::schedule_within(chain, deadline, *pool, decision_cap(opts)));
           }
           return decision_from_schedule(
-              "optimal", k, deadline, /*optimal=*/true, cap,
+              "optimal", k, deadline, /*optimal=*/true, cap, pool,
               ChainScheduler::schedule_within(chain, deadline, cap));
         });
-  r.add({k, "forward-greedy", "earliest-completion-time list scheduling"},
-        [](const Platform& p, std::size_t n) {
-          require_tasks(n);
+  r.add({k, "forward-greedy", "earliest-completion-time list scheduling", /*optimal=*/false,
+         /*exponential=*/false, kSizesAndRelease},
+        [](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Chain& chain = expect_chain(p, "forward-greedy");
-          return chain_result("forward-greedy", forward_greedy_chain(chain, n), n, false);
-        });
-  r.add({k, "round-robin", "heterogeneity-blind cyclic dispatch"},
-        [](const Platform& p, std::size_t n) {
-          require_tasks(n);
+          return chain_result("forward-greedy", forward_greedy_chain(chain, w), w.count(),
+                              false);
+        },
+        nullptr);
+  r.add({k, "round-robin", "heterogeneity-blind cyclic dispatch", /*optimal=*/false,
+         /*exponential=*/false, kSizesAndRelease},
+        [](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Chain& chain = expect_chain(p, "round-robin");
-          return chain_result("round-robin", round_robin_chain(chain, n), n, false);
-        });
-  r.add({k, "single-node", "best single-processor pipeline (generalized T-infinity)"},
-        [](const Platform& p, std::size_t n) {
-          require_tasks(n);
+          return chain_result("round-robin", round_robin_chain(chain, w), w.count(), false);
+        },
+        nullptr);
+  r.add({k, "single-node", "best single-processor pipeline (generalized T-infinity)",
+         /*optimal=*/false, /*exponential=*/false, kSizesAndRelease},
+        [](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Chain& chain = expect_chain(p, "single-node");
-          return chain_result("single-node", single_node_chain(chain, n), n, false);
-        });
+          return chain_result("single-node", single_node_chain(chain, w), w.count(), false);
+        },
+        nullptr);
   r.add({k, "periodic", "bandwidth-centric periodic pattern, ASAP prefix"},
         [](const Platform& p, std::size_t n) {
           require_tasks(n);
@@ -635,10 +771,11 @@ void register_chain_algorithms(Registry& r) {
         });
   r.add({k, "brute-force", "exhaustive destination-sequence search", /*optimal=*/true,
          /*exponential=*/true},
-        [](const Platform& p, std::size_t n, const SolveOptions&) {
-          require_tasks(n);
+        [](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Chain& chain = expect_chain(p, "brute-force");
-          return chain_result("brute-force", brute_force_chain_schedule(chain, n), n, true);
+          return chain_result("brute-force", brute_force_chain_schedule(chain, w.count()),
+                              w.count(), true);
         },
         [](const Platform& p, Time deadline, const SolveOptions& opts) {
           return chain_brute_force_decision(expect_chain(p, "brute-force"), deadline, opts);
@@ -647,68 +784,100 @@ void register_chain_algorithms(Registry& r) {
 
 void register_fork_algorithms(Registry& r) {
   const PlatformKind k = PlatformKind::kFork;
-  r.add({k, "optimal", "Moore-Hodgson virtual-node selection, Fig 6", /*optimal=*/true},
-        [k](const Platform& p, std::size_t n, const SolveOptions&) {
-          require_tasks(n);
+  r.add({k, "optimal", "Moore-Hodgson virtual-node selection, Fig 6", /*optimal=*/true,
+         /*exponential=*/false, kReleaseOnly},
+        [k](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Fork& fork = expect_fork(p, "optimal");
-          ForkSchedule schedule = ForkScheduler::schedule(fork, n);
-          const Time lb = spider_makespan_lower_bound(Spider::from_fork(fork), n);
+          ForkSchedule schedule = ForkScheduler::schedule(fork, w);
+          const Time lb = spider_makespan_lower_bound(Spider::from_fork(fork), w.count());
           const Time makespan = schedule.makespan();
-          return make_result("optimal", k, n, makespan, lb, true, std::move(schedule));
+          return make_result("optimal", k, w.count(), makespan, lb, true, std::move(schedule));
         },
         [k](const Platform& p, Time deadline, const SolveOptions& opts) {
           const Fork& fork = expect_fork(p, "optimal");
           if (deadline <= 0) return make_decision("optimal", k, deadline, 0, 0, true, {});
-          const std::size_t cap = decision_cap(opts);
+          const Workload* pool = pool_of(opts);
+          const std::size_t cap = decision_cap(opts, pool);
+          if (pool != nullptr && pool->has_release_dates()) {
+            // Unlike chain/spider, a fork decision makespan is the EDD
+            // packing's completion time (not the horizon), so a count-only
+            // path cannot report it without the DP's selection — released
+            // pools therefore go through the materializing construction
+            // even when `materialize` is off (the payload is stripped by
+            // the wrapper; pools are sweep-sized, so this stays cheap).
+            return decision_from_schedule(
+                "optimal", k, deadline, /*optimal=*/true, cap, pool,
+                ForkScheduler::schedule_within(fork, deadline, *pool, decision_cap(opts)));
+          }
+          if (!opts.materialize) {
+            // Allocation-free count + makespan: the whole selection /
+            // normalization / EDD sequencing pipeline replayed in warm
+            // per-thread scratch, no task vectors built.
+            static thread_local ForkCountScratch scratch;
+            const auto [tasks, makespan] =
+                ForkScheduler::makespan_within(fork, deadline, cap, scratch);
+            return make_decision("optimal", k, deadline, tasks, makespan,
+                                 /*optimal=*/decision_maximal(tasks, cap, pool), {});
+          }
           return decision_from_schedule(
-              "optimal", k, deadline, /*optimal=*/true, cap,
+              "optimal", k, deadline, /*optimal=*/true, cap, pool,
               ForkScheduler::schedule_within(fork, deadline, cap));
         });
   r.add({k, "greedy", "the paper's ascending-c greedy (Beaumont et al.)"},
-        [k](const Platform& p, std::size_t n, const SolveOptions&) {
-          require_tasks(n);
+        [k](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Fork& fork = expect_fork(p, "greedy");
-          ForkSchedule schedule = fork_greedy_schedule(fork, n);
-          const Time lb = spider_makespan_lower_bound(Spider::from_fork(fork), n);
+          ForkSchedule schedule = fork_greedy_schedule(fork, w.count());
+          const Time lb = spider_makespan_lower_bound(Spider::from_fork(fork), w.count());
           const Time makespan = schedule.makespan();
-          return make_result("greedy", k, n, makespan, lb, false, std::move(schedule));
+          return make_result("greedy", k, w.count(), makespan, lb, false, std::move(schedule));
         },
         [k](const Platform& p, Time deadline, const SolveOptions& opts) {
           const Fork& fork = expect_fork(p, "greedy");
           if (deadline <= 0) return make_decision("greedy", k, deadline, 0, 0, false, {});
-          const std::size_t cap = decision_cap(opts);
+          const Workload* pool = pool_of(opts);
+          const std::size_t cap = decision_cap(opts, pool);
           return decision_from_schedule(
-              "greedy", k, deadline, /*optimal=*/false, cap,
+              "greedy", k, deadline, /*optimal=*/false, cap, pool,
               ForkScheduler::greedy_schedule_within(fork, deadline, cap));
         });
-  r.add({k, "forward-greedy", "earliest-completion-time list scheduling"},
-        [](const Platform& p, std::size_t n) {
-          require_tasks(n);
+  r.add({k, "forward-greedy", "earliest-completion-time list scheduling", /*optimal=*/false,
+         /*exponential=*/false, kSizesAndRelease},
+        [k](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Fork& fork = expect_fork(p, "forward-greedy");
           return spider_result("forward-greedy", k,
-                               forward_greedy_spider(Spider::from_fork(fork), n), n, false);
-        });
-  r.add({k, "round-robin", "heterogeneity-blind cyclic dispatch"},
-        [](const Platform& p, std::size_t n) {
-          require_tasks(n);
+                               forward_greedy_spider(Spider::from_fork(fork), w), w.count(),
+                               false);
+        },
+        nullptr);
+  r.add({k, "round-robin", "heterogeneity-blind cyclic dispatch", /*optimal=*/false,
+         /*exponential=*/false, kSizesAndRelease},
+        [k](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Fork& fork = expect_fork(p, "round-robin");
-          return spider_result("round-robin", k, round_robin_spider(Spider::from_fork(fork), n),
-                               n, false);
-        });
-  r.add({k, "single-node", "best single-slave pipeline"},
-        [](const Platform& p, std::size_t n) {
-          require_tasks(n);
+          return spider_result("round-robin", k,
+                               round_robin_spider(Spider::from_fork(fork), w), w.count(), false);
+        },
+        nullptr);
+  r.add({k, "single-node", "best single-slave pipeline", /*optimal=*/false,
+         /*exponential=*/false, kSizesAndRelease},
+        [k](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Fork& fork = expect_fork(p, "single-node");
-          return spider_result("single-node", k, single_node_spider(Spider::from_fork(fork), n),
-                               n, false);
-        });
+          return spider_result("single-node", k,
+                               single_node_spider(Spider::from_fork(fork), w), w.count(), false);
+        },
+        nullptr);
   r.add({k, "brute-force", "exhaustive destination-sequence search", /*optimal=*/true,
          /*exponential=*/true},
-        [k](const Platform& p, std::size_t n, const SolveOptions&) {
-          require_tasks(n);
+        [k](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Fork& fork = expect_fork(p, "brute-force");
           return spider_result("brute-force", k,
-                               brute_force_spider_schedule(Spider::from_fork(fork), n), n, true);
+                               brute_force_spider_schedule(Spider::from_fork(fork), w.count()),
+                               w.count(), true);
         },
         [k](const Platform& p, Time deadline, const SolveOptions& opts) {
           const Fork& fork = expect_fork(p, "brute-force");
@@ -718,54 +887,76 @@ void register_fork_algorithms(Registry& r) {
 
 void register_spider_algorithms(Registry& r) {
   const PlatformKind k = PlatformKind::kSpider;
-  r.add({k, "optimal", "per-leg decision form + Moore-Hodgson, Theorem 3", /*optimal=*/true},
-        [k](const Platform& p, std::size_t n, const SolveOptions&) {
-          require_tasks(n);
+  r.add({k, "optimal", "per-leg decision form + Moore-Hodgson, Theorem 3", /*optimal=*/true,
+         /*exponential=*/false, kReleaseOnly},
+        [k](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Spider& spider = expect_spider(p, "optimal");
-          return spider_result("optimal", k, SpiderScheduler::schedule(spider, n), n, true);
+          return spider_result("optimal", k, SpiderScheduler::schedule(spider, w), w.count(),
+                               true);
         },
         [k](const Platform& p, Time deadline, const SolveOptions& opts) {
           const Spider& spider = expect_spider(p, "optimal");
           if (deadline <= 0) return make_decision("optimal", k, deadline, 0, 0, true, {});
-          const std::size_t cap = decision_cap(opts);
+          const Workload* pool = pool_of(opts);
+          const std::size_t cap = decision_cap(opts, pool);
           if (!opts.materialize) {
             // Allocation-free counting (per-leg backward count + count-only
-            // Moore–Hodgson); any kept leg's latest task ends at the
-            // horizon, so a nonempty count completes exactly at `deadline`.
+            // selection, positional-release DP when the pool has release
+            // dates); any kept leg's latest task ends at the horizon, so a
+            // nonempty count completes exactly at `deadline`.
             static thread_local SpiderCountScratch scratch;
             const std::size_t tasks =
-                SpiderScheduler::count_within(spider, deadline, cap, scratch);
+                pool != nullptr && pool->has_release_dates()
+                    ? SpiderScheduler::count_within(spider, deadline, *pool,
+                                                    decision_cap(opts), scratch)
+                    : SpiderScheduler::count_within(spider, deadline, cap, scratch);
             return make_decision("optimal", k, deadline, tasks, tasks > 0 ? deadline : 0,
-                                 /*optimal=*/tasks < cap, {});
+                                 /*optimal=*/decision_maximal(tasks, cap, pool), {});
+          }
+          if (pool != nullptr && pool->has_release_dates()) {
+            return decision_from_schedule(
+                "optimal", k, deadline, /*optimal=*/true, cap, pool,
+                SpiderScheduler::schedule_within(spider, deadline, *pool, decision_cap(opts)));
           }
           return decision_from_schedule(
-              "optimal", k, deadline, /*optimal=*/true, cap,
+              "optimal", k, deadline, /*optimal=*/true, cap, pool,
               SpiderScheduler::schedule_within(spider, deadline, cap));
         });
-  r.add({k, "forward-greedy", "earliest-completion-time list scheduling"},
-        [](const Platform& p, std::size_t n) {
-          require_tasks(n);
+  r.add({k, "forward-greedy", "earliest-completion-time list scheduling", /*optimal=*/false,
+         /*exponential=*/false, kSizesAndRelease},
+        [k](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Spider& spider = expect_spider(p, "forward-greedy");
-          return spider_result("forward-greedy", k, forward_greedy_spider(spider, n), n, false);
-        });
-  r.add({k, "round-robin", "heterogeneity-blind cyclic dispatch"},
-        [](const Platform& p, std::size_t n) {
-          require_tasks(n);
+          return spider_result("forward-greedy", k, forward_greedy_spider(spider, w), w.count(),
+                               false);
+        },
+        nullptr);
+  r.add({k, "round-robin", "heterogeneity-blind cyclic dispatch", /*optimal=*/false,
+         /*exponential=*/false, kSizesAndRelease},
+        [k](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Spider& spider = expect_spider(p, "round-robin");
-          return spider_result("round-robin", k, round_robin_spider(spider, n), n, false);
-        });
-  r.add({k, "single-node", "best single-processor pipeline over all legs"},
-        [](const Platform& p, std::size_t n) {
-          require_tasks(n);
+          return spider_result("round-robin", k, round_robin_spider(spider, w), w.count(),
+                               false);
+        },
+        nullptr);
+  r.add({k, "single-node", "best single-processor pipeline over all legs", /*optimal=*/false,
+         /*exponential=*/false, kSizesAndRelease},
+        [k](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Spider& spider = expect_spider(p, "single-node");
-          return spider_result("single-node", k, single_node_spider(spider, n), n, false);
-        });
+          return spider_result("single-node", k, single_node_spider(spider, w), w.count(),
+                               false);
+        },
+        nullptr);
   r.add({k, "brute-force", "exhaustive destination-sequence search", /*optimal=*/true,
          /*exponential=*/true},
-        [k](const Platform& p, std::size_t n, const SolveOptions&) {
-          require_tasks(n);
+        [k](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
           const Spider& spider = expect_spider(p, "brute-force");
-          return spider_result("brute-force", k, brute_force_spider_schedule(spider, n), n, true);
+          return spider_result("brute-force", k, brute_force_spider_schedule(spider, w.count()),
+                               w.count(), true);
         },
         [k](const Platform& p, Time deadline, const SolveOptions& opts) {
           return spider_brute_force_decision(k, expect_spider(p, "brute-force"), deadline, opts);
@@ -798,36 +989,43 @@ void register_tree_algorithms(Registry& r) {
           return tree_result("local-search", tree, std::move(improved.dests), improved.makespan,
                              n);
         });
-  r.add({k, "online-ect", "simulated online earliest-completion policy"},
-        [](const Platform& p, std::size_t n, const SolveOptions& opts) {
-          require_tasks(n);
-          return solve_tree_online(expect_tree(p, "online-ect"), n,
+  // The online policies run on the discrete-event simulator, which executes
+  // per-task sizes and release dates natively — the arrival-process axis of
+  // the scenario engine lands here.
+  r.add({k, "online-ect", "simulated online earliest-completion policy", /*optimal=*/false,
+         /*exponential=*/false, kSizesAndRelease},
+        [](const Platform& p, const Workload& w, const SolveOptions& opts) {
+          require_tasks(w);
+          return solve_tree_online(expect_tree(p, "online-ect"), w,
                                    sim::OnlinePolicy::kEarliestCompletion, "online-ect",
                                    opts.seed);
         },
         nullptr);
-  r.add({k, "online-jsq", "simulated online join-shortest-queue policy"},
-        [](const Platform& p, std::size_t n, const SolveOptions& opts) {
-          require_tasks(n);
-          return solve_tree_online(expect_tree(p, "online-jsq"), n,
+  r.add({k, "online-jsq", "simulated online join-shortest-queue policy", /*optimal=*/false,
+         /*exponential=*/false, kSizesAndRelease},
+        [](const Platform& p, const Workload& w, const SolveOptions& opts) {
+          require_tasks(w);
+          return solve_tree_online(expect_tree(p, "online-jsq"), w,
                                    sim::OnlinePolicy::kJoinShortestQueue, "online-jsq",
                                    opts.seed);
         },
         nullptr);
-  r.add({k, "online-round-robin", "simulated online round-robin policy"},
-        [](const Platform& p, std::size_t n, const SolveOptions& opts) {
-          require_tasks(n);
-          return solve_tree_online(expect_tree(p, "online-round-robin"), n,
+  r.add({k, "online-round-robin", "simulated online round-robin policy", /*optimal=*/false,
+         /*exponential=*/false, kSizesAndRelease},
+        [](const Platform& p, const Workload& w, const SolveOptions& opts) {
+          require_tasks(w);
+          return solve_tree_online(expect_tree(p, "online-round-robin"), w,
                                    sim::OnlinePolicy::kRoundRobin, "online-round-robin",
                                    opts.seed);
         },
         nullptr);
   // Registered now that solves carry options: the policy is deterministic
   // per SolveOptions::seed, so mstctl runs are reproducible.
-  r.add({k, "online-random", "simulated online uniform-random policy (SolveOptions::seed)"},
-        [](const Platform& p, std::size_t n, const SolveOptions& opts) {
-          require_tasks(n);
-          return solve_tree_online(expect_tree(p, "online-random"), n,
+  r.add({k, "online-random", "simulated online uniform-random policy (SolveOptions::seed)",
+         /*optimal=*/false, /*exponential=*/false, kSizesAndRelease},
+        [](const Platform& p, const Workload& w, const SolveOptions& opts) {
+          require_tasks(w);
+          return solve_tree_online(expect_tree(p, "online-random"), w,
                                    sim::OnlinePolicy::kRandom, "online-random", opts.seed);
         },
         nullptr);

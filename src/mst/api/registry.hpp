@@ -19,6 +19,7 @@
 #include "mst/schedule/feasibility.hpp"
 #include "mst/schedule/fork_schedule.hpp"
 #include "mst/schedule/spider_schedule.hpp"
+#include "mst/workload/workload.hpp"
 
 /// \file registry.hpp
 /// Uniform dispatch over every scheduler in the library.
@@ -38,17 +39,25 @@
 ///
 /// Both of the paper's equivalent problem statements are exposed:
 ///
-///  * makespan form — schedule exactly `n` tasks as fast as possible
-///    (`solve`), and
+///  * makespan form — schedule a whole workload as fast as possible
+///    (`solve`; the classic `n` identical tasks are `Workload::identical(n)`
+///    and keep their historical entry points bit-for-bit), and
 ///  * decision form — schedule as many tasks as possible within a deadline
-///    `T` (`solve_within` / `max_tasks`).
+///    `T` (`solve_within` / `max_tasks`), drawing either from the unbounded
+///    identical stream (default) or from a finite `SolveOptions::workload`.
 ///
 /// Every entry supports the decision form: algorithms with a native decision
 /// procedure (the chain backward construction, the fork/spider Moore–Hodgson
 /// selections, the brute-force oracles) register it directly; every other
 /// entry inherits an adapter that inverts its makespan form by exponential +
 /// binary search, which is exact whenever the makespan is monotone in the
-/// task count (true for all built-ins).
+/// task count (true for all built-ins).  For finite workloads the adapter
+/// probes canonical prefixes instead of counts.
+///
+/// Workload generality is opt-in per algorithm: `AlgorithmInfo::supports`
+/// declares which features (non-uniform sizes, release dates) an entry can
+/// handle, and `Registry::solve*` rejects unsupported workloads with a
+/// clear `std::invalid_argument` instead of silently mis-scheduling.
 
 namespace mst::api {
 
@@ -85,6 +94,8 @@ std::size_t num_processors(const Platform& platform);
 struct TreeDispatch {
   Tree tree;
   std::vector<NodeId> dests;
+
+  friend bool operator==(const TreeDispatch&, const TreeDispatch&) = default;
 };
 
 /// Whichever concrete schedule the algorithm produced.  `monostate` means
@@ -105,6 +116,13 @@ struct SolveOptions {
   /// Upper bound on the task count explored by decision-form solves (both
   /// the native counting procedures and the makespan-inversion adapter).
   std::size_t cap = 1u << 20;
+  /// Decision-form task pool.  Null (default) keeps the historical
+  /// semantics — an unbounded stream of identical tasks, capped by `cap`.
+  /// When set, `solve_within` selects from this finite workload instead
+  /// (release dates and all), and the effective cap is
+  /// `min(cap, workload->count())`.  Shared pointer so copying options per
+  /// cell stays cheap in sweeps.
+  std::shared_ptr<const Workload> workload;
 };
 
 /// Uniform outcome of `Scheduler::solve`: the schedule plus the metrics the
@@ -112,11 +130,14 @@ struct SolveOptions {
 struct SolveResult {
   std::string algorithm;    ///< registry name that produced this
   PlatformKind kind = PlatformKind::kChain;
-  std::size_t tasks = 0;    ///< tasks actually scheduled (== n requested)
+  std::size_t tasks = 0;    ///< tasks actually scheduled (== workload count)
   Time makespan = 0;
   Time lower_bound = 0;     ///< steady-state makespan lower bound (0: none)
   bool optimal = false;     ///< guaranteed optimal by construction
   AnySchedule schedule;
+  /// The workload this result scheduled, in canonical order — schedule task
+  /// `i` is workload task `i`.  Feasibility checking scales and gates by it.
+  Workload workload;
 
   /// Tasks per unit time, `tasks / makespan`.  0 for empty results; +inf for
   /// the degenerate "nonempty schedule in zero time" case, so sweep tables
@@ -137,6 +158,10 @@ struct DecisionResult {
   /// at `SolveOptions::cap` — a truncated count proves nothing.
   bool optimal = false;
   AnySchedule schedule;     ///< `monostate` unless options.materialize
+  /// The tasks that made the count: the canonical `tasks`-prefix of the
+  /// pool (`SolveOptions::workload`), or `Workload::identical(tasks)` for
+  /// the identical stream.  Filled by the registry dispatch.
+  Workload workload;
 
   /// Window utilization, `tasks / deadline` (0 for an empty window).
   [[nodiscard]] double throughput() const;
@@ -158,29 +183,35 @@ FeasibilityReport check_feasibility(const DecisionResult& result);
 // ---------------------------------------------------------------------------
 // Schedulers and the registry
 
-/// Polymorphic scheduling algorithm: pure function of (platform, n, options).
+/// Polymorphic scheduling algorithm: pure function of (platform, workload,
+/// options).
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
-  /// Makespan form: schedules exactly `n >= 1` tasks.  Throws
+  /// Makespan form: schedules the whole non-empty workload.  Throws
   /// `std::invalid_argument` if the platform alternative does not match the
-  /// algorithm's kind.  Implementations must honor
-  /// `options.materialize == false` by returning a `monostate` schedule.
-  [[nodiscard]] virtual SolveResult solve(const Platform& platform, std::size_t n,
+  /// algorithm's kind or the workload uses features the algorithm cannot
+  /// handle.  Implementations must honor `options.materialize == false` by
+  /// returning a `monostate` schedule.
+  [[nodiscard]] virtual SolveResult solve(const Platform& platform, const Workload& workload,
                                           const SolveOptions& options) const = 0;
 
-  /// Convenience with default options.
-  [[nodiscard]] SolveResult solve(const Platform& platform, std::size_t n) const {
-    return solve(platform, n, SolveOptions{});
+  /// The paper's classic form: `n` identical tasks.  Exactly
+  /// `solve(platform, Workload::identical(n), options)` — one code path, so
+  /// equivalence is structural, not tested-for.
+  [[nodiscard]] SolveResult solve(const Platform& platform, std::size_t n,
+                                  const SolveOptions& options = {}) const {
+    return solve(platform, Workload::identical(n), options);
   }
 
-  /// Decision form: the maximum number of tasks (at most `options.cap`)
-  /// completable within `deadline`, with a witness schedule when
+  /// Decision form: the maximum number of tasks completable within
+  /// `deadline` — at most `options.cap`, drawn from
+  /// `options.workload` when set (its canonical prefixes) or from the
+  /// unbounded identical stream — with a witness schedule when
   /// `options.materialize`.  The base implementation inverts the makespan
-  /// form by exponential + binary search on the task count (exact for
-  /// monotone makespans); algorithms with a native decision procedure
-  /// override it.
+  /// form by exponential + binary search (exact for monotone makespans);
+  /// algorithms with a native decision procedure override it.
   [[nodiscard]] virtual DecisionResult solve_within(const Platform& platform, Time deadline,
                                                     const SolveOptions& options) const;
 
@@ -197,6 +228,11 @@ struct AlgorithmInfo {
   bool optimal = false;   ///< produces provably optimal makespans
   bool exponential = false;  ///< worst-case exponential (brute force) —
                              ///< sweeps over large `n` should skip these
+  /// Workload features this entry handles (identical-only by default).
+  /// `Registry::solve*` rejects workloads outside this set up front, and
+  /// the sweep expander pairs workload generators only with entries that
+  /// support them.
+  WorkloadFeatures supports{};
 };
 
 /// The algorithm table.  `registry()` returns the process-wide instance with
@@ -212,7 +248,8 @@ class Registry {
 
   /// Makespan-form callable; receives the per-call options (materialize /
   /// seed) and must honor them.
-  using SolveFn = std::function<SolveResult(const Platform&, std::size_t, const SolveOptions&)>;
+  using SolveFn =
+      std::function<SolveResult(const Platform&, const Workload&, const SolveOptions&)>;
   /// Native decision-form callable.
   using DecisionFn = std::function<DecisionResult(const Platform&, Time, const SolveOptions&)>;
 
@@ -222,9 +259,10 @@ class Registry {
 
   /// One-line registration from a callable — this is the extension point:
   ///   registry().add(info, [](const Platform& p, std::size_t n) {...});
-  /// Entries registered this way get the decision form through the
-  /// makespan-inversion adapter, and `materialize == false` by payload
-  /// stripping.
+  /// Entries registered this way are identical-workload algorithms (the
+  /// callable only sees a count, so `info.supports` is forced to none), get
+  /// the decision form through the makespan-inversion adapter, and
+  /// `materialize == false` by payload stripping.
   void add(AlgorithmInfo info, std::function<SolveResult(const Platform&, std::size_t)> fn);
 
   /// Options-aware registration, with an optional native decision form
@@ -244,14 +282,29 @@ class Registry {
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
-  /// Dispatch: resolves `(kind_of(platform), algorithm)` and solves.  Throws
-  /// `std::invalid_argument` naming the known algorithms when the lookup
-  /// fails.
+  /// True iff the named algorithm exists for `kind` and declares support
+  /// for every feature in `features`.  The sweep expander's pairing test.
+  [[nodiscard]] bool supports(PlatformKind kind, std::string_view name,
+                              const WorkloadFeatures& features) const;
+
+  /// Dispatch: resolves `(kind_of(platform), algorithm)` and solves the
+  /// workload.  Throws `std::invalid_argument` naming the known algorithms
+  /// when the lookup fails, and a feature-naming message when the workload
+  /// uses features the entry does not declare in `supports` — unsupported
+  /// workloads are rejected up front, never silently mis-scheduled.
+  [[nodiscard]] SolveResult solve(const Platform& platform, std::string_view algorithm,
+                                  const Workload& workload,
+                                  const SolveOptions& options = {}) const;
+
+  /// The paper's classic form; exactly `solve(platform, algorithm,
+  /// Workload::identical(n), options)`.
   [[nodiscard]] SolveResult solve(const Platform& platform, std::string_view algorithm,
                                   std::size_t n, const SolveOptions& options = {}) const;
 
   /// Decision-form dispatch: the maximum number of tasks completable within
-  /// `deadline`, with a witness schedule when `options.materialize`.
+  /// `deadline`, with a witness schedule when `options.materialize`.  The
+  /// pool is `options.workload` when set (checked against the entry's
+  /// `supports`), else the unbounded identical stream.
   [[nodiscard]] DecisionResult solve_within(const Platform& platform, std::string_view algorithm,
                                             Time deadline, const SolveOptions& options = {}) const;
 

@@ -13,32 +13,34 @@ namespace mst {
 ChainAsapState::ChainAsapState(const Chain& chain)
     : chain_(chain), link_free_(chain.size(), 0), proc_free_(chain.size(), 0) {}
 
-Time ChainAsapState::peek_completion(std::size_t dest) const {
+Time ChainAsapState::peek_completion(std::size_t dest, Time size, Time release) const {
   MST_REQUIRE(dest < chain_.size(), "destination outside the chain");
-  Time emission = link_free_[0];
+  Time emission = std::max(link_free_[0], release);
   for (std::size_t k = 1; k <= dest; ++k) {
-    emission = std::max(emission + chain_.comm(k - 1), link_free_[k]);
+    emission = std::max(emission + size * chain_.comm(k - 1), link_free_[k]);
   }
-  const Time arrival = emission + chain_.comm(dest);
+  const Time arrival = emission + size * chain_.comm(dest);
   const Time start = std::max(arrival, proc_free_[dest]);
-  return start + chain_.work(dest);
+  return start + size * chain_.work(dest);
 }
 
-ChainTask ChainAsapState::commit(std::size_t dest) {
+ChainTask ChainAsapState::commit(std::size_t dest, Time size, Time release) {
   MST_REQUIRE(dest < chain_.size(), "destination outside the chain");
   ChainTask task;
   task.proc = dest;
   task.emissions.resize(dest + 1);
-  Time emission = link_free_[0];
+  Time emission = std::max(link_free_[0], release);
   task.emissions[0] = emission;
   for (std::size_t k = 1; k <= dest; ++k) {
-    emission = std::max(emission + chain_.comm(k - 1), link_free_[k]);
+    emission = std::max(emission + size * chain_.comm(k - 1), link_free_[k]);
     task.emissions[k] = emission;
   }
-  for (std::size_t k = 0; k <= dest; ++k) link_free_[k] = task.emissions[k] + chain_.comm(k);
-  const Time arrival = task.emissions[dest] + chain_.comm(dest);
+  for (std::size_t k = 0; k <= dest; ++k) {
+    link_free_[k] = task.emissions[k] + size * chain_.comm(k);
+  }
+  const Time arrival = task.emissions[dest] + size * chain_.comm(dest);
   task.start = std::max(arrival, proc_free_[dest]);
-  proc_free_[dest] = task.start + chain_.work(dest);
+  proc_free_[dest] = task.start + size * chain_.work(dest);
   return task;
 }
 
@@ -47,6 +49,20 @@ ChainSchedule asap_chain_schedule(const Chain& chain, const std::vector<std::siz
   ChainSchedule schedule{chain, {}};
   schedule.tasks.reserve(dests.size());
   for (std::size_t dest : dests) schedule.tasks.push_back(state.commit(dest));
+  return schedule;
+}
+
+ChainSchedule asap_chain_schedule(const Chain& chain, const std::vector<std::size_t>& dests,
+                                  const Workload& workload) {
+  MST_REQUIRE(workload.count() == dests.size(),
+              "workload and destination sequence must have the same length");
+  ChainAsapState state(chain);
+  ChainSchedule schedule{chain, {}};
+  schedule.tasks.reserve(dests.size());
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    schedule.tasks.push_back(
+        state.commit(dests[i], workload.size_of(i), workload.release_of(i)));
+  }
   return schedule;
 }
 
@@ -63,44 +79,45 @@ SpiderAsapState::SpiderAsapState(const Spider& spider) : spider_(spider) {
   }
 }
 
-std::vector<Time> SpiderAsapState::emissions_for(const SpiderDest& dest) const {
+std::vector<Time> SpiderAsapState::emissions_for(const SpiderDest& dest, Time size,
+                                                 Time release) const {
   MST_REQUIRE(dest.leg < spider_.num_legs(), "leg outside the spider");
   const Chain& leg = spider_.leg(dest.leg);
   MST_REQUIRE(dest.proc < leg.size(), "processor outside the leg");
   std::vector<Time> emissions(dest.proc + 1);
-  // The master's out-port serializes first emissions across legs; the leg's
+  // The master's one-port serializes first emissions across legs; the leg's
   // own first link can only be busy through the port, so the port bound
-  // dominates.
-  Time emission = std::max(port_free_, link_free_[dest.leg][0]);
+  // dominates.  The release date gates the master emission only.
+  Time emission = std::max({port_free_, link_free_[dest.leg][0], release});
   emissions[0] = emission;
   for (std::size_t k = 1; k <= dest.proc; ++k) {
-    emission = std::max(emission + leg.comm(k - 1), link_free_[dest.leg][k]);
+    emission = std::max(emission + size * leg.comm(k - 1), link_free_[dest.leg][k]);
     emissions[k] = emission;
   }
   return emissions;
 }
 
-Time SpiderAsapState::peek_completion(const SpiderDest& dest) const {
-  const std::vector<Time> emissions = emissions_for(dest);
+Time SpiderAsapState::peek_completion(const SpiderDest& dest, Time size, Time release) const {
+  const std::vector<Time> emissions = emissions_for(dest, size, release);
   const Chain& leg = spider_.leg(dest.leg);
-  const Time arrival = emissions.back() + leg.comm(dest.proc);
+  const Time arrival = emissions.back() + size * leg.comm(dest.proc);
   const Time start = std::max(arrival, proc_free_[dest.leg][dest.proc]);
-  return start + leg.work(dest.proc);
+  return start + size * leg.work(dest.proc);
 }
 
-SpiderTask SpiderAsapState::commit(const SpiderDest& dest) {
-  std::vector<Time> emissions = emissions_for(dest);
+SpiderTask SpiderAsapState::commit(const SpiderDest& dest, Time size, Time release) {
+  std::vector<Time> emissions = emissions_for(dest, size, release);
   const Chain& leg = spider_.leg(dest.leg);
   SpiderTask task;
   task.leg = dest.leg;
   task.proc = dest.proc;
-  port_free_ = emissions[0] + leg.comm(0);
+  port_free_ = emissions[0] + size * leg.comm(0);
   for (std::size_t k = 0; k <= dest.proc; ++k) {
-    link_free_[dest.leg][k] = emissions[k] + leg.comm(k);
+    link_free_[dest.leg][k] = emissions[k] + size * leg.comm(k);
   }
-  const Time arrival = emissions.back() + leg.comm(dest.proc);
+  const Time arrival = emissions.back() + size * leg.comm(dest.proc);
   task.start = std::max(arrival, proc_free_[dest.leg][dest.proc]);
-  proc_free_[dest.leg][dest.proc] = task.start + leg.work(dest.proc);
+  proc_free_[dest.leg][dest.proc] = task.start + size * leg.work(dest.proc);
   task.emissions = std::move(emissions);
   return task;
 }
@@ -110,6 +127,20 @@ SpiderSchedule asap_spider_schedule(const Spider& spider, const std::vector<Spid
   SpiderSchedule schedule{spider, {}};
   schedule.tasks.reserve(dests.size());
   for (const SpiderDest& dest : dests) schedule.tasks.push_back(state.commit(dest));
+  return schedule;
+}
+
+SpiderSchedule asap_spider_schedule(const Spider& spider, const std::vector<SpiderDest>& dests,
+                                    const Workload& workload) {
+  MST_REQUIRE(workload.count() == dests.size(),
+              "workload and destination sequence must have the same length");
+  SpiderAsapState state(spider);
+  SpiderSchedule schedule{spider, {}};
+  schedule.tasks.reserve(dests.size());
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    schedule.tasks.push_back(
+        state.commit(dests[i], workload.size_of(i), workload.release_of(i)));
+  }
   return schedule;
 }
 

@@ -7,6 +7,7 @@
 #include "mst/platform/spider.hpp"
 #include "mst/schedule/chain_schedule.hpp"
 #include "mst/schedule/spider_schedule.hpp"
+#include "mst/workload/workload.hpp"
 
 /// \file asap.hpp
 /// Forward as-soon-as-possible timing for a fixed destination sequence.
@@ -20,12 +21,23 @@
 /// exact optimum.  This is the engine of the exhaustive baseline and of the
 /// forward heuristics; the paper's algorithm, by contrast, never needs to
 /// enumerate sequences.
+///
+/// Every entry point also has a workload-aware form: task `i` of the
+/// dispatch order carries size `s_i` (scaling each hop to `s_i·c_k` and the
+/// execution to `s_i·w_k`) and release date `r_i` (its first emission starts
+/// no earlier than `r_i`).  The unit/zero defaults reproduce the identical
+/// arithmetic exactly.
 
 namespace mst {
 
 /// ASAP schedule of the given chain destination sequence (`dest[i]` is the
 /// 0-based destination processor of the i-th emitted task).
 ChainSchedule asap_chain_schedule(const Chain& chain, const std::vector<std::size_t>& dests);
+
+/// Workload-aware form: task `i` has `workload.size_of(i)` /
+/// `workload.release_of(i)`; requires `workload.count() == dests.size()`.
+ChainSchedule asap_chain_schedule(const Chain& chain, const std::vector<std::size_t>& dests,
+                                  const Workload& workload);
 
 /// Destination on a spider: leg plus processor position within the leg.
 struct SpiderDest {
@@ -38,6 +50,8 @@ struct SpiderDest {
 /// ASAP schedule of the given spider destination sequence; the master's
 /// one-port serializes first emissions in sequence order.
 SpiderSchedule asap_spider_schedule(const Spider& spider, const std::vector<SpiderDest>& dests);
+SpiderSchedule asap_spider_schedule(const Spider& spider, const std::vector<SpiderDest>& dests,
+                                    const Workload& workload);
 
 /// Incremental ASAP state for chain construction — lets heuristics append
 /// one destination at a time and query the resulting completion time without
@@ -47,11 +61,12 @@ class ChainAsapState {
   explicit ChainAsapState(const Chain& chain);
 
   /// Completion time if the next task were sent to `dest`, without
-  /// committing.
-  [[nodiscard]] Time peek_completion(std::size_t dest) const;
+  /// committing.  `size` scales the task's communications and execution;
+  /// its first emission starts no earlier than `release`.
+  [[nodiscard]] Time peek_completion(std::size_t dest, Time size = 1, Time release = 0) const;
 
   /// Appends a task to `dest`; returns its placement.
-  ChainTask commit(std::size_t dest);
+  ChainTask commit(std::size_t dest, Time size = 1, Time release = 0);
 
   [[nodiscard]] const Chain& chain() const { return chain_; }
 
@@ -66,14 +81,16 @@ class SpiderAsapState {
  public:
   explicit SpiderAsapState(const Spider& spider);
 
-  [[nodiscard]] Time peek_completion(const SpiderDest& dest) const;
-  SpiderTask commit(const SpiderDest& dest);
+  [[nodiscard]] Time peek_completion(const SpiderDest& dest, Time size = 1,
+                                     Time release = 0) const;
+  SpiderTask commit(const SpiderDest& dest, Time size = 1, Time release = 0);
 
   [[nodiscard]] const Spider& spider() const { return spider_; }
 
  private:
   /// Computes the emission chain for `dest`; shared by peek and commit.
-  [[nodiscard]] std::vector<Time> emissions_for(const SpiderDest& dest) const;
+  [[nodiscard]] std::vector<Time> emissions_for(const SpiderDest& dest, Time size,
+                                                Time release) const;
 
   Spider spider_;
   Time port_free_ = 0;

@@ -6,6 +6,7 @@
 #include "mst/platform/spider.hpp"
 #include "mst/schedule/chain_schedule.hpp"
 #include "mst/schedule/spider_schedule.hpp"
+#include "mst/workload/workload.hpp"
 
 /// \file forward_greedy.hpp
 /// Earliest-completion-time list scheduling — the natural *forward*
@@ -24,5 +25,12 @@ SpiderSchedule forward_greedy_spider(const Spider& spider, std::size_t n);
 
 Time forward_greedy_chain_makespan(const Chain& chain, std::size_t n);
 Time forward_greedy_spider_makespan(const Spider& spider, std::size_t n);
+
+/// Workload forms: tasks are dispatched in canonical workload order, each
+/// picking the destination with the earliest size-scaled, release-gated
+/// ASAP completion.  `Workload::identical(n)` reproduces the `n` forms
+/// bit-for-bit.
+ChainSchedule forward_greedy_chain(const Chain& chain, const Workload& workload);
+SpiderSchedule forward_greedy_spider(const Spider& spider, const Workload& workload);
 
 }  // namespace mst

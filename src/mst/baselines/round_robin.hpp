@@ -6,6 +6,7 @@
 #include "mst/platform/spider.hpp"
 #include "mst/schedule/chain_schedule.hpp"
 #include "mst/schedule/spider_schedule.hpp"
+#include "mst/workload/workload.hpp"
 
 /// \file round_robin.hpp
 /// Round-robin dispatch — the heterogeneity-blind baseline.
@@ -19,6 +20,12 @@ namespace mst {
 
 ChainSchedule round_robin_chain(const Chain& chain, std::size_t n);
 SpiderSchedule round_robin_spider(const Spider& spider, std::size_t n);
+
+/// Workload forms: the cyclic destination sequence is unchanged (round
+/// robin is blind to sizes and releases by definition); timing is the
+/// size-scaled, release-gated ASAP placement.
+ChainSchedule round_robin_chain(const Chain& chain, const Workload& workload);
+SpiderSchedule round_robin_spider(const Spider& spider, const Workload& workload);
 
 Time round_robin_chain_makespan(const Chain& chain, std::size_t n);
 Time round_robin_spider_makespan(const Spider& spider, std::size_t n);

@@ -6,6 +6,7 @@
 #include "mst/platform/spider.hpp"
 #include "mst/schedule/chain_schedule.hpp"
 #include "mst/schedule/spider_schedule.hpp"
+#include "mst/workload/workload.hpp"
 
 /// \file single_node.hpp
 /// Best-single-processor baseline — the generalization of the paper's `T∞`.
@@ -26,5 +27,10 @@ Time single_node_chain_makespan(const Chain& chain, std::size_t n);
 /// Best single-processor schedule over all legs of a spider.
 SpiderSchedule single_node_spider(const Spider& spider, std::size_t n);
 Time single_node_spider_makespan(const Spider& spider, std::size_t n);
+
+/// Workload forms: the whole workload pipelines to the single processor
+/// minimizing the size-scaled, release-gated ASAP makespan.
+ChainSchedule single_node_chain(const Chain& chain, const Workload& workload);
+SpiderSchedule single_node_spider(const Spider& spider, const Workload& workload);
 
 }  // namespace mst

@@ -9,29 +9,29 @@ namespace mst {
 TreeAsapState::TreeAsapState(const Tree& tree)
     : tree_(&tree), port_free_(tree.size(), 0), proc_free_(tree.size(), 0) {}
 
-Time TreeAsapState::peek_completion(NodeId dest) const {
+Time TreeAsapState::peek_completion(NodeId dest, Time size, Time release) const {
   MST_REQUIRE(dest != 0 && dest < tree_->size(), "destination must be a slave node");
-  Time ready = 0;
+  Time ready = release;
   NodeId prev = 0;
   for (NodeId hop : tree_->path_from_root(dest)) {
     const Time emit = std::max(ready, port_free_[prev]);
-    ready = emit + tree_->proc(hop).comm;
+    ready = emit + size * tree_->proc(hop).comm;
     prev = hop;
   }
-  return std::max(ready, proc_free_[dest]) + tree_->proc(dest).work;
+  return std::max(ready, proc_free_[dest]) + size * tree_->proc(dest).work;
 }
 
-Time TreeAsapState::commit(NodeId dest) {
+Time TreeAsapState::commit(NodeId dest, Time size, Time release) {
   MST_REQUIRE(dest != 0 && dest < tree_->size(), "destination must be a slave node");
-  Time ready = 0;
+  Time ready = release;
   NodeId prev = 0;
   for (NodeId hop : tree_->path_from_root(dest)) {
     const Time emit = std::max(ready, port_free_[prev]);
-    ready = emit + tree_->proc(hop).comm;
+    ready = emit + size * tree_->proc(hop).comm;
     port_free_[prev] = ready;
     prev = hop;
   }
-  proc_free_[dest] = std::max(ready, proc_free_[dest]) + tree_->proc(dest).work;
+  proc_free_[dest] = std::max(ready, proc_free_[dest]) + size * tree_->proc(dest).work;
   return proc_free_[dest];
 }
 

@@ -25,11 +25,13 @@ class TreeAsapState {
   explicit TreeAsapState(const Tree& tree);
 
   /// Completion time if the next task were sent to `dest` (a slave node),
-  /// without committing.
-  [[nodiscard]] Time peek_completion(NodeId dest) const;
+  /// without committing.  `size` scales every hop and the execution; the
+  /// master emission starts no earlier than `release` (defaults reproduce
+  /// the identical-task arithmetic exactly, matching the simulator).
+  [[nodiscard]] Time peek_completion(NodeId dest, Time size = 1, Time release = 0) const;
 
   /// Appends a task to `dest`; returns its completion time.
-  Time commit(NodeId dest);
+  Time commit(NodeId dest, Time size = 1, Time release = 0);
 
   [[nodiscard]] const Tree& tree() const { return *tree_; }
 

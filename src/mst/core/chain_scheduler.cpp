@@ -162,4 +162,90 @@ std::size_t ChainScheduler::count_within_emissions(const Chain& chain, Time t_li
   return count_backward(chain, t_lim, cap, scratch, &first_emissions);
 }
 
+namespace {
+
+/// Largest k such that the k latest backward emissions dominate the k
+/// earliest release dates: `emissions[j] >= releases[k-1-j]` for all `j < k`
+/// (`emissions` in construction order, latest first; `releases` sorted
+/// ascending).  Feasible(k) implies feasible(k-1) — the matched release of
+/// every emission only gets smaller — so binary search is exact.
+std::size_t max_released_count(const std::vector<Time>& emissions,
+                               const std::vector<Time>& releases) {
+  const auto feasible = [&](std::size_t k) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (emissions[j] < releases[k - 1 - j]) return false;
+    }
+    return true;
+  };
+  std::size_t lo = 0;
+  std::size_t hi = emissions.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    if (feasible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+void require_uniform_sizes(const Workload& workload) {
+  MST_REQUIRE(workload.uniform_sizes(),
+              "the backward construction is only optimal for identical task sizes");
+}
+
+}  // namespace
+
+std::size_t ChainScheduler::count_within(const Chain& chain, Time t_lim,
+                                         const Workload& workload, std::size_t cap,
+                                         ChainCountScratch& scratch) {
+  require_uniform_sizes(workload);
+  const std::size_t k_cap = std::min(cap, workload.count());
+  if (!workload.has_release_dates()) return count_within(chain, t_lim, k_cap, scratch);
+  scratch.emissions.clear();
+  count_within_emissions(chain, t_lim, k_cap, scratch, scratch.emissions);
+  return max_released_count(scratch.emissions, workload.releases());
+}
+
+ChainSchedule ChainScheduler::schedule_within(const Chain& chain, Time t_lim,
+                                              const Workload& workload, std::size_t cap) {
+  require_uniform_sizes(workload);
+  if (!workload.has_release_dates()) {
+    return schedule_within(chain, t_lim, std::min(cap, workload.count()));
+  }
+  ChainCountScratch scratch;
+  const std::size_t k = count_within(chain, t_lim, workload, cap, scratch);
+  // The k-task backward build is the prefix of the counting construction, so
+  // its emissions are exactly the ones the count proved release-feasible.
+  return build_backward(chain, t_lim, k, /*stop_on_negative=*/true);
+}
+
+ChainSchedule ChainScheduler::schedule(const Chain& chain, const Workload& workload) {
+  require_uniform_sizes(workload);
+  MST_REQUIRE(workload.count() >= 1, "schedule needs at least one task");
+  const std::size_t n = workload.count();
+  if (!workload.has_release_dates()) return schedule(chain, n);
+
+  // Minimal horizon admitting all n tasks.  The all-on-first-processor
+  // schedule shifted past the last release always fits, so the upper bound
+  // is feasible and the search is well defined; monotonicity of the count in
+  // the horizon makes it exact.
+  ChainCountScratch scratch;
+  Time lo = 0;
+  Time hi = workload.last_release() + chain.t_infinity(n);
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (count_within(chain, mid, workload, n, scratch) >= n) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  ChainSchedule result = schedule_within(chain, lo, workload, n);
+  MST_ASSERT(result.tasks.size() == n);
+  // No -C^1_1 shift: release dates are absolute, the window is the schedule.
+  return result;
+}
+
 }  // namespace mst

@@ -4,6 +4,7 @@
 
 #include "mst/platform/chain.hpp"
 #include "mst/schedule/chain_schedule.hpp"
+#include "mst/workload/workload.hpp"
 
 /// \file chain_scheduler.hpp
 /// The paper's primary contribution (§3): an `O(n·p²)` algorithm building a
@@ -39,6 +40,7 @@ struct ChainCountScratch {
   std::vector<Time> occupancy;
   std::vector<Time> candidate;
   std::vector<Time> best;
+  std::vector<Time> emissions;  ///< release-date counting: first emissions
 };
 
 /// Optimal scheduling on chains (stateless; all methods are pure functions
@@ -53,6 +55,36 @@ class ChainScheduler {
   /// Optimal makespan of `n` tasks without materializing task placements
   /// (same cost; convenience for sweeps).
   static Time makespan(const Chain& chain, std::size_t n);
+
+  /// Workload makespan form.  Identical workloads take the `schedule(chain,
+  /// n)` path above bit-for-bit.  Release dates are handled natively: tasks
+  /// not yet released simply shift the earliest feasible start in the span
+  /// recurrences, i.e. the minimal horizon `T*` is found by binary search
+  /// over the release-aware decision count below and the backward
+  /// construction is anchored there.  Because release dates are absolute,
+  /// the result is *not* shifted to start at 0; its makespan equals `T*`,
+  /// which is optimal: the backward emissions are the componentwise-latest
+  /// among all k-task schedules ending by the horizon (Lemma 4 suffix
+  /// optimality), so a horizon admits `n` release-feasible tasks iff any
+  /// schedule does.  Non-uniform task sizes are outside the algorithm's
+  /// optimality proof and are rejected (`std::invalid_argument`).
+  static ChainSchedule schedule(const Chain& chain, const Workload& workload);
+
+  /// Workload decision form: as many workload tasks as possible — at most
+  /// `min(cap, workload.count())` — completing within `[0, t_lim]`, release
+  /// dates respected positionally (the j-th emission in time order starts at
+  /// or after the j-th smallest release date).
+  static ChainSchedule schedule_within(const Chain& chain, Time t_lim, const Workload& workload,
+                                       std::size_t cap);
+
+  /// Counting form of the above.  For release-dated workloads this replays
+  /// the counting construction once, collecting first emissions into the
+  /// scratch, and then finds the largest k whose k latest emissions dominate
+  /// the k earliest release dates (sorted-to-sorted matching is optimal for
+  /// interchangeable tasks; the predicate is monotone in k, so a binary
+  /// search suffices).
+  static std::size_t count_within(const Chain& chain, Time t_lim, const Workload& workload,
+                                  std::size_t cap, ChainCountScratch& scratch);
 
   /// Decision form (§7): schedule as many tasks as possible — at most
   /// `max_tasks` — so that all of them complete by `t_lim`.  All times stay

@@ -90,7 +90,218 @@ ForkSchedule ForkScheduler::schedule_within(const Fork& fork, Time t_lim, std::s
 }
 
 std::size_t ForkScheduler::max_tasks(const Fork& fork, Time t_lim, std::size_t cap) {
-  return schedule_within(fork, t_lim, cap).tasks.size();
+  ForkCountScratch scratch;
+  return count_within(fork, t_lim, cap, scratch);
+}
+
+namespace {
+
+/// Appends the Fig 6 virtual nodes of every slave to `jobs` without
+/// materializing per-slave vectors (same node set as `expand_fork`, ids in
+/// the same order).
+void append_fork_jobs(const Fork& fork, Time t_lim, std::size_t max_per_slave,
+                      std::vector<DeadlineJob>& jobs) {
+  for (std::size_t i = 0; i < fork.size(); ++i) {
+    const Processor& slave = fork.slave(i);
+    const Time m = std::max(slave.comm, slave.work);
+    for (std::size_t q = 0; q < max_per_slave; ++q) {
+      const Time exec = slave.work + static_cast<Time>(q) * m;
+      if (exec + slave.comm > t_lim) break;  // could never complete in the window
+      jobs.push_back(DeadlineJob{slave.comm, t_lim - exec, jobs.size()});
+    }
+  }
+}
+
+void require_uniform_sizes(const Workload& workload) {
+  MST_REQUIRE(workload.uniform_sizes(),
+              "the virtual-node selection is only optimal for identical task sizes");
+}
+
+}  // namespace
+
+std::size_t ForkScheduler::count_within(const Fork& fork, Time t_lim, std::size_t cap,
+                                        ForkCountScratch& scratch) {
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  // The counting twin of `schedule_within`: identical node set, count-only
+  // selection, and the same global cap (Moore–Hodgson sees up to `cap`
+  // nodes per slave, so the picked total may exceed it; the materializing
+  // path trims — which only ever reduces the total to `cap` — so `min`
+  // reproduces it).
+  scratch.jobs.clear();
+  append_fork_jobs(fork, t_lim, cap, scratch.jobs);
+  return std::min(moore_hodgson_count(scratch.jobs, scratch.heap), cap);
+}
+
+std::pair<std::size_t, Time> ForkScheduler::makespan_within(const Fork& fork, Time t_lim,
+                                                            std::size_t cap,
+                                                            ForkCountScratch& scratch) {
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  // (1) Node instance with an id → slave map.
+  scratch.jobs.clear();
+  scratch.slave_of.clear();
+  for (std::size_t i = 0; i < fork.size(); ++i) {
+    const Processor& slave = fork.slave(i);
+    const Time m = std::max(slave.comm, slave.work);
+    for (std::size_t q = 0; q < cap; ++q) {
+      const Time exec = slave.work + static_cast<Time>(q) * m;
+      if (exec + slave.comm > t_lim) break;
+      scratch.jobs.push_back(DeadlineJob{slave.comm, t_lim - exec, scratch.jobs.size()});
+      scratch.slave_of.push_back(i);
+    }
+  }
+
+  // (2) Moore–Hodgson with identities, mirroring `moore_hodgson` exactly:
+  // EDD order (deadline, proc_time, id) and eviction of the max (proc, id).
+  std::sort(scratch.jobs.begin(), scratch.jobs.end(),
+            [](const DeadlineJob& a, const DeadlineJob& b) {
+              if (a.deadline != b.deadline) return a.deadline < b.deadline;
+              if (a.proc_time != b.proc_time) return a.proc_time < b.proc_time;
+              return a.id < b.id;
+            });
+  scratch.sel_heap.clear();
+  Time total = 0;
+  for (const DeadlineJob& job : scratch.jobs) {
+    scratch.sel_heap.emplace_back(job.proc_time, job.id);
+    std::push_heap(scratch.sel_heap.begin(), scratch.sel_heap.end());
+    total += job.proc_time;
+    if (total > job.deadline) {
+      std::pop_heap(scratch.sel_heap.begin(), scratch.sel_heap.end());
+      total -= scratch.sel_heap.back().first;
+      scratch.sel_heap.pop_back();
+    }
+  }
+
+  // (3) Per-slave counts (the prefix normalization is count-preserving) and
+  // the same global-cap trim as `schedule_within`.
+  scratch.counts.assign(fork.size(), 0);
+  for (const auto& [comm, id] : scratch.sel_heap) ++scratch.counts[scratch.slave_of[id]];
+  std::size_t selected = scratch.sel_heap.size();
+  while (selected > cap) {
+    std::size_t worst = fork.size();
+    Time worst_exec = -1;
+    for (std::size_t i = 0; i < fork.size(); ++i) {
+      if (scratch.counts[i] == 0) continue;
+      const Time exec =
+          fork.slave(i).work + static_cast<Time>(scratch.counts[i] - 1) * fork.cadence(i);
+      if (exec > worst_exec) {
+        worst_exec = exec;
+        worst = i;
+      }
+    }
+    MST_ASSERT(worst < fork.size());
+    --scratch.counts[worst];
+    --selected;
+  }
+
+  // (4) The EDD port sequencing of `realize`, makespan only.
+  scratch.seq.clear();
+  for (std::size_t i = 0; i < fork.size(); ++i) {
+    const Processor& slave = fork.slave(i);
+    const Time m = std::max(slave.comm, slave.work);
+    for (std::size_t q = 0; q < scratch.counts[i]; ++q) {
+      scratch.seq.emplace_back(t_lim - (slave.work + static_cast<Time>(q) * m), i);
+    }
+  }
+  std::sort(scratch.seq.begin(), scratch.seq.end());
+  scratch.slave_free.assign(fork.size(), 0);
+  Time port = 0;
+  Time makespan = 0;
+  for (const auto& [deadline, slave_index] : scratch.seq) {
+    const Processor& slave = fork.slave(slave_index);
+    const Time emission = port;
+    port += slave.comm;
+    MST_ASSERT(port <= deadline);
+    const Time arrival = emission + slave.comm;
+    const Time start = std::max(arrival, scratch.slave_free[slave_index]);
+    scratch.slave_free[slave_index] = start + slave.work;
+    MST_ASSERT(scratch.slave_free[slave_index] <= t_lim);
+    makespan = std::max(makespan, scratch.slave_free[slave_index]);
+  }
+  return {selected, makespan};
+}
+
+std::size_t ForkScheduler::count_within(const Fork& fork, Time t_lim, const Workload& workload,
+                                        std::size_t cap, ForkCountScratch& scratch) {
+  require_uniform_sizes(workload);
+  const std::size_t k_cap = std::min(cap, workload.count());
+  if (!workload.has_release_dates()) return count_within(fork, t_lim, k_cap, scratch);
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  scratch.jobs.clear();
+  append_fork_jobs(fork, t_lim, k_cap, scratch.jobs);
+  return moore_hodgson_released_count(scratch.jobs, workload.releases(), k_cap, scratch.dp);
+}
+
+ForkSchedule ForkScheduler::schedule_within(const Fork& fork, Time t_lim,
+                                            const Workload& workload, std::size_t cap) {
+  require_uniform_sizes(workload);
+  if (!workload.has_release_dates()) {
+    return schedule_within(fork, t_lim, std::min(cap, workload.count()));
+  }
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  const std::size_t k_cap = std::min(cap, workload.count());
+  const std::vector<VirtualNode> nodes = expand_fork(fork, t_lim, k_cap);
+  std::vector<DeadlineJob> jobs;
+  jobs.reserve(nodes.size());
+  for (std::size_t idx = 0; idx < nodes.size(); ++idx) {
+    jobs.push_back({nodes[idx].comm, nodes[idx].deadline(t_lim), idx});
+  }
+  const std::vector<std::size_t> picked =
+      moore_hodgson_released(std::move(jobs), workload.releases(), k_cap);
+
+  // Replay the DP's own EDD sequence: position j's emission starts no
+  // earlier than the j-th smallest release date, and the DP proved every
+  // completion meets its chosen node's deadline.  (Re-sorting after a
+  // normalization swap is NOT safe under positional releases — a job moved
+  // to a later position also inherits a later release.)  Per slave, the
+  // chosen ranks arrive in descending order, so the c-th arriving task has
+  // at least as many virtual slots behind it as tasks actually follow —
+  // the standard Fig 6 induction still bounds every completion by `t_lim`.
+  const std::vector<Time>& releases = workload.releases();
+  ForkSchedule schedule{fork, {}};
+  std::vector<Time> slave_free(fork.size(), 0);
+  Time port = 0;
+  for (std::size_t position = 0; position < picked.size(); ++position) {
+    const VirtualNode& node = nodes[picked[position]];
+    const Processor& slave = fork.slave(node.source);
+    const Time emission = std::max(port, releases[position]);
+    port = emission + slave.comm;
+    MST_ASSERT(port <= node.deadline(t_lim));
+    const Time arrival = emission + slave.comm;
+    const Time start = std::max(arrival, slave_free[node.source]);
+    slave_free[node.source] = start + slave.work;
+    MST_ASSERT(slave_free[node.source] <= t_lim);
+    schedule.tasks.push_back(ForkTask{node.source, emission, start});
+  }
+  return schedule;
+}
+
+ForkSchedule ForkScheduler::schedule(const Fork& fork, const Workload& workload) {
+  require_uniform_sizes(workload);
+  MST_REQUIRE(workload.count() >= 1, "schedule needs at least one task");
+  const std::size_t n = workload.count();
+  if (!workload.has_release_dates()) return schedule(fork, n);
+
+  // Minimal horizon: the single-best-slave pipeline shifted past the last
+  // release is always feasible, so the upper bound holds.
+  Time hi = kTimeInfinity;
+  for (std::size_t i = 0; i < fork.size(); ++i) {
+    const Processor& s = fork.slave(i);
+    hi = std::min(hi, s.comm + static_cast<Time>(n - 1) * fork.cadence(i) + s.work);
+  }
+  hi += workload.last_release();
+  Time lo = 0;
+  ForkCountScratch scratch;
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (count_within(fork, mid, workload, n, scratch) >= n) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  ForkSchedule result = schedule_within(fork, lo, workload, n);
+  MST_ASSERT(result.tasks.size() == n);
+  return result;
 }
 
 ForkSchedule ForkScheduler::schedule(const Fork& fork, std::size_t n) {

@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
+#include "mst/core/moore_hodgson.hpp"
 #include "mst/platform/fork.hpp"
 #include "mst/schedule/fork_schedule.hpp"
+#include "mst/workload/workload.hpp"
 
 /// \file fork_scheduler.hpp
 /// Scheduling on fork (star) platforms — §6 of the paper, after Beaumont,
@@ -22,6 +25,22 @@
 
 namespace mst {
 
+/// Reusable buffers for `ForkScheduler::count_within`.  Keep one per
+/// thread: with warm buffers the count — on-the-fly virtual-node expansion
+/// plus the count-only Moore–Hodgson selection — performs no heap
+/// allocation at all, matching the chain/spider counting paths.
+struct ForkCountScratch {
+  std::vector<DeadlineJob> jobs;  ///< the Fig 6 node instance, reused
+  std::vector<Time> heap;         ///< Moore–Hodgson selection heap
+  std::vector<Time> dp;           ///< positional-release selection DP row
+  // `makespan_within` extras:
+  std::vector<std::pair<Time, std::size_t>> sel_heap;  ///< (comm, id) eviction heap
+  std::vector<std::size_t> slave_of;   ///< job id → slave index
+  std::vector<std::size_t> counts;     ///< selected tasks per slave
+  std::vector<std::pair<Time, std::size_t>> seq;  ///< (deadline, slave) sequencing
+  std::vector<Time> slave_free;        ///< per-slave completion during replay
+};
+
 class ForkScheduler {
  public:
   /// Decision form: a feasible schedule of the maximum number of tasks — at
@@ -29,8 +48,41 @@ class ForkScheduler {
   /// EDD back-to-back from time 0.
   static ForkSchedule schedule_within(const Fork& fork, Time t_lim, std::size_t cap);
 
-  /// Count-only decision form.
+  /// Count-only decision form (private scratch; see `count_within`).
   static std::size_t max_tasks(const Fork& fork, Time t_lim, std::size_t cap);
+
+  /// Allocation-free counting: expands each slave's virtual nodes directly
+  /// into `scratch.jobs` (never building node vectors) and runs the
+  /// count-only Moore–Hodgson selection in `scratch.heap`.  Returns exactly
+  /// `schedule_within(fork, t_lim, cap).tasks.size()`.  The makespan form's
+  /// binary search and the registry's `materialize == false` fast path run
+  /// on this.
+  static std::size_t count_within(const Fork& fork, Time t_lim, std::size_t cap,
+                                  ForkCountScratch& scratch);
+
+  /// Count *and* completion time of the decision-form schedule, still
+  /// allocation-free: replays the whole `schedule_within` pipeline —
+  /// selection with identities, per-slave normalization, the global-cap
+  /// trim and the EDD port sequencing — in scratch buffers, so the registry
+  /// fast path reports the same (tasks, makespan) pair as the materializing
+  /// path without ever building task vectors.
+  static std::pair<std::size_t, Time> makespan_within(const Fork& fork, Time t_lim,
+                                                      std::size_t cap,
+                                                      ForkCountScratch& scratch);
+
+  /// Workload decision form: release dates bind positionally on the
+  /// master's one-port (see spider_scheduler.hpp — forks share the
+  /// positional-release selection DP).  Identical workloads reduce to the
+  /// methods above capped at the workload count; non-uniform sizes are
+  /// rejected.
+  static std::size_t count_within(const Fork& fork, Time t_lim, const Workload& workload,
+                                  std::size_t cap, ForkCountScratch& scratch);
+  static ForkSchedule schedule_within(const Fork& fork, Time t_lim, const Workload& workload,
+                                      std::size_t cap);
+
+  /// Workload makespan form: minimal horizon by binary search over the
+  /// release-aware count (absolute times; no shift).
+  static ForkSchedule schedule(const Fork& fork, const Workload& workload);
 
   /// Makespan form: optimal schedule of exactly `n` tasks, found by binary
   /// search on `t_lim` over the monotone decision form.

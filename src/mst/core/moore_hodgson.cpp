@@ -75,6 +75,70 @@ std::size_t moore_hodgson_count(std::vector<DeadlineJob>& jobs, std::vector<Time
   return heap_scratch.size();
 }
 
+std::size_t moore_hodgson_released_count(std::vector<DeadlineJob>& jobs,
+                                         const std::vector<Time>& releases,
+                                         std::size_t max_count, std::vector<Time>& dp_scratch) {
+  std::sort(jobs.begin(), jobs.end(), edd_less);
+  const std::size_t limit = std::min(max_count, releases.size());
+
+  // dp[j]: minimal completion time of a feasible selection of j jobs from
+  // the processed prefix, sequenced in EDD order with position j-1 starting
+  // no earlier than releases[j-1].  In-place knapsack update (descending j).
+  dp_scratch.assign(limit + 1, kTimeInfinity);
+  dp_scratch[0] = 0;
+  std::size_t best = 0;
+  for (const DeadlineJob& job : jobs) {
+    const std::size_t top = std::min(best + 1, limit);
+    for (std::size_t j = top; j >= 1; --j) {
+      if (dp_scratch[j - 1] == kTimeInfinity) continue;
+      const Time start = std::max(dp_scratch[j - 1], releases[j - 1]);
+      const Time finish = start + job.proc_time;
+      if (finish <= job.deadline && finish < dp_scratch[j]) {
+        dp_scratch[j] = finish;
+        if (j > best) best = j;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> moore_hodgson_released(std::vector<DeadlineJob> jobs,
+                                                const std::vector<Time>& releases,
+                                                std::size_t max_count) {
+  std::sort(jobs.begin(), jobs.end(), edd_less);
+  const std::size_t limit = std::min(max_count, releases.size());
+  const std::size_t n = jobs.size();
+
+  // Full (prefix, count) table so one maximum selection can be backtracked:
+  // dp[i][j] after the first i jobs in EDD order.
+  std::vector<std::vector<Time>> dp(n + 1, std::vector<Time>(limit + 1, kTimeInfinity));
+  dp[0][0] = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const DeadlineJob& job = jobs[i - 1];
+    dp[i] = dp[i - 1];
+    for (std::size_t j = 1; j <= limit; ++j) {
+      if (dp[i - 1][j - 1] == kTimeInfinity) continue;
+      const Time finish = std::max(dp[i - 1][j - 1], releases[j - 1]) + job.proc_time;
+      if (finish <= job.deadline && finish < dp[i][j]) dp[i][j] = finish;
+    }
+  }
+
+  std::size_t count = limit;
+  while (count > 0 && dp[n][count] == kTimeInfinity) --count;
+
+  // Backtrack: job i-1 was taken at position j iff the value cannot come
+  // from the untaken branch (ties prefer untaken — either choice is valid).
+  std::vector<std::size_t> chosen(count);
+  std::size_t j = count;
+  for (std::size_t i = n; i >= 1 && j >= 1; --i) {
+    if (dp[i][j] == dp[i - 1][j]) continue;
+    chosen[j - 1] = jobs[i - 1].id;
+    --j;
+  }
+  MST_ASSERT(j == 0);
+  return chosen;
+}
+
 bool edd_feasible(std::vector<DeadlineJob> jobs) {
   std::sort(jobs.begin(), jobs.end(), edd_less);
   Time total = 0;

@@ -41,6 +41,27 @@ std::vector<std::size_t> moore_hodgson(std::vector<DeadlineJob> jobs);
 /// selection is not.
 std::size_t moore_hodgson_count(std::vector<DeadlineJob>& jobs, std::vector<Time>& heap_scratch);
 
+/// Positional-release selection — the release-date generalization behind
+/// the fork/spider workload algorithms.  Tasks are identical apart from
+/// their release dates, so the dates bind *positionally*: the j-th selected
+/// emission in time order (0-based) cannot start before `releases[j]`
+/// (`releases` sorted ascending).  At most `min(max_count, releases.size())`
+/// jobs can be selected.  Solved exactly by the O(N·K) selection DP over the
+/// EDD order (`dp[j]` = minimal completion time of a feasible j-job
+/// selection of the processed prefix); Moore–Hodgson's eviction rule does
+/// not extend to position-dependent machine availability, the DP does.
+/// Sorts `jobs` in place; `dp_scratch` is reused capacity (cleared).
+std::size_t moore_hodgson_released_count(std::vector<DeadlineJob>& jobs,
+                                         const std::vector<Time>& releases,
+                                         std::size_t max_count, std::vector<Time>& dp_scratch);
+
+/// Selecting variant: the `id`s of one maximum selection, in the EDD order
+/// they must be sequenced in (position j of the result gets release
+/// `releases[j]`).  Deterministic.
+std::vector<std::size_t> moore_hodgson_released(std::vector<DeadlineJob> jobs,
+                                                const std::vector<Time>& releases,
+                                                std::size_t max_count);
+
 /// True iff the given jobs all meet their deadlines when run back-to-back in
 /// EDD order — the canonical feasibility test for a selection.
 bool edd_feasible(std::vector<DeadlineJob> jobs);

@@ -137,6 +137,129 @@ std::size_t SpiderScheduler::count_within(const Spider& spider, Time t_lim, std:
   return std::min(picked, cap);
 }
 
+namespace {
+
+void require_uniform_sizes(const Workload& workload) {
+  MST_REQUIRE(workload.uniform_sizes(),
+              "the spider reduction is only optimal for identical task sizes");
+}
+
+}  // namespace
+
+std::size_t SpiderScheduler::count_within(const Spider& spider, Time t_lim,
+                                          const Workload& workload, std::size_t cap,
+                                          SpiderCountScratch& scratch) {
+  require_uniform_sizes(workload);
+  const std::size_t k_cap = std::min(cap, workload.count());
+  if (!workload.has_release_dates()) return count_within(spider, t_lim, k_cap, scratch);
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  // Steps (1)–(2) as in the identical count; step (3) swaps the plain
+  // Moore–Hodgson count for the positional-release selection DP.
+  scratch.jobs.clear();
+  for (std::size_t l = 0; l < spider.num_legs(); ++l) {
+    const Chain& leg = spider.leg(l);
+    scratch.emissions.clear();
+    ChainScheduler::count_within_emissions(leg, t_lim, k_cap, scratch.chain, scratch.emissions);
+    const Time c1 = leg.comm(0);
+    for (const Time emission : scratch.emissions) {
+      scratch.jobs.push_back(DeadlineJob{c1, emission + c1, scratch.jobs.size()});
+    }
+  }
+  return moore_hodgson_released_count(scratch.jobs, workload.releases(), k_cap, scratch.dp);
+}
+
+SpiderSchedule SpiderScheduler::schedule_within(const Spider& spider, Time t_lim,
+                                                const Workload& workload, std::size_t cap) {
+  require_uniform_sizes(workload);
+  if (!workload.has_release_dates()) {
+    return schedule_within(spider, t_lim, std::min(cap, workload.count()));
+  }
+  const std::size_t k_cap = std::min(cap, workload.count());
+  const SpiderTransformation tf = transform(spider, t_lim, k_cap);
+
+  // Step (3), release-aware: positional-release selection on the one-port.
+  std::vector<DeadlineJob> jobs;
+  jobs.reserve(tf.nodes.size());
+  for (std::size_t idx = 0; idx < tf.nodes.size(); ++idx) {
+    jobs.push_back({tf.nodes[idx].comm, tf.nodes[idx].deadline(t_lim), idx});
+  }
+  const std::vector<std::size_t> picked =
+      moore_hodgson_released(std::move(jobs), workload.releases(), k_cap);
+
+  // Step (4) with release gating: replay the DP's own EDD sequence —
+  // position j starts no earlier than the j-th smallest release date, and
+  // the DP already proved every completion meets its node's deadline.  Each
+  // leg's positions are mapped, in order, onto the *suffix* tasks of its
+  // schedule (only suffixes are realizable, Lemma 4): within a leg the EDD
+  // order is ascending deadline, and the suffix deadlines dominate any
+  // chosen subset's pointwise, so the mapped tasks only ever gain slack.
+  // (A global re-sort after the swap would NOT be safe: moving a job to a
+  // later EDD position also moves it to a later positional release, which
+  // can exceed the relaxed deadline.  Keeping the DP's sequence sidesteps
+  // that entirely.)
+  std::vector<std::size_t> counts(spider.num_legs(), 0);
+  for (std::size_t idx : picked) ++counts[tf.nodes[idx].source];
+
+  const std::vector<Time>& releases = workload.releases();
+  SpiderSchedule schedule{spider, {}};
+  schedule.tasks.reserve(picked.size());
+  std::vector<std::size_t> next_of_leg(spider.num_legs(), 0);  // per-leg position counter
+  Time port = 0;
+  for (std::size_t position = 0; position < picked.size(); ++position) {
+    const VirtualNode& node = tf.nodes[picked[position]];
+    const std::size_t leg = node.source;
+    const ChainSchedule& ls = tf.leg_schedules[leg];
+    const std::size_t task_index = ls.tasks.size() - counts[leg] + next_of_leg[leg];
+    ++next_of_leg[leg];
+    const ChainTask& src = ls.tasks[task_index];
+    const Time c1 = spider.leg(leg).comm(0);
+
+    const Time emission = std::max(port, releases[position]);
+    port = emission + c1;
+    // DP feasibility at the chosen node's deadline; the mapped suffix
+    // task's own deadline is no earlier, so the leg timing keeps its slack.
+    MST_ASSERT(port <= node.deadline(t_lim));
+    MST_ASSERT(emission <= src.emissions.front());
+
+    SpiderTask task;
+    task.leg = leg;
+    task.proc = src.proc;
+    task.start = src.start;
+    task.emissions = src.emissions;
+    task.emissions.front() = emission;
+    schedule.tasks.push_back(std::move(task));
+  }
+  return schedule;
+}
+
+SpiderSchedule SpiderScheduler::schedule(const Spider& spider, const Workload& workload) {
+  require_uniform_sizes(workload);
+  MST_REQUIRE(workload.count() >= 1, "schedule needs at least one task");
+  const std::size_t n = workload.count();
+  if (!workload.has_release_dates()) return schedule(spider, n);
+
+  // Minimal horizon admitting every task: the single-best-leg schedule
+  // shifted past the last release always fits, so the bound is feasible.
+  Time hi = kTimeInfinity;
+  for (const Chain& leg : spider.legs()) hi = std::min(hi, leg.t_infinity(n));
+  hi += workload.last_release();
+  Time lo = 0;
+  SpiderCountScratch scratch;
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (count_within(spider, mid, workload, n, scratch) >= n) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  SpiderSchedule result = schedule_within(spider, lo, workload, n);
+  MST_ASSERT(result.tasks.size() == n);
+  // Absolute times throughout: release dates pin the origin, so the
+  // identical-path normalization shift does not apply.
+  return result;
+}
+
 SpiderSchedule SpiderScheduler::schedule(const Spider& spider, std::size_t n) {
   MST_REQUIRE(n >= 1, "schedule needs at least one task");
   // Upper bound: all n tasks on the single leg minimizing the trivial

@@ -9,6 +9,7 @@
 #include "mst/platform/spider.hpp"
 #include "mst/schedule/chain_schedule.hpp"
 #include "mst/schedule/spider_schedule.hpp"
+#include "mst/workload/workload.hpp"
 
 /// \file spider_scheduler.hpp
 /// The paper's §7: optimal scheduling on spider graphs.
@@ -50,6 +51,7 @@ struct SpiderCountScratch {
   std::vector<Time> emissions;      ///< one leg's first-link emissions
   std::vector<DeadlineJob> jobs;    ///< the fork-graph instance
   std::vector<Time> heap;           ///< Moore–Hodgson selection heap
+  std::vector<Time> dp;             ///< positional-release selection DP row
 };
 
 class SpiderScheduler {
@@ -78,6 +80,27 @@ class SpiderScheduler {
 
   /// Optimal makespan of `n` tasks.
   static Time makespan(const Spider& spider, std::size_t n);
+
+  /// Workload decision form.  Identical workloads reduce to the methods
+  /// above (capped at the workload count).  Release dates bind positionally
+  /// on the master's one-port (the j-th emission in time order starts at or
+  /// after the j-th smallest release), so step (3) becomes a
+  /// positional-release selection (`moore_hodgson_released*`): Moore–Hodgson
+  /// alone cannot model a machine whose availability depends on how many
+  /// jobs were already selected, the DP can.  Steps (1), (2) and (4) are
+  /// unchanged — the node deadlines still guarantee every selected emission
+  /// completes no later than the leg schedule planned (Lemma 3), so the
+  /// release-delayed re-sequencing stays legal.  Non-uniform sizes are
+  /// rejected.
+  static std::size_t count_within(const Spider& spider, Time t_lim, const Workload& workload,
+                                  std::size_t cap, SpiderCountScratch& scratch);
+  static SpiderSchedule schedule_within(const Spider& spider, Time t_lim,
+                                        const Workload& workload, std::size_t cap);
+
+  /// Workload makespan form: binary search of the minimal horizon over the
+  /// release-aware count; the result keeps absolute times (no
+  /// normalization — release dates pin the origin).
+  static SpiderSchedule schedule(const Spider& spider, const Workload& workload);
 };
 
 }  // namespace mst

@@ -12,6 +12,10 @@
 #include "mst/common/table.hpp"
 #include "mst/common/time.hpp"
 
+#include "mst/workload/arrival.hpp"
+#include "mst/workload/workload.hpp"
+#include "mst/workload/workload_io.hpp"
+
 #include "mst/platform/chain.hpp"
 #include "mst/platform/fork.hpp"
 #include "mst/platform/generator.hpp"

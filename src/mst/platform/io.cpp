@@ -186,17 +186,4 @@ std::string peek_platform_kind(const std::string& text) {
   return probe.next("platform kind");
 }
 
-// The deprecated alias keeps compiling without tripping -Werror on its own
-// translation unit.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-Spider parse_platform(const std::string& text) {
-  const std::string kind = peek_platform_kind(text);
-  if (kind == "chain") return Spider({parse_chain(text)});
-  if (kind == "fork") return Spider::from_fork(parse_fork(text));
-  if (kind == "spider") return parse_spider(text);
-  detail::throw_requirement("platform kind", "unknown platform kind '" + kind + "'");
-}
-#pragma GCC diagnostic pop
-
 }  // namespace mst

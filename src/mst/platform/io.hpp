@@ -49,13 +49,8 @@ Tree parse_tree(const std::string& text);
 /// The header keyword of a platform description ("chain", "fork", "spider",
 /// "tree", ...), read with the same comment/whitespace rules as the parsers.
 /// Throws on empty input; does not validate the keyword.
+/// For kind-preserving parsing into the registry's typed variant, use
+/// `api::parse_any_platform` (mst/api/platform_io.hpp).
 std::string peek_platform_kind(const std::string& text);
-
-/// Reads the header keyword and dispatches; returns the platform as a Spider
-/// (a chain becomes a one-leg spider, a fork becomes single-node legs).
-[[deprecated(
-    "collapses every topology into a Spider, losing the platform kind — use "
-    "api::parse_any_platform (mst/api/platform_io.hpp) instead")]]
-Spider parse_platform(const std::string& text);
 
 }  // namespace mst

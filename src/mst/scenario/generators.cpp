@@ -1,7 +1,10 @@
 #include "mst/scenario/generators.hpp"
 
+#include <map>
 #include <memory>
 #include <stdexcept>
+#include <tuple>
+#include <utility>
 
 #include "mst/common/rng.hpp"
 
@@ -56,16 +59,42 @@ std::vector<std::string> algorithms_for(const SweepSpec& spec, api::PlatformKind
   return names;
 }
 
-/// Appends one platform's cells (all algorithms × all work-axis points),
-/// all sharing one immutable platform instance.
+/// The workload axis: the spec's generators, or the single identical point.
+const std::vector<WorkloadGen>& workload_axis(const SweepSpec& spec) {
+  static const std::vector<WorkloadGen> kIdentical{WorkloadGen{}};
+  return spec.workloads.empty() ? kIdentical : spec.workloads;
+}
+
+/// Appends one platform's cells (all algorithms × workload axis × work-axis
+/// points), all sharing one immutable platform instance.  Workloads are
+/// generated once per (generator, n) and shared across the platform's
+/// algorithms.
 void append_platform_cells(const SweepSpec& spec, const api::Registry& registry,
                            std::shared_ptr<const api::Platform> platform,
                            const std::string& cls_label, std::size_t size,
                            std::size_t instance, std::uint64_t platform_seed,
                            std::vector<Cell>& out) {
   const api::PlatformKind kind = api::kind_of(*platform);
+  const std::vector<WorkloadGen>& gens = workload_axis(spec);
+
+  // (generator index, n) → (seed, workload), shared across algorithms.
+  struct GeneratedWorkload {
+    std::uint64_t seed = 0;
+    std::shared_ptr<const Workload> workload;
+  };
+  std::map<std::pair<std::size_t, std::size_t>, GeneratedWorkload> workloads;
+  const auto workload_for = [&](std::size_t gen_index,
+                                std::size_t n) -> const GeneratedWorkload& {
+    GeneratedWorkload& entry = workloads[std::make_pair(gen_index, n)];
+    if (entry.workload == nullptr) {
+      entry.seed = derive_seed(spec.seed, 0x3A5C10ADull + gen_index, platform_seed, n);
+      entry.workload = std::make_shared<const Workload>(gens[gen_index].make(n, entry.seed));
+    }
+    return entry;
+  };
+
   for (const std::string& algorithm : algorithms_for(spec, kind, registry)) {
-    auto push = [&](CellMode mode, std::size_t n, Time deadline) {
+    auto push = [&](CellMode mode, std::size_t n, Time deadline, std::size_t gen_index) {
       Cell cell;
       cell.index = out.size();
       cell.spec_name = spec.name;
@@ -80,10 +109,37 @@ void append_platform_cells(const SweepSpec& spec, const api::Registry& registry,
       cell.n = n;
       cell.deadline = deadline;
       cell.seed = derive_seed(spec.seed, /*a=*/0x5EEDCE11ull, platform_seed, out.size());
+      if (!gens[gen_index].identical()) {
+        const GeneratedWorkload& generated = workload_for(gen_index, n);
+        cell.workload = generated.workload;
+        cell.workload_label = gens[gen_index].label();
+        cell.workload_seed = generated.seed;
+      }
       out.push_back(std::move(cell));
     };
-    for (std::size_t n : spec.tasks) push(CellMode::kSolve, n, 0);
-    for (Time deadline : spec.deadlines) push(CellMode::kWithin, 0, deadline);
+    // Cells only exist for (algorithm, generator) pairs the registry would
+    // accept — the capability gate at expansion instead of a guaranteed
+    // per-cell failure at run time.
+    const auto paired = [&](std::size_t gen_index) {
+      return gens[gen_index].identical() ||
+             registry.supports(kind, algorithm, gens[gen_index].features());
+    };
+    for (std::size_t g = 0; g < gens.size(); ++g) {
+      if (!paired(g)) continue;
+      for (std::size_t n : spec.tasks) push(CellMode::kSolve, n, 0, g);
+    }
+    for (std::size_t g = 0; g < gens.size(); ++g) {
+      if (!paired(g)) continue;
+      for (Time deadline : spec.deadlines) {
+        if (gens[g].identical()) {
+          // Historical semantics: the unbounded identical stream.
+          push(CellMode::kWithin, 0, deadline, g);
+        } else {
+          // Finite pools need a size: cross with the tasks axis.
+          for (std::size_t n : spec.tasks) push(CellMode::kWithin, n, deadline, g);
+        }
+      }
+    }
   }
 }
 
@@ -128,6 +184,18 @@ std::vector<Cell> expand(const SweepSpec& spec, const api::Registry& registry) {
       }
     }
   }
+  for (const WorkloadGen& gen : spec.workloads) {
+    try {
+      validate(gen);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("spec '" + spec.name + "': " + e.what());
+    }
+    if (!gen.identical() && !spec.deadlines.empty() && spec.tasks.empty()) {
+      throw std::invalid_argument("spec '" + spec.name +
+                                  "': a non-identical workload axis with 'deadlines' needs "
+                                  "'tasks' (the finite pool size)");
+    }
+  }
 
   std::vector<Cell> cells;
   for (std::size_t i = 0; i < spec.platforms.size(); ++i) {
@@ -136,6 +204,14 @@ std::vector<Cell> expand(const SweepSpec& spec, const api::Registry& registry) {
     append_platform_cells(spec, registry, std::move(platform), "-", size,
                           /*instance=*/i, /*platform_seed=*/0, cells);
   }
+  // Platform cache: grid points that resolve to the same (generator inputs,
+  // seed) key — e.g. a spec listing a size or class twice — share one
+  // immutable instance instead of re-generating it per point.  Expansion is
+  // single-threaded, so the sharing is invisible to the runner's
+  // determinism contract.
+  using PlatformKey = std::tuple<int, int, std::size_t, Time, Time, std::size_t, std::size_t,
+                                 double, std::uint64_t>;
+  std::map<PlatformKey, std::shared_ptr<const api::Platform>> platform_cache;
   for (api::PlatformKind kind : spec.kinds) {
     for (PlatformClass cls : spec.classes) {
       for (std::size_t size : spec.sizes) {
@@ -154,10 +230,17 @@ std::vector<Cell> expand(const SweepSpec& spec, const api::Registry& registry) {
                           (static_cast<std::uint64_t>(kind) << 8) |
                               static_cast<std::uint64_t>(cls),
                           size, instance);
-          append_platform_cells(
-              spec, registry,
-              std::make_shared<const api::Platform>(make_platform(pspec, platform_seed)),
-              to_string(cls), size, instance, platform_seed, cells);
+          const PlatformKey key{static_cast<int>(kind),    static_cast<int>(cls),
+                                size,                      spec.lo,
+                                spec.hi,                   spec.min_leg_len,
+                                spec.max_leg_len,          spec.depth_bias,
+                                platform_seed};
+          auto& cached = platform_cache[key];
+          if (cached == nullptr) {
+            cached = std::make_shared<const api::Platform>(make_platform(pspec, platform_seed));
+          }
+          append_platform_cells(spec, registry, cached, to_string(cls), size, instance,
+                                platform_seed, cells);
         }
       }
     }

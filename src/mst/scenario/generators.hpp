@@ -68,19 +68,35 @@ struct Cell {
   std::uint64_t platform_seed = 0;  ///< 0 for explicit platforms
   std::string algorithm;
   CellMode mode = CellMode::kSolve;
-  std::size_t n = 0;              ///< kSolve: task count
+  std::size_t n = 0;              ///< task count (0 on identical-stream kWithin cells)
   Time deadline = 0;              ///< kWithin: window length
   std::uint64_t seed = 0;         ///< per-cell `SolveOptions::seed`
+
+  /// Workload axis point.  `workload` is null on identical-axis cells (the
+  /// historical grid is byte-identical); otherwise the concrete generated
+  /// workload, shared by every cell of the same (platform instance,
+  /// generator, n).  `workload_label` is the generator's report label
+  /// ("unit" on identical cells).
+  std::shared_ptr<const Workload> workload;
+  std::string workload_label = "unit";
+  std::uint64_t workload_seed = 0;  ///< 0 on identical cells
 };
 
 /// Expands the spec into its cell grid: explicit platforms first, then the
 /// generator grid in (kind, class, size, instance) order; per platform, the
-/// resolved algorithms each run every `tasks` entry then every `deadlines`
-/// entry.  Algorithm resolution: an empty list selects every registered
-/// non-exponential algorithm of the platform's kind; an explicit name is
-/// applied to the kinds that register it and must exist for at least one
-/// swept kind.  Throws `std::invalid_argument` on empty or inconsistent
-/// specs.
+/// resolved algorithms each run, per workload generator, every `tasks`
+/// entry, then every `deadlines` entry (crossed with `tasks` for
+/// non-identical generators — the pool must be finite).  Algorithm
+/// resolution: an empty list selects every registered non-exponential
+/// algorithm of the platform's kind; an explicit name is applied to the
+/// kinds that register it and must exist for at least one swept kind.
+/// Non-identical workload generators pair only with algorithms whose
+/// `AlgorithmInfo::supports` covers their features (the registry would
+/// reject the others anyway; the expander just skips the doomed cells).
+/// Platforms are generated once per unique (spec-point, seed) key and
+/// shared across cells — duplicate grid points (repeated classes or sizes)
+/// reuse the instance instead of re-generating it.  Throws
+/// `std::invalid_argument` on empty or inconsistent specs.
 std::vector<Cell> expand(const SweepSpec& spec,
                          const api::Registry& registry = api::registry());
 

@@ -57,8 +57,8 @@ std::string json_escape(const std::string& text) {
 
 std::string to_csv(const std::vector<CellOutcome>& outcomes, const ReportOptions& options) {
   std::ostringstream os;
-  os << "spec,kind,class,size,instance,platform_seed,algorithm,mode,n,deadline,cell_seed,"
-        "tasks,makespan,lower_bound,optimal,throughput";
+  os << "spec,kind,class,size,instance,platform_seed,algorithm,mode,n,deadline,workload,"
+        "cell_seed,tasks,makespan,lower_bound,optimal,throughput";
   if (options.timing) os << ",wall_ms";
   os << ",error\n";
   for (const CellOutcome& out : outcomes) {
@@ -66,11 +66,13 @@ std::string to_csv(const std::vector<CellOutcome>& outcomes, const ReportOptions
     os << csv_escape(cell.spec_name) << ',' << cell.kind << ',' << cell.cls << ','
        << cell.size << ',' << cell.instance << ',' << cell.platform_seed << ','
        << cell.algorithm << ',' << to_string(cell.mode) << ',';
-    if (cell.mode == CellMode::kSolve) os << cell.n;
+    // `n` also appears on decision-form cells of the workload axis, where
+    // it is the finite pool size; the identical stream leaves it blank.
+    if (cell.mode == CellMode::kSolve || cell.n > 0) os << cell.n;
     os << ',';
     if (cell.mode == CellMode::kWithin) os << cell.deadline;
-    os << ',' << cell.seed << ',' << out.tasks << ',' << out.makespan << ','
-       << out.lower_bound << ',' << (out.optimal ? "yes" : "no") << ','
+    os << ',' << csv_escape(cell.workload_label) << ',' << cell.seed << ',' << out.tasks << ','
+       << out.makespan << ',' << out.lower_bound << ',' << (out.optimal ? "yes" : "no") << ','
        << format_double(out.throughput);
     if (options.timing) os << ',' << format_double(out.wall_ms);
     os << ',' << csv_escape(out.error) << '\n';
@@ -92,8 +94,10 @@ std::string to_json(const std::vector<CellOutcome>& outcomes, const ReportOption
     if (cell.mode == CellMode::kSolve) {
       os << ",\"n\":" << cell.n;
     } else {
+      if (cell.n > 0) os << ",\"n\":" << cell.n;
       os << ",\"deadline\":" << cell.deadline;
     }
+    os << ",\"workload\":\"" << json_escape(cell.workload_label) << "\"";
     os << ",\"cell_seed\":" << cell.seed << ",\"tasks\":" << out.tasks << ",\"makespan\":"
        << out.makespan << ",\"lower_bound\":" << out.lower_bound << ",\"optimal\":"
        << (out.optimal ? "true" : "false");

@@ -23,9 +23,12 @@ struct ReportOptions {
 
 /// Long-form CSV with header:
 ///   spec,kind,class,size,instance,platform_seed,algorithm,mode,n,deadline,
-///   cell_seed,tasks,makespan,lower_bound,optimal,throughput[,wall_ms],error
-/// `n` is empty on decision-form rows and `deadline` on makespan-form rows;
-/// `error` is CSV-quoted when needed.
+///   workload,cell_seed,tasks,makespan,lower_bound,optimal,throughput
+///   [,wall_ms],error
+/// `deadline` is empty on makespan-form rows; `n` is empty on decision-form
+/// rows of the identical stream (on workload-axis decision rows it is the
+/// finite pool size); `workload` is the generator label ("unit" for the
+/// paper's identical tasks); `error` is CSV-quoted when needed.
 std::string to_csv(const std::vector<CellOutcome>& outcomes, const ReportOptions& options = {});
 
 /// JSON array, one object per row (same fields, inapplicable ones omitted).

@@ -20,6 +20,8 @@ void run_one(const Cell& cell, const RunOptions& options, const api::Registry& r
   solve_options.materialize = options.materialize;
   solve_options.seed = cell.seed;
   solve_options.cap = options.cap;
+  // Decision-form cells of the workload axis select from a finite pool.
+  if (cell.mode == CellMode::kWithin) solve_options.workload = cell.workload;
 
   try {
     const int reps = options.reps < 1 ? 1 : options.reps;
@@ -27,7 +29,10 @@ void run_one(const Cell& cell, const RunOptions& options, const api::Registry& r
       api::SolveResult result;
       for (int rep = 0; rep < reps; ++rep) {
         const auto start = std::chrono::steady_clock::now();
-        result = registry.solve(*cell.platform, cell.algorithm, cell.n, solve_options);
+        result = cell.workload != nullptr
+                     ? registry.solve(*cell.platform, cell.algorithm, *cell.workload,
+                                      solve_options)
+                     : registry.solve(*cell.platform, cell.algorithm, cell.n, solve_options);
         const double ms = ms_since(start);
         if (rep == 0 || ms < out.wall_ms) out.wall_ms = ms;
       }

@@ -12,9 +12,10 @@
 /// The sweep executor: fans a cell grid over a thread pool, every solve
 /// dispatched through `api::Registry`.
 ///
-/// Determinism: cells are self-contained and carry their own solve seed, a
-/// worker claims cells by atomic index, and results land in a vector slot
-/// keyed by `Cell::index` — so the output is identical at any thread count
+/// Determinism: cells are self-contained and carry their own solve seed
+/// (and, on the workload axis, their own pre-generated workload), a worker
+/// claims cells by atomic index, and results land in a vector slot keyed by
+/// `Cell::index` — so the output is identical at any thread count
 /// (`--threads` changes wall time, never results).  The default is the
 /// `materialize = false` fast path: no schedule payloads cross the registry
 /// boundary, and decision-form (`deadlines`) cells on chain/spider

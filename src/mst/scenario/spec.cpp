@@ -93,6 +93,66 @@ std::string format_double(double value) {
   return buf;
 }
 
+/// One `tasks.sizes` line → a size-only workload generator.
+WorkloadGen parse_sizes_gen(const std::vector<std::string>& tokens, std::size_t line) {
+  WorkloadGen gen;
+  if (tokens.size() < 2) fail(line, "'tasks.sizes' needs a family (unit|fixed|uniform)");
+  const std::string& family = tokens[1];
+  if (family == "unit") {
+    if (tokens.size() != 2) fail(line, "'tasks.sizes unit' takes no parameters");
+  } else if (family == "fixed") {
+    if (tokens.size() != 3) fail(line, "'tasks.sizes fixed' takes '<size>'");
+    gen.sizes = SizeDist{SizeDist::Kind::kFixed, parse_int(tokens[2], line), 0};
+  } else if (family == "uniform") {
+    if (tokens.size() != 4) fail(line, "'tasks.sizes uniform' takes '<lo> <hi>'");
+    gen.sizes =
+        SizeDist{SizeDist::Kind::kUniform, parse_int(tokens[2], line), parse_int(tokens[3], line)};
+  } else {
+    fail(line, "unknown size family '" + family + "' (expected unit|fixed|uniform)");
+  }
+  try {
+    validate(gen);
+  } catch (const std::invalid_argument& e) {
+    fail(line, e.what());
+  }
+  return gen;
+}
+
+/// One `tasks.release` / `tasks.arrival` line → a release-only generator.
+WorkloadGen parse_release_gen(const std::vector<std::string>& tokens, std::size_t line,
+                              bool arrival_key) {
+  WorkloadGen gen;
+  const char* key = arrival_key ? "'tasks.arrival'" : "'tasks.release'";
+  if (tokens.size() < 2) {
+    fail(line, std::string(key) + (arrival_key ? " needs a family (poisson|bursts)"
+                                               : " needs a family (periodic|jitter)"));
+  }
+  const std::string& family = tokens[1];
+  if (!arrival_key && family == "periodic") {
+    if (tokens.size() != 3) fail(line, "'tasks.release periodic' takes '<gap>'");
+    gen.arrival = ArrivalDist{ArrivalDist::Kind::kPeriodic, parse_int(tokens[2], line), 0};
+  } else if (!arrival_key && family == "jitter") {
+    if (tokens.size() != 4) fail(line, "'tasks.release jitter' takes '<lo> <hi>'");
+    gen.arrival = ArrivalDist{ArrivalDist::Kind::kJitter, parse_int(tokens[2], line),
+                              parse_int(tokens[3], line)};
+  } else if (arrival_key && family == "poisson") {
+    if (tokens.size() != 3) fail(line, "'tasks.arrival poisson' takes '<mean-gap>'");
+    gen.arrival = ArrivalDist{ArrivalDist::Kind::kPoisson, parse_int(tokens[2], line), 0};
+  } else if (arrival_key && family == "bursts") {
+    if (tokens.size() != 4) fail(line, "'tasks.arrival bursts' takes '<size> <gap>'");
+    gen.arrival = ArrivalDist{ArrivalDist::Kind::kBursts, parse_int(tokens[2], line),
+                              parse_int(tokens[3], line)};
+  } else {
+    fail(line, "unknown family '" + family + "' for " + key);
+  }
+  try {
+    validate(gen);
+  } catch (const std::invalid_argument& e) {
+    fail(line, e.what());
+  }
+  return gen;
+}
+
 }  // namespace
 
 SweepSpec parse_spec(const std::string& text) {
@@ -159,6 +219,12 @@ SweepSpec parse_spec(const std::string& text) {
       for (std::size_t i = 1; i < tokens.size(); ++i) {
         spec.deadlines.push_back(parse_int(tokens[i], line_no));
       }
+    } else if (key == "tasks.sizes") {
+      spec.workloads.push_back(parse_sizes_gen(tokens, line_no));
+    } else if (key == "tasks.release") {
+      spec.workloads.push_back(parse_release_gen(tokens, line_no, /*arrival_key=*/false));
+    } else if (key == "tasks.arrival") {
+      spec.workloads.push_back(parse_release_gen(tokens, line_no, /*arrival_key=*/true));
     } else if (key == "algos") {
       spec.algorithms.assign(tokens.begin() + 1, tokens.end());
     } else if (key == "platform") {
@@ -220,6 +286,40 @@ std::string write_spec(const SweepSpec& spec) {
   os << "deadlines";
   for (Time deadline : spec.deadlines) os << ' ' << deadline;
   os << '\n';
+  for (const WorkloadGen& gen : spec.workloads) {
+    // The text format keeps the axes orthogonal: one `tasks.*` line per
+    // generator.  A combined sizes+arrival generator (constructible in
+    // code) has no line form, so refuse to emit a spec the parser could
+    // not read back.
+    if (gen.sizes.kind != SizeDist::Kind::kUnit &&
+        gen.arrival.kind != ArrivalDist::Kind::kNone) {
+      throw std::invalid_argument(
+          "write_spec: combined size+arrival workload generators have no text form");
+    }
+    switch (gen.arrival.kind) {
+      case ArrivalDist::Kind::kNone:
+        switch (gen.sizes.kind) {
+          case SizeDist::Kind::kUnit: os << "tasks.sizes unit\n"; break;
+          case SizeDist::Kind::kFixed: os << "tasks.sizes fixed " << gen.sizes.a << '\n'; break;
+          case SizeDist::Kind::kUniform:
+            os << "tasks.sizes uniform " << gen.sizes.a << ' ' << gen.sizes.b << '\n';
+            break;
+        }
+        break;
+      case ArrivalDist::Kind::kPeriodic:
+        os << "tasks.release periodic " << gen.arrival.a << '\n';
+        break;
+      case ArrivalDist::Kind::kJitter:
+        os << "tasks.release jitter " << gen.arrival.a << ' ' << gen.arrival.b << '\n';
+        break;
+      case ArrivalDist::Kind::kPoisson:
+        os << "tasks.arrival poisson " << gen.arrival.a << '\n';
+        break;
+      case ArrivalDist::Kind::kBursts:
+        os << "tasks.arrival bursts " << gen.arrival.a << ' ' << gen.arrival.b << '\n';
+        break;
+    }
+  }
   os << "algos";
   for (const std::string& name : spec.algorithms) os << ' ' << name;
   os << '\n';

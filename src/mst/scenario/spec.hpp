@@ -8,6 +8,7 @@
 #include "mst/api/registry.hpp"
 #include "mst/common/time.hpp"
 #include "mst/platform/generator.hpp"
+#include "mst/workload/arrival.hpp"
 
 /// \file spec.hpp
 /// Declarative sweep specifications — the input language of the scenario
@@ -37,6 +38,9 @@
 ///     depth-bias 0.5        # tree shape: 0 = bushy/random, 1 = chain
 ///     tasks 8 32            # makespan-form cells (solve n tasks)
 ///     deadlines 40 80       # decision-form cells (max tasks within T)
+///     tasks.sizes uniform 1 4       # workload axis: per-task size family
+///     tasks.release periodic 3      # workload axis: release-date family
+///     tasks.arrival poisson 5      # workload axis: stochastic arrivals
 ///     algos optimal forward-greedy   # omit for every non-exponential entry
 ///     platform              # optional explicit platform(s), text format of
 ///     chain 2               # mst/platform/io.hpp, terminated by `end`
@@ -44,6 +48,14 @@
 ///     3 5
 ///     end
 ///     end
+///
+/// The three `tasks.*` keys each append one generator to the workload axis
+/// (families: `tasks.sizes unit | fixed K | uniform LO HI`, `tasks.release
+/// periodic GAP | jitter LO HI`, `tasks.arrival poisson MEAN | bursts SIZE
+/// GAP`).  An empty axis means the paper's identical unit tasks; listing
+/// `tasks.sizes unit` alongside other entries keeps the identical point in
+/// the grid explicitly.  Workload cells draw their task count from `tasks`
+/// — including decision-form cells, whose pool is then finite.
 ///
 /// `parse_spec(write_spec(s)) == s` holds for every valid spec.
 
@@ -74,6 +86,12 @@ struct SweepSpec {
   /// Work axes: each platform × algorithm runs every entry of both.
   std::vector<std::size_t> tasks;  ///< makespan-form cells
   std::vector<Time> deadlines;     ///< decision-form cells
+
+  /// Workload axis (`tasks.sizes` / `tasks.release` / `tasks.arrival`
+  /// keys).  Empty = identical unit tasks only.  Non-identical generators
+  /// pair only with algorithms that support their features, and their
+  /// decision-form cells cross with `tasks` (the pool size).
+  std::vector<WorkloadGen> workloads;
 
   /// Algorithm names, matched per platform kind.  Empty = every registered
   /// non-exponential algorithm of the kind.

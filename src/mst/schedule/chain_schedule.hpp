@@ -48,6 +48,8 @@ struct ChainSchedule {
   /// Shift every time in the schedule by `delta` (the paper's final
   /// `-C^1_1` normalization uses this).
   void shift(Time delta);
+
+  friend bool operator==(const ChainSchedule&, const ChainSchedule&) = default;
 };
 
 }  // namespace mst

@@ -39,16 +39,42 @@ void check_exclusive(std::vector<Interval> intervals, const char* label,
   }
 }
 
+/// Workload/task-count consistency shared by every workload-aware check.
+/// Returns false when the counts diverge (per-task checks then use the
+/// uniform defaults to avoid out-of-range lookups).
+bool check_workload_count(std::size_t tasks, const Workload& workload,
+                          FeasibilityReport& report) {
+  if (workload.count() == tasks) return true;
+  std::ostringstream os;
+  os << "workload mismatch: schedule holds " << tasks << " task(s), workload describes "
+     << workload.count();
+  report.add_violation(os.str());
+  return false;
+}
+
+/// Release-date gate: the task's master emission must not start early.
+void check_release(Time emission, Time release, std::size_t i, FeasibilityReport& report) {
+  if (emission < release) {
+    std::ostringstream os;
+    os << "master emission " << emission << " precedes release date " << release;
+    report.add_violation(fmt1("release date", i, os.str()));
+  }
+}
+
 /// Shared core for the per-leg chain conditions; `leg_label` annotates
-/// messages when checking inside a spider.
+/// messages when checking inside a spider.  `sizes` scales task `i`'s
+/// communication and execution occupancy (Definition 1 with per-task
+/// durations; all-1 sizes reproduce the identical checks verbatim).
 void check_chain_conditions(const Chain& chain, const std::vector<const ChainTask*>& tasks,
-                            const std::string& leg_label, FeasibilityReport& report) {
+                            const std::vector<Time>& sizes, const std::string& leg_label,
+                            FeasibilityReport& report) {
   const std::size_t p = chain.size();
 
   // Structural checks first; skip malformed tasks in the pairwise phase.
   std::vector<bool> well_formed(tasks.size(), true);
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     const ChainTask& t = *tasks[i];
+    const Time s = sizes[i];
     if (t.proc >= p) {
       report.add_violation(fmt1("structure", i, leg_label + "destination outside the chain"));
       well_formed[i] = false;
@@ -62,17 +88,17 @@ void check_chain_conditions(const Chain& chain, const std::vector<const ChainTas
     }
     // Condition (1): store-and-forward along the path.
     for (std::size_t k = 1; k <= t.proc; ++k) {
-      if (t.emissions[k - 1] + chain.comm(k - 1) > t.emissions[k]) {
+      if (t.emissions[k - 1] + s * chain.comm(k - 1) > t.emissions[k]) {
         std::ostringstream os;
-        os << leg_label << "C_" << k - 1 << "=" << t.emissions[k - 1] << " + c=" << chain.comm(k - 1)
-           << " > C_" << k << "=" << t.emissions[k];
+        os << leg_label << "C_" << k - 1 << "=" << t.emissions[k - 1]
+           << " + c=" << s * chain.comm(k - 1) << " > C_" << k << "=" << t.emissions[k];
         report.add_violation(fmt1("condition (1)", i, os.str()));
       }
     }
     // Condition (2): full reception before execution.
-    if (t.emissions.back() + chain.comm(t.proc) > t.start) {
+    if (t.emissions.back() + s * chain.comm(t.proc) > t.start) {
       std::ostringstream os;
-      os << leg_label << "arrival " << t.emissions.back() + chain.comm(t.proc) << " > start "
+      os << leg_label << "arrival " << t.emissions.back() + s * chain.comm(t.proc) << " > start "
          << t.start;
       report.add_violation(fmt1("condition (2)", i, os.str()));
     }
@@ -83,7 +109,7 @@ void check_chain_conditions(const Chain& chain, const std::vector<const ChainTas
     std::vector<Interval> busy;
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       if (well_formed[i] && tasks[i]->proc == q) {
-        busy.push_back({tasks[i]->start, chain.work(q), i});
+        busy.push_back({tasks[i]->start, sizes[i] * chain.work(q), i});
       }
     }
     std::ostringstream label;
@@ -96,13 +122,23 @@ void check_chain_conditions(const Chain& chain, const std::vector<const ChainTas
     std::vector<Interval> busy;
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       if (well_formed[i] && tasks[i]->proc >= k) {
-        busy.push_back({tasks[i]->emissions[k], chain.comm(k), i});
+        busy.push_back({tasks[i]->emissions[k], sizes[i] * chain.comm(k), i});
       }
     }
     std::ostringstream label;
     label << leg_label << "condition (4) on link " << k;
     check_exclusive(std::move(busy), label.str().c_str(), report);
   }
+}
+
+/// Per-task sizes of a workload aligned to `count` tasks (all 1 when the
+/// workload is uniform or mismatched).
+std::vector<Time> aligned_sizes(std::size_t count, const Workload& workload, bool aligned) {
+  std::vector<Time> sizes(count, 1);
+  if (aligned && !workload.uniform_sizes()) {
+    for (std::size_t i = 0; i < count; ++i) sizes[i] = workload.size_of(i);
+  }
+  return sizes;
 }
 
 }  // namespace
@@ -116,32 +152,55 @@ std::string FeasibilityReport::summary() const {
 }
 
 FeasibilityReport check_feasibility(const ChainSchedule& schedule) {
+  return check_feasibility(schedule, Workload::identical(schedule.tasks.size()));
+}
+
+FeasibilityReport check_feasibility(const ChainSchedule& schedule, const Workload& workload) {
   FeasibilityReport report;
+  const bool aligned = check_workload_count(schedule.tasks.size(), workload, report);
+  const std::vector<Time> sizes = aligned_sizes(schedule.tasks.size(), workload, aligned);
   std::vector<const ChainTask*> ptrs;
   ptrs.reserve(schedule.tasks.size());
   for (const ChainTask& t : schedule.tasks) ptrs.push_back(&t);
-  check_chain_conditions(schedule.chain, ptrs, "", report);
+  check_chain_conditions(schedule.chain, ptrs, sizes, "", report);
+  if (aligned && workload.has_release_dates()) {
+    for (std::size_t i = 0; i < schedule.tasks.size(); ++i) {
+      if (!schedule.tasks[i].emissions.empty()) {
+        check_release(schedule.tasks[i].emissions.front(), workload.release_of(i), i, report);
+      }
+    }
+  }
   return report;
 }
 
 FeasibilityReport check_feasibility(const ForkSchedule& schedule) {
+  return check_feasibility(schedule, Workload::identical(schedule.tasks.size()));
+}
+
+FeasibilityReport check_feasibility(const ForkSchedule& schedule, const Workload& workload) {
   FeasibilityReport report;
   const Fork& fork = schedule.fork;
+  const bool aligned = check_workload_count(schedule.tasks.size(), workload, report);
+  const std::vector<Time> sizes = aligned_sizes(schedule.tasks.size(), workload, aligned);
 
   std::vector<Interval> master_port;
   for (std::size_t i = 0; i < schedule.tasks.size(); ++i) {
     const ForkTask& t = schedule.tasks[i];
+    const Time s = sizes[i];
     if (t.slave >= fork.size()) {
       report.add_violation(fmt1("structure", i, "destination outside the fork"));
       continue;
     }
-    const Processor& s = fork.slave(t.slave);
-    if (t.emission + s.comm > t.start) {
+    const Processor& slave = fork.slave(t.slave);
+    if (t.emission + s * slave.comm > t.start) {
       std::ostringstream os;
-      os << "arrival " << t.emission + s.comm << " > start " << t.start;
+      os << "arrival " << t.emission + s * slave.comm << " > start " << t.start;
       report.add_violation(fmt1("reception before execution", i, os.str()));
     }
-    master_port.push_back({t.emission, s.comm, i});
+    if (aligned && workload.has_release_dates()) {
+      check_release(t.emission, workload.release_of(i), i, report);
+    }
+    master_port.push_back({t.emission, s * slave.comm, i});
   }
   check_exclusive(std::move(master_port), "master one-port", report);
 
@@ -149,7 +208,7 @@ FeasibilityReport check_feasibility(const ForkSchedule& schedule) {
     std::vector<Interval> busy;
     for (std::size_t i = 0; i < schedule.tasks.size(); ++i) {
       const ForkTask& t = schedule.tasks[i];
-      if (t.slave == q) busy.push_back({t.start, fork.slave(q).work, i});
+      if (t.slave == q) busy.push_back({t.start, sizes[i] * fork.slave(q).work, i});
     }
     std::ostringstream label;
     label << "slave " << q << " exclusivity";
@@ -159,12 +218,19 @@ FeasibilityReport check_feasibility(const ForkSchedule& schedule) {
 }
 
 FeasibilityReport check_feasibility(const SpiderSchedule& schedule) {
+  return check_feasibility(schedule, Workload::identical(schedule.tasks.size()));
+}
+
+FeasibilityReport check_feasibility(const SpiderSchedule& schedule, const Workload& workload) {
   FeasibilityReport report;
   const Spider& spider = schedule.spider;
+  const bool aligned = check_workload_count(schedule.tasks.size(), workload, report);
+  const std::vector<Time> sizes = aligned_sizes(schedule.tasks.size(), workload, aligned);
 
   // Per-leg chain conditions.  Reuse the chain checker by projecting the
-  // spider tasks of each leg onto ChainTask views.
+  // spider tasks of each leg onto ChainTask views (and their sizes along).
   std::vector<std::vector<ChainTask>> leg_tasks(spider.num_legs());
+  std::vector<std::vector<Time>> leg_sizes(spider.num_legs());
   std::vector<Interval> master_port;
   for (std::size_t i = 0; i < schedule.tasks.size(); ++i) {
     const SpiderTask& t = schedule.tasks[i];
@@ -173,10 +239,14 @@ FeasibilityReport check_feasibility(const SpiderSchedule& schedule) {
       continue;
     }
     leg_tasks[t.leg].push_back(ChainTask{t.proc, t.start, t.emissions});
+    leg_sizes[t.leg].push_back(sizes[i]);
     if (!t.emissions.empty()) {
       // Master one-port: the emission on the leg's first link occupies the
       // master for that link's latency.
-      master_port.push_back({t.emissions.front(), spider.leg(t.leg).comm(0), i});
+      master_port.push_back({t.emissions.front(), sizes[i] * spider.leg(t.leg).comm(0), i});
+      if (aligned && workload.has_release_dates()) {
+        check_release(t.emissions.front(), workload.release_of(i), i, report);
+      }
     }
   }
   for (std::size_t l = 0; l < spider.num_legs(); ++l) {
@@ -185,7 +255,7 @@ FeasibilityReport check_feasibility(const SpiderSchedule& schedule) {
     for (const ChainTask& t : leg_tasks[l]) ptrs.push_back(&t);
     std::ostringstream label;
     label << "leg " << l << ": ";
-    check_chain_conditions(spider.leg(l), ptrs, label.str(), report);
+    check_chain_conditions(spider.leg(l), ptrs, leg_sizes[l], label.str(), report);
   }
   check_exclusive(std::move(master_port), "master one-port (cross-leg)", report);
   return report;

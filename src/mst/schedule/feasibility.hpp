@@ -6,6 +6,7 @@
 #include "mst/schedule/chain_schedule.hpp"
 #include "mst/schedule/fork_schedule.hpp"
 #include "mst/schedule/spider_schedule.hpp"
+#include "mst/workload/workload.hpp"
 
 /// \file feasibility.hpp
 /// Executable Definition 1: the paper states four feasibility conditions and
@@ -52,5 +53,16 @@ FeasibilityReport check_feasibility(const ForkSchedule& schedule);
 
 /// Chain conditions within every leg + the cross-leg master one-port rule.
 FeasibilityReport check_feasibility(const SpiderSchedule& schedule);
+
+/// Workload-aware forms: schedule task `i` is workload task `i` (canonical
+/// order — every producer in the library dispatches in that order).  All
+/// occupancy windows scale by the task's size, and each task's master
+/// emission must start at or after its release date.  A task-count mismatch
+/// between schedule and workload is itself a violation.  With
+/// `Workload::identical(n)` these reduce exactly to the unchecked-workload
+/// forms above.
+FeasibilityReport check_feasibility(const ChainSchedule& schedule, const Workload& workload);
+FeasibilityReport check_feasibility(const ForkSchedule& schedule, const Workload& workload);
+FeasibilityReport check_feasibility(const SpiderSchedule& schedule, const Workload& workload);
 
 }  // namespace mst

@@ -32,6 +32,8 @@ struct ForkSchedule {
   [[nodiscard]] std::size_t num_tasks() const { return tasks.size(); }
   [[nodiscard]] Time makespan() const;
   [[nodiscard]] std::vector<std::size_t> tasks_per_slave() const;
+
+  friend bool operator==(const ForkSchedule&, const ForkSchedule&) = default;
 };
 
 }  // namespace mst

@@ -41,6 +41,8 @@ struct SpiderSchedule {
 
   /// Normalize so the earliest event is at time 0; returns the applied shift.
   Time normalize();
+
+  friend bool operator==(const SpiderSchedule&, const SpiderSchedule&) = default;
 };
 
 }  // namespace mst

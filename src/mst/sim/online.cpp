@@ -38,14 +38,21 @@ std::vector<NodeId> slave_nodes(const Tree& tree) {
 
 SimResult simulate_online(const Tree& tree, std::size_t n, OnlinePolicy policy,
                           std::uint64_t seed) {
+  return simulate_online(tree, Workload::identical(n), policy, seed);
+}
+
+SimResult simulate_online(const Tree& tree, const Workload& workload, OnlinePolicy policy,
+                          std::uint64_t seed) {
   MST_REQUIRE(tree.num_slaves() >= 1, "tree has no slaves");
   const std::vector<NodeId> slaves = slave_nodes(tree);
+  const std::size_t n = workload.count();
 
   switch (policy) {
     case OnlinePolicy::kRoundRobin:
-      return simulate_chooser(tree, n, [&slaves](std::size_t i, const DispatchContext&) {
-        return slaves[i % slaves.size()];
-      });
+      return simulate_chooser(tree, workload,
+                              [&slaves](std::size_t i, const DispatchContext&) {
+                                return slaves[i % slaves.size()];
+                              });
 
     case OnlinePolicy::kRandom: {
       Rng rng(seed);
@@ -57,11 +64,11 @@ SimResult simulate_online(const Tree& tree, std::size_t n, OnlinePolicy policy,
             rng.uniform(0, static_cast<std::int64_t>(slaves.size()) - 1))];
       }
       return simulate_chooser(
-          tree, n, [&draws](std::size_t i, const DispatchContext&) { return draws[i]; });
+          tree, workload, [&draws](std::size_t i, const DispatchContext&) { return draws[i]; });
     }
 
     case OnlinePolicy::kJoinShortestQueue:
-      return simulate_chooser(tree, n, [&](std::size_t, const DispatchContext& ctx) {
+      return simulate_chooser(tree, workload, [&](std::size_t, const DispatchContext& ctx) {
         NodeId best = slaves.front();
         Time best_score = kTimeInfinity;
         for (NodeId v : slaves) {
@@ -78,19 +85,22 @@ SimResult simulate_online(const Tree& tree, std::size_t n, OnlinePolicy policy,
 
     case OnlinePolicy::kEarliestCompletion: {
       // Exact forward ASAP estimator: FIFO out-ports + a single source make
-      // its predictions match the simulator exactly (see tree_asap.hpp).
+      // its predictions match the simulator exactly (see tree_asap.hpp);
+      // the size/release arguments keep that true for workloads.
       auto asap = std::make_shared<TreeAsapState>(tree);
-      return simulate_chooser(tree, n, [&, asap](std::size_t, const DispatchContext&) {
+      return simulate_chooser(tree, workload, [&, asap](std::size_t i, const DispatchContext&) {
+        const Time size = workload.size_of(i);
+        const Time release = workload.release_of(i);
         NodeId best = slaves.front();
         Time best_completion = kTimeInfinity;
         for (NodeId v : slaves) {
-          const Time completion = asap->peek_completion(v);
+          const Time completion = asap->peek_completion(v, size, release);
           if (completion < best_completion) {
             best_completion = completion;
             best = v;
           }
         }
-        asap->commit(best);
+        asap->commit(best, size, release);
         return best;
       });
     }

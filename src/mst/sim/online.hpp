@@ -42,4 +42,11 @@ const std::vector<OnlinePolicy>& all_online_policies();
 SimResult simulate_online(const Tree& tree, std::size_t n, OnlinePolicy policy,
                           std::uint64_t seed = 0);
 
+/// Workload form: tasks arrive at the master at their release dates (online
+/// arrivals), carry per-task sizes, and are dispatched in canonical
+/// workload order.  The ECT estimator stays exact — its incremental ASAP
+/// state mirrors the simulator's size-scaled, release-gated recurrences.
+SimResult simulate_online(const Tree& tree, const Workload& workload, OnlinePolicy policy,
+                          std::uint64_t seed = 0);
+
 }  // namespace mst::sim

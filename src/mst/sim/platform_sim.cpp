@@ -12,11 +12,11 @@ namespace {
 /// Whole-run simulation state; nodes interact only through the engine.
 class Simulation {
  public:
-  Simulation(const Tree& tree, std::size_t n, const DestinationChooser& chooser)
-      : tree_(tree), n_(n), chooser_(chooser) {
-    result_.tasks.resize(n);
-    routes_.resize(n);
-    hop_.assign(n, 0);
+  Simulation(const Tree& tree, const Workload& workload, const DestinationChooser& chooser)
+      : tree_(tree), workload_(workload), n_(workload.count()), chooser_(chooser) {
+    result_.tasks.resize(n_);
+    routes_.resize(n_);
+    hop_.assign(n_, 0);
     out_queue_.resize(tree.size());
     out_busy_.assign(tree.size(), false);
     cpu_queue_.resize(tree.size());
@@ -40,9 +40,16 @@ class Simulation {
   /// The master's out-port freed (or the run just started): pick the next
   /// task's destination and enqueue it, unless relayed traffic is pending —
   /// the master's queue holds fresh tasks only, so dispatching is simply
-  /// appending to its out-queue.
+  /// appending to its out-queue.  A task whose release date has not arrived
+  /// re-arms the dispatch at that date (the port sits idle; release dates
+  /// gate the master's emissions).
   void master_dispatch() {
     if (dispatched_ < n_) {
+      const Time release = workload_.release_of(dispatched_);
+      if (engine_.now() < release) {
+        engine_.at(release, [this] { master_dispatch(); });
+        return;
+      }
       const DispatchContext ctx{engine_.now(), outstanding_};
       const NodeId dest = chooser_(dispatched_, ctx);
       MST_REQUIRE(dest != 0 && dest < tree_.size(),
@@ -64,7 +71,7 @@ class Simulation {
     MST_ASSERT(tree_.parent(next) == v);
     if (v == 0 && hop_[task] == 0) result_.tasks[task].master_emission = engine_.now();
     out_busy_[v] = true;
-    engine_.after(tree_.proc(next).comm, [this, v, next, task] {
+    engine_.after(workload_.size_of(task) * tree_.proc(next).comm, [this, v, next, task] {
       out_busy_[v] = false;
       deliver(next, task);
       if (v == 0) master_dispatch();
@@ -91,7 +98,7 @@ class Simulation {
     cpu_queue_[node].pop_front();
     cpu_busy_[node] = true;
     result_.tasks[task].start = engine_.now();
-    engine_.after(tree_.proc(node).work, [this, node, task] {
+    engine_.after(workload_.size_of(task) * tree_.proc(node).work, [this, node, task] {
       result_.tasks[task].end = engine_.now();
       cpu_busy_[node] = false;
       MST_ASSERT(outstanding_[node] > 0);
@@ -101,6 +108,7 @@ class Simulation {
   }
 
   const Tree& tree_;
+  const Workload& workload_;
   std::size_t n_;
   const DestinationChooser& chooser_;
   Engine engine_;
@@ -118,12 +126,24 @@ class Simulation {
 }  // namespace
 
 SimResult simulate_chooser(const Tree& tree, std::size_t n, const DestinationChooser& chooser) {
-  Simulation sim(tree, n, chooser);
+  return simulate_chooser(tree, Workload::identical(n), chooser);
+}
+
+SimResult simulate_chooser(const Tree& tree, const Workload& workload,
+                           const DestinationChooser& chooser) {
+  Simulation sim(tree, workload, chooser);
   return sim.run();
 }
 
 SimResult simulate_dispatch(const Tree& tree, const std::vector<NodeId>& dests) {
-  return simulate_chooser(tree, dests.size(),
+  return simulate_dispatch(tree, dests, Workload::identical(dests.size()));
+}
+
+SimResult simulate_dispatch(const Tree& tree, const std::vector<NodeId>& dests,
+                            const Workload& workload) {
+  MST_REQUIRE(workload.count() == dests.size(),
+              "workload and destination sequence must have the same length");
+  return simulate_chooser(tree, workload,
                           [&dests](std::size_t i, const DispatchContext&) { return dests[i]; });
 }
 

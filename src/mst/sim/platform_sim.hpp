@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mst/platform/tree.hpp"
+#include "mst/workload/workload.hpp"
 
 /// \file platform_sim.hpp
 /// Operational (event-driven) execution of master-slave tasking on a tree.
@@ -52,8 +53,20 @@ using DestinationChooser = std::function<NodeId(std::size_t task_index, const Di
 /// Simulate `n` tasks whose destinations are chosen on the fly.
 SimResult simulate_chooser(const Tree& tree, std::size_t n, const DestinationChooser& chooser);
 
+/// Workload form: task `i` (canonical workload order) is dispatched no
+/// earlier than its release date — the master's out-port sits idle until
+/// the next task arrives — and occupies every link for `size·c` and its
+/// processor for `size·w`.  `Workload::identical(n)` reproduces the `n`
+/// form exactly.
+SimResult simulate_chooser(const Tree& tree, const Workload& workload,
+                           const DestinationChooser& chooser);
+
 /// Simulate dispatching tasks to the given fixed destinations, in order,
 /// each emitted by the master as soon as its out-port frees.
 SimResult simulate_dispatch(const Tree& tree, const std::vector<NodeId>& dests);
+
+/// Workload form of the above; requires `workload.count() == dests.size()`.
+SimResult simulate_dispatch(const Tree& tree, const std::vector<NodeId>& dests,
+                            const Workload& workload);
 
 }  // namespace mst::sim

@@ -1,0 +1,146 @@
+#include "mst/workload/arrival.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "mst/common/rng.hpp"
+
+namespace mst {
+
+WorkloadFeatures WorkloadGen::features() const {
+  WorkloadFeatures features;
+  features.sizes = sizes.kind != SizeDist::Kind::kUnit &&
+                   !(sizes.kind == SizeDist::Kind::kFixed && sizes.a == 1);
+  features.release = arrival.kind != ArrivalDist::Kind::kNone;
+  return features;
+}
+
+void validate(const WorkloadGen& gen) {
+  switch (gen.sizes.kind) {
+    case SizeDist::Kind::kUnit: break;
+    case SizeDist::Kind::kFixed:
+      if (gen.sizes.a < 1) throw std::invalid_argument("workload gen: fixed size must be >= 1");
+      break;
+    case SizeDist::Kind::kUniform:
+      if (gen.sizes.a < 1 || gen.sizes.b < gen.sizes.a) {
+        throw std::invalid_argument("workload gen: size range needs 1 <= lo <= hi");
+      }
+      break;
+  }
+  switch (gen.arrival.kind) {
+    case ArrivalDist::Kind::kNone: break;
+    case ArrivalDist::Kind::kPeriodic:
+      if (gen.arrival.a < 1) throw std::invalid_argument("workload gen: periodic gap must be >= 1");
+      break;
+    case ArrivalDist::Kind::kJitter:
+      if (gen.arrival.a < 0 || gen.arrival.b < gen.arrival.a) {
+        throw std::invalid_argument("workload gen: jitter window needs 0 <= lo <= hi");
+      }
+      break;
+    case ArrivalDist::Kind::kPoisson:
+      if (gen.arrival.a < 1) throw std::invalid_argument("workload gen: poisson mean must be >= 1");
+      break;
+    case ArrivalDist::Kind::kBursts:
+      if (gen.arrival.a < 1 || gen.arrival.b < 1) {
+        throw std::invalid_argument("workload gen: bursts need size >= 1 and gap >= 1");
+      }
+      break;
+  }
+}
+
+Workload WorkloadGen::make(std::size_t n, std::uint64_t seed) const {
+  validate(*this);
+  Rng rng(seed);
+  // Independent streams per dimension: adding an arrival family never
+  // perturbs the size draws and vice versa.
+  Rng size_rng = rng.split();
+  Rng arrival_rng = rng.split();
+
+  std::vector<Time> sizes_vec;
+  switch (sizes.kind) {
+    case SizeDist::Kind::kUnit: break;
+    case SizeDist::Kind::kFixed: sizes_vec.assign(n, sizes.a); break;
+    case SizeDist::Kind::kUniform:
+      sizes_vec.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) sizes_vec.push_back(size_rng.uniform(sizes.a, sizes.b));
+      break;
+  }
+
+  std::vector<Time> release_vec;
+  switch (arrival.kind) {
+    case ArrivalDist::Kind::kNone: break;
+    case ArrivalDist::Kind::kPeriodic:
+      release_vec.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        release_vec.push_back(static_cast<Time>(i) * arrival.a);
+      }
+      break;
+    case ArrivalDist::Kind::kJitter:
+      release_vec.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        release_vec.push_back(arrival_rng.uniform(arrival.a, arrival.b));
+      }
+      break;
+    case ArrivalDist::Kind::kPoisson: {
+      release_vec.reserve(n);
+      Time clock = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        // Exponential inter-arrival gap of mean `a`, rounded to the integer
+        // time base.  `1 - u` keeps the log argument in (0, 1].
+        const double u = arrival_rng.uniform01();
+        const double gap = -static_cast<double>(arrival.a) * std::log(1.0 - u);
+        clock += static_cast<Time>(std::llround(gap));
+        release_vec.push_back(clock);
+      }
+      break;
+    }
+    case ArrivalDist::Kind::kBursts: {
+      release_vec.reserve(n);
+      const auto burst = static_cast<std::size_t>(arrival.a);
+      for (std::size_t i = 0; i < n; ++i) {
+        release_vec.push_back(static_cast<Time>(i / burst) * arrival.b);
+      }
+      break;
+    }
+  }
+
+  // Canonical sorting happens in the constructor; sizes drawn i.i.d. are
+  // exchangeable, so pairing them with sorted releases loses nothing.
+  return Workload(n, std::move(sizes_vec), std::move(release_vec));
+}
+
+std::string WorkloadGen::label() const {
+  std::ostringstream os;
+  switch (sizes.kind) {
+    case SizeDist::Kind::kUnit: break;
+    case SizeDist::Kind::kFixed: os << "sizes-fixed(" << sizes.a << ")"; break;
+    case SizeDist::Kind::kUniform:
+      os << "sizes-uniform(" << sizes.a << ":" << sizes.b << ")";
+      break;
+  }
+  switch (arrival.kind) {
+    case ArrivalDist::Kind::kNone: break;
+    case ArrivalDist::Kind::kPeriodic:
+      if (os.tellp() > 0) os << "+";
+      os << "periodic(" << arrival.a << ")";
+      break;
+    case ArrivalDist::Kind::kJitter:
+      if (os.tellp() > 0) os << "+";
+      os << "jitter(" << arrival.a << ":" << arrival.b << ")";
+      break;
+    case ArrivalDist::Kind::kPoisson:
+      if (os.tellp() > 0) os << "+";
+      os << "poisson(" << arrival.a << ")";
+      break;
+    case ArrivalDist::Kind::kBursts:
+      if (os.tellp() > 0) os << "+";
+      os << "bursts(" << arrival.a << ":" << arrival.b << ")";
+      break;
+  }
+  const std::string text = os.str();
+  return text.empty() ? "unit" : text;
+}
+
+}  // namespace mst

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "mst/workload/workload.hpp"
+
+/// \file arrival.hpp
+/// Seeded workload generator families: per-task size distributions and
+/// release-date / arrival processes.
+///
+/// These are the workload counterpart of the platform generators
+/// (mst/platform/generator.hpp): a `(WorkloadGen, n, seed)` triple fully
+/// determines the workload, with every draw coming from the library's
+/// SplitMix64 `Rng` — never from global state — so scenario grids stay
+/// byte-identical across runs and thread counts.
+///
+/// Two flavours of release-date generation are distinguished in the sweep
+/// spec language (scenario/spec.hpp):
+///  * `tasks.release` — deterministic date families (`periodic`, seeded
+///    `jitter`), modelling planned / batched availability;
+///  * `tasks.arrival` — stochastic arrival processes (`poisson` for
+///    independent online arrivals, `bursts` for group arrivals), modelling
+///    the SETI@home-style request streams of the paper's motivation.
+/// Both produce release dates; the split is about how specs read.
+
+namespace mst {
+
+/// Per-task size family.
+struct SizeDist {
+  enum class Kind {
+    kUnit,     ///< every task has size 1 (the paper's model)
+    kFixed,    ///< every task has size `a`
+    kUniform,  ///< sizes drawn uniformly from `[a, b]`
+  };
+  Kind kind = Kind::kUnit;
+  Time a = 1;
+  Time b = 1;
+
+  friend bool operator==(const SizeDist&, const SizeDist&) = default;
+};
+
+/// Release-date / arrival family.
+struct ArrivalDist {
+  enum class Kind {
+    kNone,      ///< all tasks available at time 0 (the paper's model)
+    kPeriodic,  ///< r_i = i * a (a fixed inter-release gap)
+    kJitter,    ///< dates drawn uniformly from `[a, b]`
+    kPoisson,   ///< i.i.d. exponential inter-arrival gaps of mean `a`
+    kBursts,    ///< groups of `a` simultaneous tasks, one group every `b`
+  };
+  Kind kind = Kind::kNone;
+  Time a = 0;
+  Time b = 0;
+
+  friend bool operator==(const ArrivalDist&, const ArrivalDist&) = default;
+};
+
+/// One point on a sweep's workload axis: a size family plus an arrival
+/// family.  `make(n, seed)` synthesizes the workload deterministically.
+struct WorkloadGen {
+  SizeDist sizes;
+  ArrivalDist arrival;
+
+  /// True for the identical-unit-task generator (the default axis entry).
+  [[nodiscard]] bool identical() const {
+    return sizes.kind == SizeDist::Kind::kUnit && arrival.kind == ArrivalDist::Kind::kNone;
+  }
+
+  /// The features this generator may produce — used by the sweep expander
+  /// to pair generators only with algorithms that support them.  (A lucky
+  /// draw may produce fewer features; the registry re-checks the actual
+  /// workload, so the static answer only needs to be an upper bound.)
+  [[nodiscard]] WorkloadFeatures features() const;
+
+  /// Deterministic synthesis: same (generator, n, seed) → same workload.
+  [[nodiscard]] Workload make(std::size_t n, std::uint64_t seed) const;
+
+  /// Single-token label for report columns, e.g. "unit",
+  /// "sizes-uniform(1:4)", "periodic(3)", "poisson(5)", "bursts(4:12)".
+  [[nodiscard]] std::string label() const;
+
+  friend bool operator==(const WorkloadGen&, const WorkloadGen&) = default;
+};
+
+/// Throws `std::invalid_argument` unless the generator's parameters are in
+/// range (sizes >= 1 with a <= b, gaps / means >= 1, jitter 0 <= a <= b,
+/// burst size >= 1).  Called by the spec parser and by `make`.
+void validate(const WorkloadGen& gen);
+
+}  // namespace mst

@@ -15,6 +15,7 @@
 #include <new>
 
 #include "mst/core/chain_scheduler.hpp"
+#include "mst/core/fork_scheduler.hpp"
 #include "mst/core/spider_scheduler.hpp"
 #include "mst/common/rng.hpp"
 #include "mst/platform/generator.hpp"
@@ -102,6 +103,46 @@ TEST(SpiderCounting, ZeroAllocationsAfterWarmup) {
   const std::size_t counted = SpiderScheduler::count_within(spider, 300, 4096, scratch);
   const long allocations = probe::allocations();
   EXPECT_EQ(counted, expected);
+  EXPECT_GT(counted, 0u);
+  EXPECT_EQ(allocations, 0);
+}
+
+TEST(ForkCounting, MatchesMaterializedConstruction) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 60; ++trial) {
+    Rng inst = rng.split();
+    const auto p = static_cast<std::size_t>(rng.uniform(1, 5));
+    const GeneratorParams params{1, 9, all_platform_classes()[trial % 5]};
+    const Fork fork = random_fork(inst, p, params);
+    ForkCountScratch scratch;
+    for (const Time t_lim : {0, 4, 19, 45, 120}) {
+      const std::size_t cap = static_cast<std::size_t>(rng.uniform(1, 40));
+      const ForkSchedule materialized = ForkScheduler::schedule_within(fork, t_lim, cap);
+      EXPECT_EQ(ForkScheduler::count_within(fork, t_lim, cap, scratch),
+                materialized.tasks.size())
+          << fork.describe() << " T=" << t_lim << " cap=" << cap;
+      // The count+makespan twin replays the full pipeline.
+      const auto [tasks, makespan] = ForkScheduler::makespan_within(fork, t_lim, cap, scratch);
+      EXPECT_EQ(tasks, materialized.tasks.size());
+      EXPECT_EQ(makespan, materialized.makespan())
+          << fork.describe() << " T=" << t_lim << " cap=" << cap;
+    }
+  }
+}
+
+TEST(ForkCounting, ZeroAllocationsAfterWarmup) {
+  Rng rng(13);
+  const Fork fork = random_fork(rng, 6, GeneratorParams{1, 9, PlatformClass::kUniform});
+  ForkCountScratch scratch;
+  const std::size_t expected = ForkScheduler::count_within(fork, 250, 4096, scratch);
+  const auto expected_pair = ForkScheduler::makespan_within(fork, 250, 4096, scratch);
+
+  probe::arm();
+  const std::size_t counted = ForkScheduler::count_within(fork, 250, 4096, scratch);
+  const auto pair = ForkScheduler::makespan_within(fork, 250, 4096, scratch);
+  const long allocations = probe::allocations();
+  EXPECT_EQ(counted, expected);
+  EXPECT_EQ(pair, expected_pair);
   EXPECT_GT(counted, 0u);
   EXPECT_EQ(allocations, 0);
 }

@@ -30,6 +30,13 @@ SweepSpec full_spec() {
   spec.depth_bias = 0.375;
   spec.tasks = {4, 16};
   spec.deadlines = {40, 90};
+  WorkloadGen sized;
+  sized.sizes = SizeDist{SizeDist::Kind::kUniform, 1, 4};
+  WorkloadGen released;
+  released.arrival = ArrivalDist{ArrivalDist::Kind::kPeriodic, 3, 0};
+  WorkloadGen arrivals;
+  arrivals.arrival = ArrivalDist{ArrivalDist::Kind::kPoisson, 5, 0};
+  spec.workloads = {WorkloadGen{}, sized, released, arrivals};
   spec.algorithms = {"optimal", "forward-greedy"};
   spec.platforms.push_back(Chain::from_vectors({2, 3}, {3, 5}));
   Tree tree;
@@ -268,14 +275,182 @@ TEST(Report, CsvShape) {
   ASSERT_EQ(outcomes.size(), 2u);
   const std::string csv = to_csv(outcomes);
   EXPECT_NE(csv.find("spec,kind,class,size,instance,platform_seed,algorithm,mode,n,deadline,"
-                     "cell_seed,tasks,makespan,lower_bound,optimal,throughput,error"),
+                     "workload,cell_seed,tasks,makespan,lower_bound,optimal,throughput,error"),
             std::string::npos);
   // Fig 2: 5 tasks take 14, and 5 tasks fit in a window of 14.
-  EXPECT_NE(csv.find("csv,chain,-,2,0,0,optimal,solve,5,,"), std::string::npos);
+  EXPECT_NE(csv.find("csv,chain,-,2,0,0,optimal,solve,5,,unit,"), std::string::npos);
   EXPECT_NE(csv.find(",5,14,"), std::string::npos);
   ReportOptions timing;
   timing.timing = true;
   EXPECT_NE(to_csv(outcomes, timing).find(",wall_ms,"), std::string::npos);
+}
+
+TEST(SweepSpecText, WorkloadAxisRoundTripsAndRejects) {
+  // Every family has a line form and survives the round trip.
+  const SweepSpec spec = parse_spec(
+      "sweep wl\n"
+      "kinds chain\n"
+      "sizes 2\n"
+      "tasks 6\n"
+      "tasks.sizes unit\n"
+      "tasks.sizes fixed 3\n"
+      "tasks.sizes uniform 1 4\n"
+      "tasks.release periodic 2\n"
+      "tasks.release jitter 0 9\n"
+      "tasks.arrival poisson 4\n"
+      "tasks.arrival bursts 3 7\n");
+  ASSERT_EQ(spec.workloads.size(), 7u);
+  EXPECT_TRUE(spec.workloads[0].identical());
+  EXPECT_EQ(spec.workloads[2].sizes.kind, SizeDist::Kind::kUniform);
+  EXPECT_EQ(spec.workloads[5].arrival.kind, ArrivalDist::Kind::kPoisson);
+  EXPECT_EQ(spec, parse_spec(write_spec(spec)));
+
+  EXPECT_THROW(parse_spec("sweep s\ntasks.sizes blob\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("sweep s\ntasks.sizes uniform 4 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("sweep s\ntasks.release periodic\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("sweep s\ntasks.arrival bursts 0 4\n"), std::invalid_argument);
+  // Combined generators are constructible in code but have no line form.
+  SweepSpec combined;
+  combined.kinds = {api::PlatformKind::kChain};
+  combined.sizes = {2};
+  combined.tasks = {4};
+  WorkloadGen both;
+  both.sizes = SizeDist{SizeDist::Kind::kFixed, 2, 0};
+  both.arrival = ArrivalDist{ArrivalDist::Kind::kPeriodic, 2, 0};
+  combined.workloads = {both};
+  EXPECT_THROW(write_spec(combined), std::invalid_argument);
+}
+
+TEST(Expand, WorkloadAxisPairsOnlySupportingAlgorithms) {
+  SweepSpec spec;
+  spec.name = "caps";
+  spec.kinds = {api::PlatformKind::kChain};
+  spec.sizes = {2};
+  spec.tasks = {4};
+  spec.deadlines = {30};
+  WorkloadGen released;
+  released.arrival = ArrivalDist{ArrivalDist::Kind::kPeriodic, 2, 0};
+  WorkloadGen sized;
+  sized.sizes = SizeDist{SizeDist::Kind::kUniform, 1, 3};
+  spec.workloads = {WorkloadGen{}, released, sized};
+
+  const std::vector<Cell> cells = expand(spec);
+  ASSERT_FALSE(cells.empty());
+  bool saw_released_optimal = false;
+  for (const Cell& cell : cells) {
+    if (cell.workload == nullptr) {
+      EXPECT_EQ(cell.workload_label, "unit");
+      continue;
+    }
+    // Cells only pair a generator with algorithms that declared support.
+    const WorkloadFeatures features = cell.workload->features();
+    EXPECT_TRUE(api::registry().supports(api::PlatformKind::kChain, cell.algorithm, features))
+        << cell.algorithm << " vs " << cell.workload_label;
+    // `periodic` never lands on `periodic`-the-algorithm (identical-only),
+    // and sized workloads never land on `optimal`.
+    if (cell.workload_label == "periodic(2)" && cell.algorithm == "optimal") {
+      saw_released_optimal = true;
+    }
+    EXPECT_NE(cell.algorithm, "periodic");
+    if (!cell.workload->uniform_sizes()) {
+      EXPECT_NE(cell.algorithm, "optimal");
+    }
+    // Decision-form workload cells carry their finite pool size.
+    if (cell.mode == CellMode::kWithin) {
+      EXPECT_EQ(cell.n, 4u);
+      EXPECT_EQ(cell.workload->count(), 4u);
+    }
+  }
+  EXPECT_TRUE(saw_released_optimal);
+
+  // A deadline axis with a non-identical generator needs a pool size.
+  SweepSpec no_pool = spec;
+  no_pool.tasks.clear();
+  EXPECT_THROW(expand(no_pool), std::invalid_argument);
+}
+
+TEST(Expand, WorkloadsAreDeterministicAndSharedAcrossAlgorithms) {
+  SweepSpec spec;
+  spec.name = "share";
+  spec.kinds = {api::PlatformKind::kSpider};
+  spec.sizes = {3};
+  spec.tasks = {6};
+  WorkloadGen jitter;
+  jitter.arrival = ArrivalDist{ArrivalDist::Kind::kJitter, 0, 20};
+  spec.workloads = {jitter};
+  spec.algorithms = {"optimal", "forward-greedy", "round-robin"};
+
+  const std::vector<Cell> a = expand(spec);
+  const std::vector<Cell> b = expand(spec);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GE(a.size(), 3u);
+  const Workload* shared = nullptr;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NE(a[i].workload, nullptr);
+    EXPECT_EQ(*a[i].workload, *b[i].workload);  // same seeds, same draws
+    EXPECT_EQ(a[i].workload_seed, b[i].workload_seed);
+    if (shared == nullptr) {
+      shared = a[i].workload.get();
+    } else {
+      // One generated instance serves every algorithm of the platform.
+      EXPECT_EQ(shared, a[i].workload.get());
+    }
+  }
+}
+
+TEST(Expand, PlatformCacheSharesDuplicateGridPoints) {
+  SweepSpec spec;
+  spec.name = "dup";
+  spec.kinds = {api::PlatformKind::kChain};
+  spec.classes = {PlatformClass::kUniform, PlatformClass::kUniform};  // duplicate point
+  spec.sizes = {3};
+  spec.tasks = {4};
+  spec.algorithms = {"optimal"};
+  const std::vector<Cell> cells = expand(spec);
+  ASSERT_EQ(cells.size(), 2u);
+  // Same (family, size, platform seed) → one shared instance, not a copy.
+  EXPECT_EQ(cells[0].platform_seed, cells[1].platform_seed);
+  EXPECT_EQ(cells[0].platform.get(), cells[1].platform.get());
+}
+
+TEST(Runner, ReleaseAxisSweepIsThreadInvariantAndFeasible) {
+  SweepSpec spec;
+  spec.name = "released";
+  spec.seed = 17;
+  spec.kinds = {api::PlatformKind::kChain, api::PlatformKind::kSpider};
+  spec.sizes = {2, 3};
+  spec.instances = 2;
+  spec.tasks = {5, 9};
+  spec.deadlines = {70};
+  WorkloadGen released;
+  released.arrival = ArrivalDist{ArrivalDist::Kind::kPeriodic, 2, 0};
+  spec.workloads = {WorkloadGen{}, released};
+  spec.algorithms = {"optimal"};
+
+  RunOptions one;
+  one.threads = 1;
+  RunOptions many;
+  many.threads = 4;
+  const std::vector<CellOutcome> outcomes = run_sweep(spec, one);
+  EXPECT_EQ(to_csv(outcomes), to_csv(run_sweep(spec, many)));
+
+  // The materialized twin passes feasibility checking (release gates
+  // included) and reports the same numbers.
+  RunOptions checked;
+  checked.threads = 2;
+  checked.materialize = true;
+  checked.check = true;
+  const std::vector<CellOutcome> verified = run_sweep(spec, checked);
+  EXPECT_EQ(to_csv(outcomes), to_csv(verified));
+  bool saw_released_cell = false;
+  for (const CellOutcome& out : verified) {
+    EXPECT_TRUE(out.ok()) << out.error;
+    if (out.cell.workload != nullptr) {
+      saw_released_cell = true;
+      EXPECT_TRUE(out.cell.workload->has_release_dates());
+    }
+  }
+  EXPECT_TRUE(saw_released_cell);
 }
 
 TEST(Report, JsonShape) {

@@ -1,0 +1,106 @@
+// The identical-workload regression suite: for every registered algorithm,
+// `solve(platform, Workload::identical(n))` must be bit-identical to the
+// historical `solve(platform, n)` on the tests/data/ platforms — schedules
+// included, not just makespans.  The refactor routed the `n` forms through
+// the workload form, so this pins the whole surface: any accidental fork of
+// the two paths shows up here.
+//
+// The decision form gets the same treatment: a null pool and an
+// identical(cap) pool must produce the same counts and schedules.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mst/api/platform_io.hpp"
+#include "mst/api/registry.hpp"
+
+namespace mst::api {
+namespace {
+
+/// The checked-in tests/data/ platform files, embedded so the suite is
+/// independent of the ctest working directory.
+const std::vector<std::string>& platform_texts() {
+  static const std::vector<std::string> kTexts{
+      // tests/data/chain_platform.txt
+      "chain 3\n2 5\n3 3\n1 4\n",
+      // tests/data/fork_platform.txt
+      "fork 3\n2 3\n1 4\n3 2\n",
+      // tests/data/spider_platform.txt
+      "spider 2\nleg 2\n2 5\n3 5\nleg 1\n4 2\n",
+      // tests/data/tree_platform.txt
+      "tree 4\n0 2 3\n1 1 2\n1 2 4\n0 3 2\n",
+  };
+  return kTexts;
+}
+
+bool same_solve(const SolveResult& a, const SolveResult& b) {
+  return a.algorithm == b.algorithm && a.kind == b.kind && a.tasks == b.tasks &&
+         a.makespan == b.makespan && a.lower_bound == b.lower_bound && a.optimal == b.optimal &&
+         a.schedule == b.schedule && a.workload == b.workload;
+}
+
+/// The identical pool must reproduce the stream's numbers and payloads.
+/// The one permitted divergence is the `optimal` flag when the count hits
+/// the cap: exhausting a finite pool is proof of maximality, truncating the
+/// unbounded stream is not — the pool answer may be strictly more informed,
+/// never less.
+bool same_decision(const DecisionResult& a, const DecisionResult& b, std::size_t pool_count) {
+  if (a.algorithm != b.algorithm || a.kind != b.kind || a.deadline != b.deadline ||
+      a.tasks != b.tasks || a.makespan != b.makespan || !(a.schedule == b.schedule) ||
+      a.workload != b.workload) {
+    return false;
+  }
+  if (a.optimal == b.optimal) return true;
+  return b.optimal && !a.optimal && b.tasks == pool_count;
+}
+
+TEST(WorkloadEquivalence, IdenticalWorkloadSolvesBitIdentically) {
+  for (const std::string& text : platform_texts()) {
+    const Platform platform = parse_any_platform(text);
+    for (const AlgorithmInfo& info : registry().list(kind_of(platform))) {
+      const std::size_t n = info.exponential ? 4 : 9;
+      for (const bool materialize : {true, false}) {
+        SolveOptions options;
+        options.materialize = materialize;
+        options.seed = 21;
+        const SolveResult classic = registry().solve(platform, info.name, n, options);
+        const SolveResult workload =
+            registry().solve(platform, info.name, Workload::identical(n), options);
+        EXPECT_TRUE(same_solve(classic, workload))
+            << to_string(info.kind) << "/" << info.name << " materialize=" << materialize;
+        EXPECT_EQ(classic.tasks, n);
+      }
+    }
+  }
+}
+
+TEST(WorkloadEquivalence, IdenticalPoolMatchesUnboundedStream) {
+  for (const std::string& text : platform_texts()) {
+    const Platform platform = parse_any_platform(text);
+    for (const AlgorithmInfo& info : registry().list(kind_of(platform))) {
+      for (const Time deadline : {0, 25, 60}) {
+        SolveOptions stream;
+        stream.seed = 5;
+        stream.cap = 64;
+        stream.materialize = true;
+        if (info.exponential) stream.cap = 6;
+        SolveOptions pooled = stream;
+        pooled.workload = std::make_shared<const Workload>(Workload::identical(stream.cap));
+        const DecisionResult a = registry().solve_within(platform, info.name, deadline, stream);
+        const DecisionResult b = registry().solve_within(platform, info.name, deadline, pooled);
+        EXPECT_TRUE(same_decision(a, b, stream.cap))
+            << to_string(info.kind) << "/" << info.name << " T=" << deadline << " ("
+            << a.tasks << " vs " << b.tasks << " tasks, makespan " << a.makespan << " vs "
+            << b.makespan << ")";
+        const FeasibilityReport report = check_feasibility(b);
+        EXPECT_TRUE(report.ok()) << info.name << ": " << report.summary();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mst::api

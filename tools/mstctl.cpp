@@ -2,8 +2,10 @@
 //
 //   mstctl --mode=list      [--kind=chain|fork|spider|tree]
 //   mstctl --mode=solve     --platform=FILE --algo=NAME|all --tasks=N [--seed=S]
+//                           [--workload=FILE]
 //   mstctl --mode=max-tasks --platform=FILE --deadline=T
 //                           [--algo=NAME|all] [--cap=K] [--seed=S] [--fast]
+//                           [--workload=FILE]
 //   mstctl --mode=count     --platform=FILE --tlim=T   # bare number (script-friendly)
 //   mstctl --mode=schedule  --platform=FILE --tasks=N [--format=summary|gantt|svg|json|schedule]
 //   mstctl --mode=sweep     --spec=FILE [--threads=N] [--out=csv|json]
@@ -20,8 +22,14 @@
 // name.  Platform files use the text format of mst/platform/io.hpp (chain /
 // fork / spider / tree) and are parsed into the typed `api::Platform`
 // variant, so the header keyword of the file decides which algorithm family
-// runs.  `--seed` makes the randomized online policies reproducible.  Exit
-// status is 0 on success, 1 on validation failure, 2 on usage errors.
+// runs.  `--workload=FILE` loads a workload description
+// (mst/workload/workload_io.hpp: task count plus optional per-task sizes
+// and release dates); `solve` then schedules that workload (algorithms that
+// do not support its features are skipped in `--algo=all` sweeps and
+// rejected when named explicitly), and `max-tasks` draws its tasks from it
+// as a finite pool.  `--seed` makes the randomized online policies
+// reproducible.  Exit status is 0 on success, 1 on validation failure, 2 on
+// usage errors.
 //
 // `sweep` runs a declarative scenario grid (mst/scenario/spec.hpp) through
 // the parallel sweep runner and prints long-form CSV (default) or JSON.
@@ -54,6 +62,17 @@ mst::api::Platform load_platform(const std::string& path) {
   }
 }
 
+/// `--workload=FILE`, when present.
+std::optional<mst::Workload> load_workload(const mst::Args& args) {
+  const std::string path = args.get("workload", "");
+  if (path.empty()) return std::nullopt;
+  try {
+    return mst::parse_workload(slurp(path));
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
 /// Per-call options from the shared flags (`--seed`, `--cap`).
 mst::api::SolveOptions solve_options(const mst::Args& args, std::int64_t default_cap = 1 << 20) {
   mst::api::SolveOptions options;
@@ -71,13 +90,14 @@ int run_list(const mst::Args& args) {
     std::cerr << "unknown --kind=" << filter << " (expected chain|fork|spider|tree)\n";
     return 2;
   }
-  Table table({"kind", "algorithm", "optimal", "summary"});
+  Table table({"kind", "algorithm", "optimal", "workloads", "summary"});
   for (const api::AlgorithmInfo& info : api::registry().list()) {
     if (!filter.empty() && to_string(info.kind) != filter) continue;
     table.row()
         .cell(to_string(info.kind))
         .cell(info.name)
         .cell(info.optimal ? "yes" : "no")
+        .cell(to_string(info.supports))
         .cell(info.summary + (info.exponential ? " [exponential]" : ""));
   }
   table.print(std::cout);
@@ -119,24 +139,46 @@ std::vector<mst::api::AlgorithmInfo> select_algorithms(const mst::Args& args,
   return selected;
 }
 
+/// In `--algo=all` sweeps, drops entries that cannot handle the workload's
+/// features (a named algorithm is still rejected loudly by the registry).
+void skip_unsupported(std::vector<mst::api::AlgorithmInfo>& selected,
+                      const mst::Workload& workload) {
+  using namespace mst;
+  if (!workload.features().any()) return;
+  std::erase_if(selected, [&](const api::AlgorithmInfo& info) {
+    if (workload.features().subset_of(info.supports)) return false;
+    std::cout << "(skipping " << info.name << ": no support for "
+              << to_string(workload.features()) << " workloads)\n";
+    return true;
+  });
+}
+
 int run_solve(const mst::Args& args) {
   using namespace mst;
   const api::Platform platform = load_platform(args.get("platform", ""));
   const api::PlatformKind kind = api::kind_of(platform);
-  const std::size_t n = task_count(args);
+  const std::optional<Workload> workload = load_workload(args);
+  const std::size_t n = workload ? workload->count() : task_count(args);
   const api::SolveOptions options = solve_options(args);
 
   std::cout << "platform : " << api::describe(platform) << "\n";
-  std::cout << "tasks    : " << n << "\n\n";
+  if (workload) {
+    std::cout << "workload : " << workload->describe() << "\n\n";
+  } else {
+    std::cout << "tasks    : " << n << "\n\n";
+  }
 
   // Brute force is exponential in n; only sweep it on small instances.
-  const std::vector<api::AlgorithmInfo> selected =
+  std::vector<api::AlgorithmInfo> selected =
       select_algorithms(args, kind, n > 10, "exponential, tasks > 10");
+  if (workload && args.get("algo", "all") == "all") skip_unsupported(selected, *workload);
 
   Table table({"algorithm", "optimal", "makespan", "lower bound", "throughput", "feasible"});
   bool all_feasible = true;
   for (const api::AlgorithmInfo& info : selected) {
-    const api::SolveResult result = api::registry().solve(platform, info.name, n, options);
+    const api::SolveResult result =
+        workload ? api::registry().solve(platform, info.name, *workload, options)
+                 : api::registry().solve(platform, info.name, n, options);
     const FeasibilityReport report = api::check_feasibility(result);
     all_feasible = all_feasible && report.ok();
     table.row()
@@ -160,16 +202,31 @@ int run_max_tasks(const mst::Args& args) {
   // `--fast` takes the count/makespan-only path: no placement vectors are
   // materialized and no feasibility check runs.
   options.materialize = !args.has("fast");
+  const std::optional<Workload> workload = load_workload(args);
+  if (workload) options.workload = std::make_shared<const Workload>(*workload);
 
   std::cout << "platform : " << api::describe(platform) << "\n";
-  std::cout << "deadline : " << deadline << "\n\n";
+  std::cout << "deadline : " << deadline << "\n";
+  if (workload) std::cout << "workload : " << workload->describe() << "\n";
+  std::cout << "\n";
 
   std::vector<api::AlgorithmInfo> selected;
   if (args.has("algo")) {
     selected = select_algorithms(args, kind, true, "exponential; pass --algo=brute-force");
+    if (workload && args.get("algo", "") == "all") skip_unsupported(selected, *workload);
   } else {
-    // Default: the exact algorithm (or the strongest heuristic for trees).
-    const std::string name = default_algorithm(kind);
+    // Default: the exact algorithm (or the strongest heuristic for trees);
+    // when it cannot handle the workload's features, the first
+    // non-exponential entry that can.
+    std::string name = default_algorithm(kind);
+    if (workload && !api::registry().supports(kind, name, workload->features())) {
+      for (const api::AlgorithmInfo& info : api::registry().list(kind)) {
+        if (!info.exponential && workload->features().subset_of(info.supports)) {
+          name = info.name;
+          break;
+        }
+      }
+    }
     selected.push_back(*api::registry().info(kind, name));
   }
 
@@ -455,8 +512,17 @@ int run_demo(const mst::Args& args) {
   tree_out << "# demo: a 4-slave tree with a branching trunk\n" << write_tree(tree);
   std::cout << "wrote " << tree_path << "\n";
 
+  const std::string workload_path = dir + "/demo_workload.txt";
+  const Workload staggered = Workload::released({0, 0, 4, 8, 12, 16});
+  std::ofstream workload_out(workload_path);
+  workload_out << "# demo: six tasks arriving in a staggered stream\n"
+               << write_workload(staggered);
+  std::cout << "wrote " << workload_path << "\n";
+
   std::cout << "try: mstctl --mode=solve --platform=" << spider_path << " --tasks=8\n";
   std::cout << "try: mstctl --mode=max-tasks --platform=" << tree_path << " --deadline=40\n";
+  std::cout << "try: mstctl --mode=solve --platform=" << spider_path
+            << " --workload=" << workload_path << "\n";
   return 0;
 }
 
