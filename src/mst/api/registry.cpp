@@ -22,6 +22,7 @@
 #include "mst/heuristics/tree_schedule.hpp"
 #include "mst/sim/online.hpp"
 #include "mst/sim/platform_sim.hpp"
+#include "mst/sim/streaming.hpp"
 
 namespace mst::api {
 
@@ -569,6 +570,10 @@ std::size_t decision_cap(const SolveOptions& options) {
 /// Workload features the built-ins declare.
 constexpr WorkloadFeatures kReleaseOnly{/*sizes=*/false, /*release=*/true};
 constexpr WorkloadFeatures kSizesAndRelease{/*sizes=*/true, /*release=*/true};
+constexpr WorkloadFeatures kReleaseStreaming{/*sizes=*/false, /*release=*/true,
+                                             /*streaming=*/true};
+constexpr WorkloadFeatures kSizesReleaseStreaming{/*sizes=*/true, /*release=*/true,
+                                                  /*streaming=*/true};
 
 /// The decision-form task pool, when one was supplied.
 const Workload* pool_of(const SolveOptions& options) { return options.workload.get(); }
@@ -687,6 +692,32 @@ ForkSchedule fork_greedy_schedule(const Fork& fork, std::size_t n) {
   return schedule;
 }
 
+/// Registers the streaming horizon re-planner for one exactly-solved kind.
+/// The makespan form is the no-lookahead streaming simulation of the
+/// workload's release stream (`sim/streaming.hpp`: the exact solver re-runs
+/// on the known backlog at each arrival), materialized as the dispatch plan
+/// on the embedded tree substrate; with every task released at 0 the single
+/// plan is the offline optimum and the simulated makespan matches it.  The
+/// streaming capability flag is what `mode=stream` sweep cells and
+/// `mstctl --mode=stream` key on.
+void register_replan(Registry& r, PlatformKind k) {
+  r.add({k, "replan", "streaming horizon re-planning (exact solver re-run per arrival)",
+         /*optimal=*/false, /*exponential=*/false, kReleaseStreaming},
+        [k](const Platform& p, const Workload& w, const SolveOptions&) {
+          require_tasks(w);
+          Tree tree = sim::stream_substrate(p);
+          const std::unique_ptr<sim::StreamPolicy> policy = sim::make_replan_policy(p);
+          const sim::StreamResult run = sim::simulate_stream(tree, w, *policy);
+          std::vector<NodeId> dests;
+          dests.reserve(run.sim.tasks.size());
+          for (const sim::SimTask& task : run.sim.tasks) dests.push_back(task.dest);
+          TreeDispatch dispatch{std::move(tree), std::move(dests)};
+          return make_result("replan", k, w.count(), run.sim.makespan, /*lower_bound=*/0,
+                             /*optimal=*/false, std::move(dispatch));
+        },
+        nullptr);
+}
+
 SolveResult solve_tree_online(const Tree& tree, const Workload& workload,
                               sim::OnlinePolicy policy, const char* algorithm,
                               std::uint64_t seed) {
@@ -780,6 +811,7 @@ void register_chain_algorithms(Registry& r) {
         [](const Platform& p, Time deadline, const SolveOptions& opts) {
           return chain_brute_force_decision(expect_chain(p, "brute-force"), deadline, opts);
         });
+  register_replan(r, k);
 }
 
 void register_fork_algorithms(Registry& r) {
@@ -883,6 +915,7 @@ void register_fork_algorithms(Registry& r) {
           const Fork& fork = expect_fork(p, "brute-force");
           return spider_brute_force_decision(k, Spider::from_fork(fork), deadline, opts);
         });
+  register_replan(r, k);
 }
 
 void register_spider_algorithms(Registry& r) {
@@ -961,6 +994,7 @@ void register_spider_algorithms(Registry& r) {
         [k](const Platform& p, Time deadline, const SolveOptions& opts) {
           return spider_brute_force_decision(k, expect_spider(p, "brute-force"), deadline, opts);
         });
+  register_replan(r, k);
 }
 
 void register_tree_algorithms(Registry& r) {
@@ -991,9 +1025,11 @@ void register_tree_algorithms(Registry& r) {
         });
   // The online policies run on the discrete-event simulator, which executes
   // per-task sizes and release dates natively — the arrival-process axis of
-  // the scenario engine lands here.
+  // the scenario engine lands here.  All four also adapt to the
+  // no-lookahead streaming driver (the `streaming` capability flag), which
+  // is what `mode=stream` sweep cells key on.
   r.add({k, "online-ect", "simulated online earliest-completion policy", /*optimal=*/false,
-         /*exponential=*/false, kSizesAndRelease},
+         /*exponential=*/false, kSizesReleaseStreaming},
         [](const Platform& p, const Workload& w, const SolveOptions& opts) {
           require_tasks(w);
           return solve_tree_online(expect_tree(p, "online-ect"), w,
@@ -1002,7 +1038,7 @@ void register_tree_algorithms(Registry& r) {
         },
         nullptr);
   r.add({k, "online-jsq", "simulated online join-shortest-queue policy", /*optimal=*/false,
-         /*exponential=*/false, kSizesAndRelease},
+         /*exponential=*/false, kSizesReleaseStreaming},
         [](const Platform& p, const Workload& w, const SolveOptions& opts) {
           require_tasks(w);
           return solve_tree_online(expect_tree(p, "online-jsq"), w,
@@ -1011,7 +1047,7 @@ void register_tree_algorithms(Registry& r) {
         },
         nullptr);
   r.add({k, "online-round-robin", "simulated online round-robin policy", /*optimal=*/false,
-         /*exponential=*/false, kSizesAndRelease},
+         /*exponential=*/false, kSizesReleaseStreaming},
         [](const Platform& p, const Workload& w, const SolveOptions& opts) {
           require_tasks(w);
           return solve_tree_online(expect_tree(p, "online-round-robin"), w,
@@ -1022,7 +1058,7 @@ void register_tree_algorithms(Registry& r) {
   // Registered now that solves carry options: the policy is deterministic
   // per SolveOptions::seed, so mstctl runs are reproducible.
   r.add({k, "online-random", "simulated online uniform-random policy (SolveOptions::seed)",
-         /*optimal=*/false, /*exponential=*/false, kSizesAndRelease},
+         /*optimal=*/false, /*exponential=*/false, kSizesReleaseStreaming},
         [](const Platform& p, const Workload& w, const SolveOptions& opts) {
           require_tasks(w);
           return solve_tree_online(expect_tree(p, "online-random"), w,

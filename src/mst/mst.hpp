@@ -56,6 +56,7 @@
 #include "mst/sim/online.hpp"
 #include "mst/sim/platform_sim.hpp"
 #include "mst/sim/static_replay.hpp"
+#include "mst/sim/streaming.hpp"
 
 #include "mst/analysis/robustness.hpp"
 #include "mst/analysis/throughput.hpp"

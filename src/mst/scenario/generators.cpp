@@ -36,7 +36,12 @@ std::uint64_t derive_seed(std::uint64_t root, std::uint64_t a, std::uint64_t b,
 }
 
 std::string to_string(CellMode mode) {
-  return mode == CellMode::kSolve ? "solve" : "within";
+  switch (mode) {
+    case CellMode::kSolve: return "solve";
+    case CellMode::kWithin: return "within";
+    case CellMode::kStream: return "stream";
+  }
+  return "?";
 }
 
 namespace {
@@ -140,6 +145,20 @@ void append_platform_cells(const SweepSpec& spec, const api::Registry& registry,
         }
       }
     }
+    if (spec.stream) {
+      // Streaming cells request the streaming capability on top of the
+      // generator's features — identical generators included, since most
+      // entries cannot run without knowing `n`.
+      const auto stream_paired = [&](std::size_t gen_index) {
+        WorkloadFeatures features = gens[gen_index].features();
+        features.streaming = true;
+        return registry.supports(kind, algorithm, features);
+      };
+      for (std::size_t g = 0; g < gens.size(); ++g) {
+        if (!stream_paired(g)) continue;
+        for (std::size_t n : spec.tasks) push(CellMode::kStream, n, 0, g);
+      }
+    }
   }
 }
 
@@ -158,6 +177,10 @@ std::vector<Cell> expand(const SweepSpec& spec, const api::Registry& registry) {
   }
   if (spec.tasks.empty() && spec.deadlines.empty()) {
     throw std::invalid_argument("spec '" + spec.name + "': needs 'tasks' or 'deadlines'");
+  }
+  if (spec.stream && spec.tasks.empty()) {
+    throw std::invalid_argument("spec '" + spec.name +
+                                "': 'stream' cells draw their task count from 'tasks'");
   }
   if (spec.min_leg_len < 1 || spec.min_leg_len > spec.max_leg_len) {
     throw std::invalid_argument("spec '" + spec.name + "': need 1 <= leg-len min <= max");

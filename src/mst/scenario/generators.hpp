@@ -46,8 +46,12 @@ api::Platform make_platform(const PlatformSpec& spec, std::uint64_t seed);
 std::uint64_t derive_seed(std::uint64_t root, std::uint64_t a, std::uint64_t b = 0,
                           std::uint64_t c = 0);
 
-/// Which problem form a cell exercises.
-enum class CellMode { kSolve, kWithin };
+/// Which problem form a cell exercises.  `kStream` is the no-lookahead
+/// driver of `sim/streaming.hpp`: the workload's release dates arrive
+/// online and the policy never learns the task count — expanded only when
+/// the spec sets `stream`, and only for algorithms whose
+/// `AlgorithmInfo::supports.streaming` flag is set.
+enum class CellMode { kSolve, kWithin, kStream };
 
 std::string to_string(CellMode mode);
 
@@ -86,7 +90,9 @@ struct Cell {
 /// generator grid in (kind, class, size, instance) order; per platform, the
 /// resolved algorithms each run, per workload generator, every `tasks`
 /// entry, then every `deadlines` entry (crossed with `tasks` for
-/// non-identical generators — the pool must be finite).  Algorithm
+/// non-identical generators — the pool must be finite), then — when the
+/// spec sets `stream` — every streaming cell over `tasks`, restricted to
+/// entries with the streaming capability.  Algorithm
 /// resolution: an empty list selects every registered non-exponential
 /// algorithm of the platform's kind; an explicit name is applied to the
 /// kinds that register it and must exist for at least one swept kind.

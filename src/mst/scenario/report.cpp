@@ -8,14 +8,23 @@ namespace mst::scenario {
 
 namespace {
 
-/// Deterministic 9-significant-digit display rendering (table precision,
-/// not a bit-exact round trip); "inf" for the degenerate-platform sentinel
-/// of `SolveResult::throughput`.
+/// Deterministic `max_digits10` rendering: `%.17g` round-trips every double
+/// through `std::stod`, so CSV and JSON can never disagree on the same cell
+/// (the old `%.9g` display precision was round-trip lossy); "inf" for the
+/// degenerate-platform sentinel of `SolveResult::throughput`.
 std::string format_double(double value) {
   if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
   return buf;
+}
+
+/// Streaming metric columns: negative (the "not applicable" sentinel) and
+/// non-finite values render as an empty cell — `inf`/`nan` never reach the
+/// tables (see CellOutcome::mean_latency/regret).
+std::string format_metric(double value) {
+  if (value < 0 || !std::isfinite(value)) return "";
+  return format_double(value);
 }
 
 /// RFC-4180 quoting, applied only when the field needs it.
@@ -58,7 +67,7 @@ std::string json_escape(const std::string& text) {
 std::string to_csv(const std::vector<CellOutcome>& outcomes, const ReportOptions& options) {
   std::ostringstream os;
   os << "spec,kind,class,size,instance,platform_seed,algorithm,mode,n,deadline,workload,"
-        "cell_seed,tasks,makespan,lower_bound,optimal,throughput";
+        "cell_seed,tasks,makespan,lower_bound,optimal,throughput,latency,backlog,regret";
   if (options.timing) os << ",wall_ms";
   os << ",error\n";
   for (const CellOutcome& out : outcomes) {
@@ -68,12 +77,20 @@ std::string to_csv(const std::vector<CellOutcome>& outcomes, const ReportOptions
        << cell.algorithm << ',' << to_string(cell.mode) << ',';
     // `n` also appears on decision-form cells of the workload axis, where
     // it is the finite pool size; the identical stream leaves it blank.
-    if (cell.mode == CellMode::kSolve || cell.n > 0) os << cell.n;
+    if (cell.mode != CellMode::kWithin || cell.n > 0) os << cell.n;
     os << ',';
     if (cell.mode == CellMode::kWithin) os << cell.deadline;
     os << ',' << csv_escape(cell.workload_label) << ',' << cell.seed << ',' << out.tasks << ','
        << out.makespan << ',' << out.lower_bound << ',' << (out.optimal ? "yes" : "no") << ','
        << format_double(out.throughput);
+    // Streaming metrics: empty on non-stream rows, on errored cells, and
+    // wherever a value is unavailable (e.g. regret without an exact offline
+    // reference) — the sentinel never leaks as inf/nan.
+    const bool stream_row = cell.mode == CellMode::kStream && out.ok();
+    os << ',' << (stream_row ? format_metric(out.mean_latency) : "");
+    os << ',';
+    if (stream_row) os << out.peak_backlog;
+    os << ',' << (stream_row ? format_metric(out.regret) : "");
     if (options.timing) os << ',' << format_double(out.wall_ms);
     os << ',' << csv_escape(out.error) << '\n';
   }
@@ -91,11 +108,11 @@ std::string to_json(const std::vector<CellOutcome>& outcomes, const ReportOption
        << ",\"instance\":" << cell.instance << ",\"platform_seed\":" << cell.platform_seed
        << ",\"algorithm\":\"" << json_escape(cell.algorithm) << "\",\"mode\":\""
        << to_string(cell.mode) << "\"";
-    if (cell.mode == CellMode::kSolve) {
-      os << ",\"n\":" << cell.n;
-    } else {
+    if (cell.mode == CellMode::kWithin) {
       if (cell.n > 0) os << ",\"n\":" << cell.n;
       os << ",\"deadline\":" << cell.deadline;
+    } else {
+      os << ",\"n\":" << cell.n;
     }
     os << ",\"workload\":\"" << json_escape(cell.workload_label) << "\"";
     os << ",\"cell_seed\":" << cell.seed << ",\"tasks\":" << out.tasks << ",\"makespan\":"
@@ -106,6 +123,17 @@ std::string to_json(const std::vector<CellOutcome>& outcomes, const ReportOption
       os << ",\"throughput\":\"inf\"";
     } else {
       os << ",\"throughput\":" << format_double(out.throughput);
+    }
+    // Streaming metrics appear only where they are defined — an absent key
+    // is the JSON form of the CSV's empty cell, so inf/nan never leak.
+    if (cell.mode == CellMode::kStream && out.ok()) {
+      if (const std::string latency = format_metric(out.mean_latency); !latency.empty()) {
+        os << ",\"latency\":" << latency;
+      }
+      os << ",\"backlog\":" << out.peak_backlog;
+      if (const std::string regret = format_metric(out.regret); !regret.empty()) {
+        os << ",\"regret\":" << regret;
+      }
     }
     if (options.timing) os << ",\"wall_ms\":" << format_double(out.wall_ms);
     if (!out.error.empty()) os << ",\"error\":\"" << json_escape(out.error) << "\"";

@@ -11,7 +11,11 @@
 /// Both writers are deterministic functions of the outcomes by default —
 /// `wall_ms` (the only value that varies between runs) is emitted only when
 /// `ReportOptions::timing` asks for it, so a fixed-seed sweep produces
-/// byte-identical CSV/JSON at any thread count.
+/// byte-identical CSV/JSON at any thread count.  Doubles render at
+/// `max_digits10` (`%.17g`) in both writers — a bit-exact round trip, so
+/// the CSV and the JSON of the same sweep can never disagree on a cell —
+/// and the streaming metric columns use an explicit empty-cell sentinel
+/// wherever a value is undefined: `inf`/`nan` never appear there.
 
 namespace mst::scenario {
 
@@ -23,12 +27,14 @@ struct ReportOptions {
 
 /// Long-form CSV with header:
 ///   spec,kind,class,size,instance,platform_seed,algorithm,mode,n,deadline,
-///   workload,cell_seed,tasks,makespan,lower_bound,optimal,throughput
-///   [,wall_ms],error
-/// `deadline` is empty on makespan-form rows; `n` is empty on decision-form
-/// rows of the identical stream (on workload-axis decision rows it is the
-/// finite pool size); `workload` is the generator label ("unit" for the
-/// paper's identical tasks); `error` is CSV-quoted when needed.
+///   workload,cell_seed,tasks,makespan,lower_bound,optimal,throughput,
+///   latency,backlog,regret[,wall_ms],error
+/// `deadline` is empty on makespan-form and stream rows; `n` is empty on
+/// decision-form rows of the identical stream (on workload-axis decision
+/// rows it is the finite pool size); `workload` is the generator label
+/// ("unit" for the paper's identical tasks); `latency`/`backlog`/`regret`
+/// are filled on streaming rows only (regret stays empty without an exact
+/// offline reference); `error` is CSV-quoted when needed.
 std::string to_csv(const std::vector<CellOutcome>& outcomes, const ReportOptions& options = {});
 
 /// JSON array, one object per row (same fields, inapplicable ones omitted).

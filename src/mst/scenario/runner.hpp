@@ -49,9 +49,16 @@ struct CellOutcome {
   Time makespan = 0;
   Time lower_bound = 0;   ///< makespan form only (0 otherwise)
   bool optimal = false;
-  double throughput = 0;  ///< tasks/makespan (solve) or tasks/deadline (within)
+  double throughput = 0;  ///< tasks/makespan (solve/stream) or tasks/deadline (within)
   double wall_ms = 0;     ///< best-of-`reps` wall time of the solve call
   std::string error;      ///< nonempty: the cell failed (dispatch/feasibility)
+
+  /// Streaming-mode metrics (`cell.mode == CellMode::kStream` rows only).
+  /// Negative doubles are the "not applicable" sentinel — the reporters
+  /// render them as empty cells, never as `inf`/`nan`.
+  double mean_latency = -1;      ///< mean per-task (completion - release)
+  std::size_t peak_backlog = 0;  ///< max tasks arrived but not yet emitted
+  double regret = -1;            ///< online/offline makespan ratio (>= 1)
 
   [[nodiscard]] bool ok() const { return error.empty(); }
 };

@@ -219,6 +219,9 @@ SweepSpec parse_spec(const std::string& text) {
       for (std::size_t i = 1; i < tokens.size(); ++i) {
         spec.deadlines.push_back(parse_int(tokens[i], line_no));
       }
+    } else if (key == "stream") {
+      if (tokens.size() != 1) fail(line_no, "'stream' is a bare keyword (no values)");
+      spec.stream = true;
     } else if (key == "tasks.sizes") {
       spec.workloads.push_back(parse_sizes_gen(tokens, line_no));
     } else if (key == "tasks.release") {
@@ -286,6 +289,7 @@ std::string write_spec(const SweepSpec& spec) {
   os << "deadlines";
   for (Time deadline : spec.deadlines) os << ' ' << deadline;
   os << '\n';
+  if (spec.stream) os << "stream\n";
   for (const WorkloadGen& gen : spec.workloads) {
     // The text format keeps the axes orthogonal: one `tasks.*` line per
     // generator.  A combined sizes+arrival generator (constructible in

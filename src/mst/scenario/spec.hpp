@@ -38,6 +38,7 @@
 ///     depth-bias 0.5        # tree shape: 0 = bushy/random, 1 = chain
 ///     tasks 8 32            # makespan-form cells (solve n tasks)
 ///     deadlines 40 80       # decision-form cells (max tasks within T)
+///     stream                # also expand streaming (no-lookahead) cells
 ///     tasks.sizes uniform 1 4       # workload axis: per-task size family
 ///     tasks.release periodic 3      # workload axis: release-date family
 ///     tasks.arrival poisson 5      # workload axis: stochastic arrivals
@@ -86,6 +87,11 @@ struct SweepSpec {
   /// Work axes: each platform × algorithm runs every entry of both.
   std::vector<std::size_t> tasks;  ///< makespan-form cells
   std::vector<Time> deadlines;     ///< decision-form cells
+
+  /// `stream` key: additionally expand streaming-mode cells — the
+  /// no-lookahead driver (`sim/streaming.hpp`) over every `tasks` entry,
+  /// paired only with algorithms whose `supports.streaming` flag is set.
+  bool stream = false;
 
   /// Workload axis (`tasks.sizes` / `tasks.release` / `tasks.arrival`
   /// keys).  Empty = identical unit tasks only.  Non-identical generators

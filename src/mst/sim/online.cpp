@@ -36,6 +36,36 @@ std::vector<NodeId> slave_nodes(const Tree& tree) {
 
 }  // namespace
 
+NodeId choose_jsq(const Tree& tree, const DispatchContext& ctx) {
+  // Ascending node id with strict improvement: score ties break toward the
+  // smallest slave index (the documented contract).
+  NodeId best = 1;
+  Time best_score = kTimeInfinity;
+  for (NodeId v = 1; v < tree.size(); ++v) {
+    const Time score =
+        static_cast<Time>(ctx.outstanding[v] + 1) * tree.proc(v).work + tree.path_latency(v);
+    if (score < best_score) {
+      best_score = score;
+      best = v;
+    }
+  }
+  return best;
+}
+
+NodeId choose_ect(TreeAsapState& asap, Time size, Time release) {
+  NodeId best = 1;
+  Time best_completion = kTimeInfinity;
+  for (NodeId v = 1; v < asap.tree().size(); ++v) {
+    const Time completion = asap.peek_completion(v, size, release);
+    if (completion < best_completion) {
+      best_completion = completion;
+      best = v;
+    }
+  }
+  asap.commit(best, size, release);
+  return best;
+}
+
 SimResult simulate_online(const Tree& tree, std::size_t n, OnlinePolicy policy,
                           std::uint64_t seed) {
   return simulate_online(tree, Workload::identical(n), policy, seed);
@@ -69,18 +99,7 @@ SimResult simulate_online(const Tree& tree, const Workload& workload, OnlinePoli
 
     case OnlinePolicy::kJoinShortestQueue:
       return simulate_chooser(tree, workload, [&](std::size_t, const DispatchContext& ctx) {
-        NodeId best = slaves.front();
-        Time best_score = kTimeInfinity;
-        for (NodeId v : slaves) {
-          const Time score =
-              static_cast<Time>(ctx.outstanding[v] + 1) * tree.proc(v).work +
-              tree.path_latency(v);
-          if (score < best_score) {
-            best_score = score;
-            best = v;
-          }
-        }
-        return best;
+        return choose_jsq(tree, ctx);
       });
 
     case OnlinePolicy::kEarliestCompletion: {
@@ -89,19 +108,7 @@ SimResult simulate_online(const Tree& tree, const Workload& workload, OnlinePoli
       // the size/release arguments keep that true for workloads.
       auto asap = std::make_shared<TreeAsapState>(tree);
       return simulate_chooser(tree, workload, [&, asap](std::size_t i, const DispatchContext&) {
-        const Time size = workload.size_of(i);
-        const Time release = workload.release_of(i);
-        NodeId best = slaves.front();
-        Time best_completion = kTimeInfinity;
-        for (NodeId v : slaves) {
-          const Time completion = asap->peek_completion(v, size, release);
-          if (completion < best_completion) {
-            best_completion = completion;
-            best = v;
-          }
-        }
-        asap->commit(best, size, release);
-        return best;
+        return choose_ect(*asap, workload.size_of(i), workload.release_of(i));
       });
     }
   }

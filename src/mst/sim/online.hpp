@@ -23,6 +23,10 @@
 ///                     strongest online policy, exact estimates thanks to
 ///                     per-edge FIFO.
 
+namespace mst {
+class TreeAsapState;
+}
+
 namespace mst::sim {
 
 enum class OnlinePolicy {
@@ -37,8 +41,17 @@ std::string to_string(OnlinePolicy policy);
 /// All policies, for sweep loops.
 const std::vector<OnlinePolicy>& all_online_policies();
 
-/// Simulate `n` tasks dispatched by `policy`; `seed` only matters for
-/// `kRandom`.
+/// Simulate `n` tasks dispatched by `policy`.
+///
+/// Determinism contract: `seed` only matters for `kRandom` — the other
+/// policies never read it, asserted by the seed-invariance test.  Score
+/// ties in JSQ and ECT break toward the *smallest slave node id*: both scan
+/// candidates in ascending NodeId order and move only on strict
+/// improvement, so the result is a pure function of the tree and the
+/// workload, invariant under permuting the evaluation order of equal-score
+/// slaves (and, on tie-free instances, equivariant under relabeling the
+/// slaves — asserted by the permutation-invariance test in
+/// tests/test_online.cpp).
 SimResult simulate_online(const Tree& tree, std::size_t n, OnlinePolicy policy,
                           std::uint64_t seed = 0);
 
@@ -48,5 +61,16 @@ SimResult simulate_online(const Tree& tree, std::size_t n, OnlinePolicy policy,
 /// state mirrors the simulator's size-scaled, release-gated recurrences.
 SimResult simulate_online(const Tree& tree, const Workload& workload, OnlinePolicy policy,
                           std::uint64_t seed = 0);
+
+/// One JSQ decision: the slave minimizing `(outstanding + 1) * work +
+/// path_latency`, ties toward the smallest node id.  Shared by the online
+/// simulator and the streaming adapters (`streaming.hpp`) so the two stay
+/// decision-for-decision identical.
+NodeId choose_jsq(const Tree& tree, const DispatchContext& ctx);
+
+/// One ECT decision: peeks every slave's completion for a `(size, release)`
+/// task, commits the earliest (ties toward the smallest node id) and
+/// returns it.  Shared for the same reason as `choose_jsq`.
+NodeId choose_ect(TreeAsapState& asap, Time size, Time release);
 
 }  // namespace mst::sim

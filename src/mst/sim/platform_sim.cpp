@@ -57,6 +57,7 @@ class Simulation {
       const std::size_t task = dispatched_++;
       routes_[task] = tree_.path_from_root(dest);
       result_.tasks[task].dest = dest;
+      result_.tasks[task].release = release;
       ++outstanding_[dest];
       out_queue_[0].push_back(task);
       try_send(0);

@@ -23,19 +23,28 @@ namespace mst::sim {
 /// Per-task observable outcome.
 struct SimTask {
   NodeId dest = 0;
+  Time release = 0;          ///< when the task arrived at the master
   Time master_emission = 0;  ///< when the master started sending it
   Time arrival = 0;          ///< full reception at the destination
   Time start = 0;            ///< execution start
   Time end = 0;              ///< execution end
+
+  /// Time in the system: `end - release` (the streaming latency metric).
+  [[nodiscard]] Time sojourn() const { return end - release; }
+
+  friend bool operator==(const SimTask&, const SimTask&) = default;
 };
 
-/// Outcome of one simulation run.
+/// Outcome of one simulation run.  Equality is bit-for-bit over the whole
+/// timeline — the streaming equivalence tests rely on it.
 struct SimResult {
   Time makespan = 0;
   std::vector<SimTask> tasks;                ///< in dispatch order
   std::vector<std::size_t> tasks_per_node;   ///< indexed by NodeId
 
   [[nodiscard]] std::size_t num_tasks() const { return tasks.size(); }
+
+  friend bool operator==(const SimResult&, const SimResult&) = default;
 };
 
 /// What an online dispatcher may observe when choosing a destination: the

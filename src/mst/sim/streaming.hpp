@@ -1,0 +1,174 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mst/api/registry.hpp"
+#include "mst/platform/tree.hpp"
+#include "mst/sim/online.hpp"
+#include "mst/sim/platform_sim.hpp"
+#include "mst/workload/workload.hpp"
+
+/// \file streaming.hpp
+/// Streaming (no-lookahead) scheduling: the task count `n` is unknown.
+///
+/// The paper plans the whole schedule offline with `n` known; the online
+/// policies of `online.hpp` dispatch reactively but still receive the full
+/// workload object up front.  This module closes the remaining gap to the
+/// deployed master-worker pools the paper motivates: a `StreamPolicy`
+/// observes tasks strictly one at a time, as their release dates pass on
+/// the simulated clock, and never learns the total task count or any future
+/// release date.  The driver — not policy discipline — enforces that: the
+/// policy has no reference to the `Workload`; every fact it ever receives
+/// arrives through `observe`, and the driver only calls `observe` for tasks
+/// whose release date has passed.
+///
+/// Policies:
+///  * the four `OnlinePolicy` dispatchers, adapted (`make_stream_policy`) —
+///    on a workload whose tasks are all released at time 0 each adaptation
+///    reproduces `simulate_online` bit for bit (asserted by
+///    tests/test_streaming.cpp);
+///  * `replan` (`make_replan_policy`) — horizon re-planning: on every
+///    arrival the exact chain/fork/spider solver is re-run on the currently
+///    known, still-undispatched backlog, and dispatch follows that plan's
+///    master-emission order until the next arrival invalidates it.  With
+///    everything released at 0 this degenerates to the offline optimum
+///    (one plan over the whole instance).
+///
+/// The registry bridge `run_stream` resolves a `(platform kind, algorithm)`
+/// pair whose `AlgorithmInfo::supports.streaming` flag is set, embeds the
+/// platform into the store-and-forward tree substrate, runs the driver and
+/// computes the streaming metrics — per-task latency, master backlog and
+/// the regret against the exact offline optimum where one is registered.
+
+namespace mst::sim {
+
+/// One task, as the policy learns about it: everything the master knows the
+/// moment the task arrives, and nothing more.  `task` is the arrival
+/// ordinal (== the canonical workload index, but the policy cannot tell).
+struct StreamArrival {
+  std::size_t task = 0;
+  Time size = 1;
+  Time release = 0;
+
+  friend bool operator==(const StreamArrival&, const StreamArrival&) = default;
+};
+
+/// A no-lookahead dispatcher.  The driver calls `observe` once per task, in
+/// arrival order, never before the simulated clock reaches the task's
+/// release date; it calls `choose` when the master's out-port is free and
+/// the oldest observed task is still undispatched.  Policies are stateful
+/// and single-run: construct a fresh one per simulation.
+class StreamPolicy {
+ public:
+  virtual ~StreamPolicy() = default;
+
+  /// A new task became known at the master.
+  virtual void observe(const StreamArrival& arrival) = 0;
+
+  /// Destination (a slave NodeId) for `task`, the oldest undispatched
+  /// observed task.  `ctx` carries the clock and per-node in-flight counts
+  /// — present-state information only, same as `DispatchContext` in the
+  /// online simulator.
+  virtual NodeId choose(std::size_t task, const DispatchContext& ctx) = 0;
+};
+
+/// Aggregate streaming metrics, computed by the driver.
+struct StreamMetrics {
+  /// Per task (canonical order): completion minus release — how long the
+  /// task spent in the system.  Always >= 0.
+  std::vector<Time> latency;
+  Time max_latency = 0;
+  double mean_latency = 0;
+  /// Largest number of tasks that had arrived at the master but whose first
+  /// emission had not started yet (arrivals count before departures at
+  /// equal times, so any nonempty run peaks at >= 1).
+  std::size_t peak_backlog = 0;
+
+  friend bool operator==(const StreamMetrics&, const StreamMetrics&) = default;
+};
+
+/// Outcome of one streaming run: the operational timeline plus the metrics.
+struct StreamResult {
+  SimResult sim;
+  StreamMetrics metrics;
+};
+
+/// Runs `policy` over the workload's arrival stream on `tree`.  Dispatch is
+/// FIFO in arrival order (tasks are interchangeable up to their observed
+/// size, and the master serves its backlog in order); the policy only picks
+/// destinations.  `tree` must outlive the call.
+StreamResult simulate_stream(const Tree& tree, const Workload& workload, StreamPolicy& policy);
+
+/// Adapts one of the four online dispatchers to the streaming interface.
+/// `tree` must outlive the returned policy; `seed` only matters for
+/// `kRandom` (`online.hpp` documents the tie-breaking contract the others
+/// inherit).
+std::unique_ptr<StreamPolicy> make_stream_policy(const Tree& tree, OnlinePolicy policy,
+                                                 std::uint64_t seed = 0);
+
+/// The horizon re-planning policy for a chain, fork or spider platform
+/// (throws `std::invalid_argument` for trees — no exact tree solver
+/// exists).  Uniform task sizes only: the exact solvers' optimality proofs
+/// do not cover sizes, and the registry gate rejects them up front.
+std::unique_ptr<StreamPolicy> make_replan_policy(const api::Platform& platform);
+
+/// The store-and-forward substrate a platform streams on: chains and
+/// spiders embed via `tree_from_chain` / `tree_from_spider`, forks via
+/// their spider form, trees are returned as-is.  Slave numbering follows
+/// the embeddings (chain processor `i` is node `i + 1`; spider leg `l`
+/// depth `d` is node `1 + sum(len of legs < l) + d`).
+Tree stream_substrate(const api::Platform& platform);
+
+/// One streaming solve, resolved through the registry.
+struct StreamOutcome {
+  std::string algorithm;
+  api::PlatformKind kind = api::PlatformKind::kChain;
+  std::size_t tasks = 0;
+  Time makespan = 0;
+  StreamMetrics metrics;
+  /// Exact offline optimum of the same workload (the registered "optimal"
+  /// entry of the platform's kind, when it exists, is provably optimal and
+  /// supports the workload's features).  0 = no exact reference — trees
+  /// always, and released fork/spider streams too: their positional-release
+  /// selection is not exact (the exhaustive oracle beats it on some
+  /// instances), so regret against it would be meaningless.
+  Time offline_makespan = 0;
+  /// Competitive ratio `makespan / offline_makespan` (>= 1).  Negative =
+  /// unavailable: no exact offline reference, or a degenerate zero-makespan
+  /// run — the reporters print the sentinel as an empty cell instead of
+  /// ever leaking `inf`/`nan` into CSV/JSON.
+  double regret = -1;
+  SimResult sim;  ///< full per-task timeline, dispatch order
+
+  /// Tasks per unit time; same degenerate-platform sentinel semantics as
+  /// `api::SolveResult::throughput` (+inf on nonempty zero-makespan runs).
+  [[nodiscard]] double throughput() const;
+};
+
+/// Streams `workload` through the named algorithm: capability check
+/// (`supports.streaming` plus the workload's features — rejected up front
+/// with a `std::invalid_argument` naming the remedy), policy construction
+/// (`replan` or an `online-*` adaptation), driver run, metrics and regret.
+/// Deterministic per (platform, algorithm, workload, seed).
+/// `attach_reference = false` skips the offline reference solve (regret
+/// stays the sentinel) — for timed repetitions that must measure the
+/// streamed run alone; attach it once afterwards with
+/// `attach_offline_reference`.
+StreamOutcome run_stream(const api::Platform& platform, std::string_view algorithm,
+                         const Workload& workload, std::uint64_t seed = 1,
+                         const api::Registry& registry = api::registry(),
+                         bool attach_reference = true);
+
+/// Computes `outcome.offline_makespan` / `outcome.regret` for a run of
+/// `workload` on `platform` (see `StreamOutcome::offline_makespan` for
+/// when a reference exists).  Idempotent; no-op on empty runs.
+void attach_offline_reference(StreamOutcome& outcome, const api::Platform& platform,
+                              const Workload& workload,
+                              const api::Registry& registry = api::registry());
+
+}  // namespace mst::sim

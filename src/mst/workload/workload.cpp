@@ -9,13 +9,15 @@
 namespace mst {
 
 std::string to_string(const WorkloadFeatures& features) {
-  if (!features.any()) return "identical";
+  if (!features.any() && !features.streaming) return "identical";
   std::string out;
-  if (features.sizes) out = "sizes";
-  if (features.release) {
+  const auto append = [&out](const char* name) {
     if (!out.empty()) out += "+";
-    out += "release";
-  }
+    out += name;
+  };
+  if (features.sizes) append("sizes");
+  if (features.release) append("release");
+  if (features.streaming) append("streaming");
   return out;
 }
 

@@ -46,12 +46,19 @@ namespace mst {
 struct WorkloadFeatures {
   bool sizes = false;    ///< some task size differs from 1
   bool release = false;  ///< some release date is positive
+  /// Capability side only (`Workload::features()` never sets it): the entry
+  /// can run under the no-lookahead streaming driver (`sim/streaming.hpp`),
+  /// where the task count is unknown and tasks are observed one arrival at
+  /// a time.  Streaming requests add this to the workload's features, so
+  /// the same `subset_of` gate rejects non-streaming entries up front.
+  bool streaming = false;
 
   [[nodiscard]] bool any() const { return sizes || release; }
 
   /// True iff every feature set here is also set in `caps`.
   [[nodiscard]] bool subset_of(const WorkloadFeatures& caps) const {
-    return (!sizes || caps.sizes) && (!release || caps.release);
+    return (!sizes || caps.sizes) && (!release || caps.release) &&
+           (!streaming || caps.streaming);
   }
 
   friend bool operator==(const WorkloadFeatures&, const WorkloadFeatures&) = default;

@@ -89,6 +89,83 @@ TEST(Online, EctMatchesForwardGreedyOnSpiders) {
   }
 }
 
+TEST(Online, SeedOnlyMattersForTheRandomPolicy) {
+  // The header's determinism contract: JSQ/ECT/round-robin never read the
+  // seed — their full timelines (not just makespans) are seed-invariant.
+  Rng rng(47);
+  GeneratorParams params{1, 9, PlatformClass::kUniform};
+  const Tree tree = random_tree(rng, 6, params);
+  for (sim::OnlinePolicy policy : sim::all_online_policies()) {
+    if (policy == sim::OnlinePolicy::kRandom) continue;
+    const sim::SimResult baseline = sim::simulate_online(tree, 11, policy, 0);
+    for (std::uint64_t seed : {1ull, 17ull, 0xDEADBEEFull}) {
+      EXPECT_EQ(baseline, sim::simulate_online(tree, 11, policy, seed)) << to_string(policy);
+    }
+  }
+}
+
+TEST(Online, ScoreTiesBreakTowardTheSmallestSlaveIndex) {
+  // Two identical slaves: every JSQ/ECT score ties at each decision, so
+  // the documented contract pins the whole assignment — first task to node
+  // 1, then strict alternation (the chosen slave's score rises).
+  Tree tree;
+  tree.add_node(0, {2, 3});
+  tree.add_node(0, {2, 3});
+  for (sim::OnlinePolicy policy :
+       {sim::OnlinePolicy::kJoinShortestQueue, sim::OnlinePolicy::kEarliestCompletion}) {
+    const sim::SimResult r = sim::simulate_online(tree, 5, policy, 0);
+    EXPECT_EQ(r.tasks[0].dest, 1u) << to_string(policy);
+    EXPECT_EQ(r.tasks_per_node[1], 3u) << to_string(policy);
+    EXPECT_EQ(r.tasks_per_node[2], 2u) << to_string(policy);
+  }
+}
+
+TEST(Online, PolicyChoicesCommuteWithSlaveRelabeling) {
+  // Permutation invariance: on a tie-free fork, relabeling the slaves
+  // relabels the assignment and nothing else — the policies depend on
+  // (score, stable index), not on any hidden evaluation order.  Distinct
+  // processors keep every score comparison strict, so the permuted run
+  // must mirror the original exactly.
+  // Tie-free by construction: the JSQ score progressions 4k+5, 10k+12 and
+  // 25k+28 are pairwise disjoint for the outstanding counts a 9-task run
+  // can reach, so every comparison is strict.
+  Tree fork;
+  fork.add_node(0, {1, 4});    // node 1
+  fork.add_node(0, {2, 10});   // node 2
+  fork.add_node(0, {3, 25});   // node 3
+  Tree permuted;               // same slaves, reversed labels
+  permuted.add_node(0, {3, 25});
+  permuted.add_node(0, {2, 10});
+  permuted.add_node(0, {1, 4});
+  const NodeId perm[4] = {0, 3, 2, 1};  // fork node v  ->  permuted node
+  {
+    const sim::SimResult a = sim::simulate_online(fork, 9, sim::OnlinePolicy::kJoinShortestQueue, 0);
+    const sim::SimResult b =
+        sim::simulate_online(permuted, 9, sim::OnlinePolicy::kJoinShortestQueue, 0);
+    EXPECT_EQ(a.makespan, b.makespan);
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+      EXPECT_EQ(perm[a.tasks[i].dest], b.tasks[i].dest) << "task " << i;
+      EXPECT_EQ(a.tasks[i].end, b.tasks[i].end) << "task " << i;
+    }
+  }
+  // ECT completion times can tie even here (port and processor frames
+  // interleave), and ties break by label — so relabeling preserves the
+  // timeline only up to tie-broken destinations: makespan and the per-task
+  // end times must still match exactly.
+  {
+    const sim::SimResult a =
+        sim::simulate_online(fork, 9, sim::OnlinePolicy::kEarliestCompletion, 0);
+    const sim::SimResult b =
+        sim::simulate_online(permuted, 9, sim::OnlinePolicy::kEarliestCompletion, 0);
+    EXPECT_EQ(a.makespan, b.makespan);
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+      EXPECT_EQ(a.tasks[i].end, b.tasks[i].end) << "task " << i;
+    }
+  }
+}
+
 TEST(Online, JsqPrefersTheFastSlaveOnAsymmetricFork) {
   Tree tree;
   tree.add_node(0, {1, 1});    // fast

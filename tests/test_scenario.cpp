@@ -30,6 +30,7 @@ SweepSpec full_spec() {
   spec.depth_bias = 0.375;
   spec.tasks = {4, 16};
   spec.deadlines = {40, 90};
+  spec.stream = true;
   WorkloadGen sized;
   sized.sizes = SizeDist{SizeDist::Kind::kUniform, 1, 4};
   WorkloadGen released;
@@ -275,7 +276,8 @@ TEST(Report, CsvShape) {
   ASSERT_EQ(outcomes.size(), 2u);
   const std::string csv = to_csv(outcomes);
   EXPECT_NE(csv.find("spec,kind,class,size,instance,platform_seed,algorithm,mode,n,deadline,"
-                     "workload,cell_seed,tasks,makespan,lower_bound,optimal,throughput,error"),
+                     "workload,cell_seed,tasks,makespan,lower_bound,optimal,throughput,"
+                     "latency,backlog,regret,error"),
             std::string::npos);
   // Fig 2: 5 tasks take 14, and 5 tasks fit in a window of 14.
   EXPECT_NE(csv.find("csv,chain,-,2,0,0,optimal,solve,5,,unit,"), std::string::npos);
@@ -451,6 +453,108 @@ TEST(Runner, ReleaseAxisSweepIsThreadInvariantAndFeasible) {
     }
   }
   EXPECT_TRUE(saw_released_cell);
+}
+
+TEST(SweepSpecText, StreamKeyRoundTripsAndRejectsValues) {
+  const SweepSpec spec = parse_spec(
+      "sweep s\n"
+      "kinds tree\n"
+      "sizes 3\n"
+      "tasks 6\n"
+      "stream\n");
+  EXPECT_TRUE(spec.stream);
+  EXPECT_EQ(spec, parse_spec(write_spec(spec)));
+  EXPECT_THROW(parse_spec("sweep s\nstream on\n"), std::invalid_argument);
+  // Stream cells draw their task count from `tasks`.
+  SweepSpec no_tasks;
+  no_tasks.kinds = {api::PlatformKind::kTree};
+  no_tasks.sizes = {3};
+  no_tasks.deadlines = {30};
+  no_tasks.stream = true;
+  EXPECT_THROW(expand(no_tasks), std::invalid_argument);
+}
+
+TEST(Expand, StreamCellsPairOnlyStreamingCapableAlgorithms) {
+  SweepSpec spec;
+  spec.name = "streamcaps";
+  spec.kinds = {api::PlatformKind::kChain, api::PlatformKind::kTree};
+  spec.sizes = {3};
+  spec.tasks = {6};
+  spec.stream = true;
+  WorkloadGen poisson;
+  poisson.arrival = ArrivalDist{ArrivalDist::Kind::kPoisson, 3, 0};
+  spec.workloads = {WorkloadGen{}, poisson};
+
+  std::set<std::string> stream_algorithms;
+  std::size_t stream_cells = 0;
+  for (const Cell& cell : expand(spec)) {
+    if (cell.mode != CellMode::kStream) continue;
+    ++stream_cells;
+    stream_algorithms.insert(cell.kind + "/" + cell.algorithm);
+    WorkloadFeatures requested =
+        cell.workload != nullptr ? cell.workload->features() : WorkloadFeatures{};
+    requested.streaming = true;
+    EXPECT_TRUE(api::registry().supports(*api::platform_kind_from(cell.kind), cell.algorithm,
+                                         requested))
+        << cell.kind << "/" << cell.algorithm;
+    EXPECT_EQ(cell.n, 6u);
+  }
+  // Chains stream only through the re-planner; trees through the four
+  // online policies (both workload-axis points each).
+  EXPECT_EQ(stream_algorithms,
+            (std::set<std::string>{"chain/replan", "tree/online-ect", "tree/online-jsq",
+                                   "tree/online-round-robin", "tree/online-random"}));
+  EXPECT_EQ(stream_cells, 2u * stream_algorithms.size());
+}
+
+TEST(Runner, StreamSweepIsThreadInvariantWithMetricColumns) {
+  SweepSpec spec;
+  spec.name = "streamrun";
+  spec.seed = 23;
+  spec.kinds = {api::PlatformKind::kChain, api::PlatformKind::kSpider,
+                api::PlatformKind::kTree};
+  spec.sizes = {3};
+  spec.instances = 2;
+  spec.tasks = {8};
+  spec.stream = true;
+  WorkloadGen poisson;
+  poisson.arrival = ArrivalDist{ArrivalDist::Kind::kPoisson, 4, 0};
+  spec.workloads = {WorkloadGen{}, poisson};
+
+  RunOptions one;
+  one.threads = 1;
+  RunOptions many;
+  many.threads = 4;
+  const std::vector<CellOutcome> outcomes = run_sweep(spec, one);
+  EXPECT_EQ(to_csv(outcomes), to_csv(run_sweep(spec, many)));
+  EXPECT_EQ(to_json(outcomes), to_json(run_sweep(spec, many)));
+
+  bool saw_regret = false;
+  for (const CellOutcome& out : outcomes) {
+    EXPECT_TRUE(out.ok()) << out.error;
+    if (out.cell.mode != CellMode::kStream) continue;
+    EXPECT_GE(out.mean_latency, 0.0);
+    EXPECT_GE(out.peak_backlog, 1u);
+    // Regret exists exactly where an exact offline reference does: chains
+    // always, spiders only on release-free (unit) workloads; trees never.
+    // Elsewhere the sentinel, not inf/nan.
+    const bool exact_offline =
+        out.cell.kind == "chain" ||
+        (out.cell.kind == "spider" && out.cell.workload_label == "unit");
+    if (exact_offline) {
+      // The streamed execution is a feasible schedule of the same
+      // workload, so it can never beat the exact offline optimum.
+      EXPECT_GE(out.regret, 1.0) << out.cell.kind << " " << out.cell.workload_label;
+      saw_regret = true;
+    } else {
+      EXPECT_LT(out.regret, 0.0) << out.cell.kind << " " << out.cell.workload_label;
+    }
+  }
+  EXPECT_TRUE(saw_regret);
+  const std::string csv = to_csv(outcomes);
+  EXPECT_NE(csv.find(",stream,"), std::string::npos);
+  EXPECT_EQ(csv.find("inf"), std::string::npos);
+  EXPECT_EQ(csv.find("nan"), std::string::npos);
 }
 
 TEST(Report, JsonShape) {

@@ -7,6 +7,8 @@
 //                           [--algo=NAME|all] [--cap=K] [--seed=S] [--fast]
 //                           [--workload=FILE]
 //   mstctl --mode=count     --platform=FILE --tlim=T   # bare number (script-friendly)
+//   mstctl --mode=stream    --platform=FILE [--workload=FILE | --tasks=N]
+//                           [--algo=NAME|all] [--seed=S]
 //   mstctl --mode=schedule  --platform=FILE --tasks=N [--format=summary|gantt|svg|json|schedule]
 //   mstctl --mode=sweep     --spec=FILE [--threads=N] [--out=csv|json]
 //                           [--out-file=PATH] [--seed=S] [--cap=K]
@@ -36,6 +38,13 @@
 // Output is byte-identical for a fixed spec seed at any --threads; --timing
 // adds the (non-deterministic) wall_ms column, --check materializes every
 // schedule and runs the feasibility checker on it.
+//
+// `stream` runs the no-lookahead streaming driver (mst/sim/streaming.hpp):
+// the workload's release dates arrive online, the policy never learns the
+// task count, and the table reports per-task latency, peak master backlog
+// and the regret against the exact offline optimum where one is registered.
+// Only algorithms with the `streaming` capability qualify (`--algo=all`
+// selects exactly those; see the workloads column of --mode=list).
 
 #include <fstream>
 #include <iostream>
@@ -260,6 +269,69 @@ int run_max_tasks(const mst::Args& args) {
   }
   table.print(std::cout);
   return all_feasible ? 0 : 1;
+}
+
+/// --mode=stream: the no-lookahead driver over the workload's arrival
+/// stream.  Defaults: `--tasks=N` identical tasks all released at 0 (the
+/// equivalence baseline), every streaming-capable algorithm of the kind.
+int run_stream_mode(const mst::Args& args) {
+  using namespace mst;
+  const api::Platform platform = load_platform(args.get("platform", ""));
+  const api::PlatformKind kind = api::kind_of(platform);
+  const std::optional<Workload> loaded = load_workload(args);
+  const Workload workload = loaded ? *loaded : Workload::identical(task_count(args));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  WorkloadFeatures requested = workload.features();
+  requested.streaming = true;
+  std::vector<api::AlgorithmInfo> selected;
+  const std::string algo = args.get("algo", "all");
+  if (algo == "all") {
+    for (const api::AlgorithmInfo& info : api::registry().list(kind)) {
+      if (requested.subset_of(info.supports)) selected.push_back(info);
+    }
+    if (selected.empty()) {
+      std::cerr << "no streaming-capable algorithm for " << to_string(kind)
+                << " platforms supports " << to_string(workload.features())
+                << " workloads (see --mode=list)\n";
+      return 2;
+    }
+  } else {
+    const api::AlgorithmInfo* info = api::registry().info(kind, algo);
+    if (info == nullptr) {
+      throw std::invalid_argument("no algorithm '" + algo + "' for " + to_string(kind) +
+                                  " platforms; see --mode=list");
+    }
+    selected.push_back(*info);  // run_stream rejects non-streaming entries loudly
+  }
+
+  std::cout << "platform : " << api::describe(platform) << "\n";
+  std::cout << "workload : " << workload.describe() << " (arrivals stream online)\n\n";
+
+  Table table({"algorithm", "tasks", "makespan", "mean latency", "max latency", "backlog",
+               "offline", "regret"});
+  for (const api::AlgorithmInfo& info : selected) {
+    const sim::StreamOutcome result = sim::run_stream(platform, info.name, workload, seed);
+    Table& row = table.row();
+    row.cell(result.algorithm)
+        .cell(result.tasks)
+        .cell(result.makespan)
+        .cell(result.metrics.mean_latency, 2)
+        .cell(result.metrics.max_latency)
+        .cell(result.metrics.peak_backlog);
+    if (result.offline_makespan > 0) {
+      row.cell(result.offline_makespan);
+    } else {
+      row.cell("-");
+    }
+    if (result.regret >= 0) {
+      row.cell(result.regret, 4);
+    } else {
+      row.cell("-");
+    }
+  }
+  table.print(std::cout);
+  return 0;
 }
 
 // The legacy count mode keeps its bare-number output contract (scripts do
@@ -536,13 +608,15 @@ int main(int argc, char** argv) {
     if (mode == "solve") return run_solve(args);
     if (mode == "max-tasks") return run_max_tasks(args);
     if (mode == "count") return run_count(args);
+    if (mode == "stream") return run_stream_mode(args);
     if (mode == "schedule") return run_schedule(args);
     if (mode == "sweep") return run_sweep(args);
     if (mode == "validate") return run_validate(args);
     if (mode == "rate") return run_rate(args);
     if (mode == "demo") return run_demo(args);
     std::cerr << "unknown --mode=" << mode
-              << " (expected list|solve|max-tasks|count|schedule|sweep|validate|rate|demo)\n";
+              << " (expected list|solve|max-tasks|count|stream|schedule|sweep|validate|rate|"
+                 "demo)\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "mstctl: " << e.what() << "\n";
