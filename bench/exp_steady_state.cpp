@@ -15,6 +15,7 @@
 #include "mst/baselines/bounds.hpp"
 #include "mst/baselines/periodic.hpp"
 #include "mst/common/cli.hpp"
+#include "mst/common/fmt.hpp"
 #include "mst/common/table.hpp"
 #include "mst/scenario/generators.hpp"
 
@@ -40,7 +41,7 @@ int main(int argc, char** argv) {
   {
     const double rate = chain_steady_state_rate(chain);
     std::cout << "chain: " << chain.describe() << "\n";
-    std::cout << "steady-state rate (LP): " << rate << " tasks/unit\n";
+    std::cout << "steady-state rate (LP): " << format_double(rate) << " tasks/unit\n";
     Table table({"n", "optimal makespan", "throughput n/makespan", "fraction of rate"});
     for (std::size_t n : {4u, 16u, 64u, 256u, 1024u}) {
       const api::SolveResult r = api::registry().solve(chain_platform, "optimal", n, fast);
@@ -64,7 +65,7 @@ int main(int argc, char** argv) {
     const Spider& spider = std::get<Spider>(spider_platform);
     const double rate = spider_steady_state_rate(spider);
     std::cout << "spider: " << spider.describe() << "\n";
-    std::cout << "steady-state rate (one-port fill): " << rate << " tasks/unit\n";
+    std::cout << "steady-state rate (one-port fill): " << format_double(rate) << " tasks/unit\n";
     Table table({"n", "optimal makespan", "throughput", "fraction of rate"});
     for (std::size_t n : {4u, 16u, 64u, 256u}) {
       const api::SolveResult r = api::registry().solve(spider_platform, "optimal", n, fast);

@@ -794,14 +794,15 @@ void register_chain_algorithms(Registry& r) {
           return chain_result("single-node", single_node_chain(chain, w), w.count(), false);
         },
         nullptr);
-  r.add({k, "periodic", "bandwidth-centric periodic pattern, ASAP prefix"},
+  r.add({k, "periodic", "bandwidth-centric periodic pattern, ASAP prefix", /*optimal=*/false,
+         /*exponential=*/false, WorkloadFeatures{}},
         [](const Platform& p, std::size_t n) {
           require_tasks(n);
           const Chain& chain = expect_chain(p, "periodic");
           return chain_result("periodic", periodic_prefix_schedule(chain, n), n, false);
         });
   r.add({k, "brute-force", "exhaustive destination-sequence search", /*optimal=*/true,
-         /*exponential=*/true},
+         /*exponential=*/true, WorkloadFeatures{}},
         [](const Platform& p, const Workload& w, const SolveOptions&) {
           require_tasks(w);
           const Chain& chain = expect_chain(p, "brute-force");
@@ -856,7 +857,8 @@ void register_fork_algorithms(Registry& r) {
               "optimal", k, deadline, /*optimal=*/true, cap, pool,
               ForkScheduler::schedule_within(fork, deadline, cap));
         });
-  r.add({k, "greedy", "the paper's ascending-c greedy (Beaumont et al.)"},
+  r.add({k, "greedy", "the paper's ascending-c greedy (Beaumont et al.)", /*optimal=*/false,
+         /*exponential=*/false, WorkloadFeatures{}},
         [k](const Platform& p, const Workload& w, const SolveOptions&) {
           require_tasks(w);
           const Fork& fork = expect_fork(p, "greedy");
@@ -903,7 +905,7 @@ void register_fork_algorithms(Registry& r) {
         },
         nullptr);
   r.add({k, "brute-force", "exhaustive destination-sequence search", /*optimal=*/true,
-         /*exponential=*/true},
+         /*exponential=*/true, WorkloadFeatures{}},
         [k](const Platform& p, const Workload& w, const SolveOptions&) {
           require_tasks(w);
           const Fork& fork = expect_fork(p, "brute-force");
@@ -984,7 +986,7 @@ void register_spider_algorithms(Registry& r) {
         },
         nullptr);
   r.add({k, "brute-force", "exhaustive destination-sequence search", /*optimal=*/true,
-         /*exponential=*/true},
+         /*exponential=*/true, WorkloadFeatures{}},
         [k](const Platform& p, const Workload& w, const SolveOptions&) {
           require_tasks(w);
           const Spider& spider = expect_spider(p, "brute-force");
@@ -999,7 +1001,8 @@ void register_spider_algorithms(Registry& r) {
 
 void register_tree_algorithms(Registry& r) {
   const PlatformKind k = PlatformKind::kTree;
-  r.add({k, "spider-cover", "optimal plan on the best-rate spider cover (section 8)"},
+  r.add({k, "spider-cover", "optimal plan on the best-rate spider cover (section 8)",
+         /*optimal=*/false, /*exponential=*/false, WorkloadFeatures{}},
         [](const Platform& p, std::size_t n) {
           require_tasks(n);
           const Tree& tree = expect_tree(p, "spider-cover");
@@ -1007,7 +1010,8 @@ void register_tree_algorithms(Registry& r) {
           return tree_result("spider-cover", tree, std::move(plan.destinations), plan.makespan,
                              n);
         });
-  r.add({k, "forward-greedy", "earliest-completion-time dispatch on the full tree"},
+  r.add({k, "forward-greedy", "earliest-completion-time dispatch on the full tree",
+         /*optimal=*/false, /*exponential=*/false, WorkloadFeatures{}},
         [](const Platform& p, std::size_t n) {
           require_tasks(n);
           const Tree& tree = expect_tree(p, "forward-greedy");
@@ -1015,7 +1019,8 @@ void register_tree_algorithms(Registry& r) {
           const Time makespan = asap_tree_makespan(tree, dests);
           return tree_result("forward-greedy", tree, std::move(dests), makespan, n);
         });
-  r.add({k, "local-search", "greedy start + reassign/swap descent"},
+  r.add({k, "local-search", "greedy start + reassign/swap descent", /*optimal=*/false,
+         /*exponential=*/false, WorkloadFeatures{}},
         [](const Platform& p, std::size_t n) {
           require_tasks(n);
           const Tree& tree = expect_tree(p, "local-search");

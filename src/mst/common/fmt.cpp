@@ -1,0 +1,15 @@
+#include "mst/common/fmt.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mst {
+
+std::string format_double(double value) {
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace mst

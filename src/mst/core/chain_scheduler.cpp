@@ -100,6 +100,8 @@ std::size_t ChainScheduler::max_tasks(const Chain& chain, Time t_lim, std::size_
 namespace {
 
 /// Shared body of the counting entry points; `first_emissions` may be null.
+/// Statically allocation-checked (dynamic twin: tests/test_counting.cpp).
+// mstlint: zero-alloc
 std::size_t count_backward(const Chain& chain, Time t_lim, std::size_t cap,
                            ChainCountScratch& scratch, std::vector<Time>* first_emissions) {
   MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
@@ -148,6 +150,7 @@ std::size_t count_backward(const Chain& chain, Time t_lim, std::size_t cap,
   }
   return count;
 }
+// mstlint: zero-alloc-end
 
 }  // namespace
 

@@ -98,7 +98,9 @@ namespace {
 
 /// Appends the Fig 6 virtual nodes of every slave to `jobs` without
 /// materializing per-slave vectors (same node set as `expand_fork`, ids in
-/// the same order).
+/// the same order).  The counting paths below run warm-scratch only —
+/// statically allocation-checked (dynamic twin: tests/test_counting.cpp).
+// mstlint: zero-alloc
 void append_fork_jobs(const Fork& fork, Time t_lim, std::size_t max_per_slave,
                       std::vector<DeadlineJob>& jobs) {
   for (std::size_t i = 0; i < fork.size(); ++i) {
@@ -230,6 +232,7 @@ std::size_t ForkScheduler::count_within(const Fork& fork, Time t_lim, const Work
   append_fork_jobs(fork, t_lim, k_cap, scratch.jobs);
   return moore_hodgson_released_count(scratch.jobs, workload.releases(), k_cap, scratch.dp);
 }
+// mstlint: zero-alloc-end
 
 ForkSchedule ForkScheduler::schedule_within(const Fork& fork, Time t_lim,
                                             const Workload& workload, std::size_t cap) {

@@ -54,6 +54,9 @@ std::vector<std::size_t> moore_hodgson(std::vector<DeadlineJob> jobs) {
   return ids;
 }
 
+// The count-only twins below mutate caller-owned scratch only — statically
+// allocation-checked (dynamic twin: tests/test_counting.cpp).
+// mstlint: zero-alloc
 std::size_t moore_hodgson_count(std::vector<DeadlineJob>& jobs, std::vector<Time>& heap_scratch) {
   std::sort(jobs.begin(), jobs.end(), edd_less);
 
@@ -101,6 +104,7 @@ std::size_t moore_hodgson_released_count(std::vector<DeadlineJob>& jobs,
   }
   return best;
 }
+// mstlint: zero-alloc-end
 
 std::vector<std::size_t> moore_hodgson_released(std::vector<DeadlineJob> jobs,
                                                 const std::vector<Time>& releases,

@@ -114,6 +114,9 @@ std::size_t SpiderScheduler::max_tasks(const Spider& spider, Time t_lim, std::si
   return count_within(spider, t_lim, cap, scratch);
 }
 
+// The counting paths run warm-scratch only — statically allocation-checked
+// (dynamic twin: tests/test_counting.cpp).
+// mstlint: zero-alloc
 std::size_t SpiderScheduler::count_within(const Spider& spider, Time t_lim, std::size_t cap,
                                           SpiderCountScratch& scratch) {
   MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
@@ -167,6 +170,7 @@ std::size_t SpiderScheduler::count_within(const Spider& spider, Time t_lim,
   }
   return moore_hodgson_released_count(scratch.jobs, workload.releases(), k_cap, scratch.dp);
 }
+// mstlint: zero-alloc-end
 
 SpiderSchedule SpiderScheduler::schedule_within(const Spider& spider, Time t_lim,
                                                 const Workload& workload, std::size_t cap) {

@@ -4,20 +4,11 @@
 #include <cstdio>
 #include <sstream>
 
+#include "mst/common/fmt.hpp"
+
 namespace mst::scenario {
 
 namespace {
-
-/// Deterministic `max_digits10` rendering: `%.17g` round-trips every double
-/// through `std::stod`, so CSV and JSON can never disagree on the same cell
-/// (the old `%.9g` display precision was round-trip lossy); "inf" for the
-/// degenerate-platform sentinel of `SolveResult::throughput`.
-std::string format_double(double value) {
-  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  return buf;
-}
 
 /// Streaming metric columns: negative (the "not applicable" sentinel) and
 /// non-finite values render as an empty cell — `inf`/`nan` never reach the

@@ -1,10 +1,10 @@
 #include "mst/scenario/spec.hpp"
 
-#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
 #include "mst/api/platform_io.hpp"
+#include "mst/common/fmt.hpp"
 
 namespace mst::scenario {
 
@@ -84,13 +84,6 @@ PlatformClass parse_class(const std::string& token, std::size_t line) {
     if (token == to_string(cls)) return cls;
   }
   fail(line, "unknown platform class '" + token + "'");
-}
-
-/// `%.17g` round-trips every double through `std::stod`.
-std::string format_double(double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  return buf;
 }
 
 /// One `tasks.sizes` line → a size-only workload generator.

@@ -1,19 +1,31 @@
 #include "mst/sim/engine.hpp"
 
+#include <algorithm>
+
 #include "mst/common/assert.hpp"
 
 namespace mst::sim {
 
+// The steady-state loop below is allocation-free once the heap vector is
+// warm: push_back reuses capacity, push_heap/pop_heap shuffle events in
+// place, and the callbacks themselves live in InplaceCallback's inline
+// buffer.  The dynamic half of the contract is pinned by the alloc probe
+// (tests/test_zero_alloc.cpp).
+// mstlint: zero-alloc
+
 void Engine::at(Time t, Callback fn) {
   MST_REQUIRE(t >= now_, "cannot schedule an event in the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  events_.push_back(Event{t, next_seq_++, std::move(fn)});
+  std::push_heap(events_.begin(), events_.end(), Later{});
 }
 
 Time Engine::run() {
-  while (!queue_.empty()) {
-    // `top` is copied out before pop so the callback may push new events.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!events_.empty()) {
+    // The earliest event is moved out before the callback runs so it may
+    // push new events without invalidating anything.
+    std::pop_heap(events_.begin(), events_.end(), Later{});
+    Event event = std::move(events_.back());
+    events_.pop_back();
     MST_ASSERT(event.time >= now_);
     now_ = event.time;
     ++processed_;
@@ -21,5 +33,7 @@ Time Engine::run() {
   }
   return now_;
 }
+
+// mstlint: zero-alloc-end
 
 }  // namespace mst::sim

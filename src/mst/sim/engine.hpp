@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "mst/common/time.hpp"
@@ -14,14 +16,102 @@
 /// virtual clock: events fire in non-decreasing time order, ties in
 /// scheduling order (deterministic — no wall-clock, no threads, so every
 /// simulation is exactly reproducible).
+///
+/// The event loop is part of the zero-alloc club (see tests/support/
+/// alloc_probe.hpp): once the heap vector is warm, scheduling and firing
+/// events performs no heap allocation.  That rules out `std::function`,
+/// whose capture state may live on the heap — callbacks are stored in
+/// `InplaceCallback`'s fixed inline buffer instead, and a lambda whose
+/// captures do not fit is rejected at compile time rather than silently
+/// allocating per event.
 
 namespace mst::sim {
+
+/// Move-only `void()` callable with fixed inline storage.
+///
+/// A hand-rolled two-entry vtable (invoke + relocate) keeps the type a
+/// plain standard-layout value the event heap can shuffle with move
+/// assignment; relocation move-constructs into the destination buffer and
+/// destroys the source, so non-trivial captures remain correct.
+class InplaceCallback {
+ public:
+  /// Sized for the simulator's richest capture list (seven machine words)
+  /// with headroom; raise it deliberately if a new callback needs more —
+  /// the static_assert below names the offender.
+  static constexpr std::size_t kStorage = 64;
+
+  InplaceCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InplaceCallback> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  InplaceCallback(F&& fn) {  // NOLINT(google-explicit-constructor): callback sink
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fn) <= kStorage,
+                  "callback captures exceed InplaceCallback storage; capture by "
+                  "reference or raise kStorage");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callback requires extended alignment");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callback must be nothrow move constructible");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+    invoke_ = [](void* self) { (*static_cast<Fn*>(self))(); };
+    relocate_ = [](void* dst, void* src) {
+      Fn* from = static_cast<Fn*>(src);
+      if (dst != nullptr) ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    };
+  }
+
+  InplaceCallback(InplaceCallback&& other) noexcept { steal(other); }
+  InplaceCallback& operator=(InplaceCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  InplaceCallback(const InplaceCallback&) = delete;
+  InplaceCallback& operator=(const InplaceCallback&) = delete;
+  ~InplaceCallback() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(storage_); }
+
+ private:
+  void steal(InplaceCallback& other) noexcept {
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    if (invoke_ != nullptr) relocate_(storage_, other.storage_);
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+  }
+
+  void reset() noexcept {
+    // Relocating to a null destination is "just destroy the source".
+    if (invoke_ != nullptr) {
+      relocate_(nullptr, storage_);
+      invoke_ = nullptr;
+      relocate_ = nullptr;
+    }
+  }
+
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void* dst, void* src) = nullptr;
+  alignas(std::max_align_t) char storage_[kStorage];
+};
 
 /// Discrete-event loop.  Not reentrant: callbacks may schedule further
 /// events but must not call `run()`.
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceCallback;
+
+  /// Pre-sizes the event heap; with a bounded number of in-flight events
+  /// the loop then never reallocates (the zero-alloc contract).
+  void reserve(std::size_t events) { events_.reserve(events); }
 
   /// Schedule `fn` at absolute time `t >= now()`.
   void at(Time t, Callback fn);
@@ -44,6 +134,10 @@ class Engine {
     std::uint64_t seq;
     Callback fn;
   };
+  /// Heap order: the (time, seq) max under `Later` sits at the back after
+  /// `pop_heap`, so the front of the heap is always the earliest event.
+  /// (time, seq) is a total order — firing order is independent of the
+  /// heap's internal layout, which keeps simulations byte-reproducible.
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
@@ -51,7 +145,7 @@ class Engine {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> events_;  // binary heap under `Later`
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

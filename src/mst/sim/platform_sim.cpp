@@ -1,7 +1,5 @@
 #include "mst/sim/platform_sim.hpp"
 
-#include <deque>
-
 #include "mst/common/assert.hpp"
 #include "mst/sim/engine.hpp"
 
@@ -9,19 +7,33 @@ namespace mst::sim {
 
 namespace {
 
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
 /// Whole-run simulation state; nodes interact only through the engine.
+///
+/// The event loop is allocation-steady: all per-task state is sized once in
+/// the constructor, routes are cached per destination (a platform has few
+/// nodes, a run has many tasks), and the waiting tasks are linked through a
+/// single shared `next_task_` array instead of per-node deques — a task
+/// waits in at most one queue at a time, so one intrusive link suffices.
+/// The streaming driver rides this same loop, so its steady state inherits
+/// the property (pinned by tests/test_zero_alloc.cpp).
 class Simulation {
  public:
   Simulation(const Tree& tree, const Workload& workload, const DestinationChooser& chooser)
       : tree_(tree), workload_(workload), n_(workload.count()), chooser_(chooser) {
     result_.tasks.resize(n_);
-    routes_.resize(n_);
     hop_.assign(n_, 0);
-    out_queue_.resize(tree.size());
+    next_task_.assign(n_, kNone);
+    route_to_.resize(tree.size());
+    out_queue_.assign(tree.size(), Fifo{});
     out_busy_.assign(tree.size(), false);
-    cpu_queue_.resize(tree.size());
+    cpu_queue_.assign(tree.size(), Fifo{});
     cpu_busy_.assign(tree.size(), false);
     outstanding_.assign(tree.size(), 0);
+    // A bounded cut of the event graph is live at once: per node one
+    // in-flight send and one running execution, plus the dispatch re-arm.
+    engine_.reserve(2 * tree.size() + 1);
   }
 
   SimResult run() {
@@ -37,6 +49,41 @@ class Simulation {
   }
 
  private:
+  /// Intrusive FIFO of task indices threaded through `next_task_`.
+  struct Fifo {
+    std::size_t head = kNone;
+    std::size_t tail = kNone;
+  };
+
+  void push(Fifo& queue, std::size_t task) {
+    next_task_[task] = kNone;
+    if (queue.tail == kNone) {
+      queue.head = task;
+    } else {
+      next_task_[queue.tail] = task;
+    }
+    queue.tail = task;
+  }
+
+  std::size_t pop(Fifo& queue) {
+    const std::size_t task = queue.head;
+    MST_ASSERT(task != kNone);
+    queue.head = next_task_[task];
+    if (queue.head == kNone) queue.tail = kNone;
+    return task;
+  }
+
+  /// Root-to-destination route, computed once per destination ever used.
+  const std::vector<NodeId>& route_to(NodeId dest) {
+    std::vector<NodeId>& route = route_to_[dest];
+    if (route.empty()) route = tree_.path_from_root(dest);
+    return route;
+  }
+
+  // The steady-state region: everything below runs per event, after the
+  // constructor sized the arrays and the first task warmed each route.
+  // mstlint: zero-alloc
+
   /// The master's out-port freed (or the run just started): pick the next
   /// task's destination and enqueue it, unless relayed traffic is pending —
   /// the master's queue holds fresh tasks only, so dispatching is simply
@@ -55,20 +102,18 @@ class Simulation {
       MST_REQUIRE(dest != 0 && dest < tree_.size(),
                   "dispatch destination must be a slave node");
       const std::size_t task = dispatched_++;
-      routes_[task] = tree_.path_from_root(dest);
       result_.tasks[task].dest = dest;
       result_.tasks[task].release = release;
       ++outstanding_[dest];
-      out_queue_[0].push_back(task);
+      push(out_queue_[0], task);
       try_send(0);
     }
   }
 
   void try_send(NodeId v) {
-    if (out_busy_[v] || out_queue_[v].empty()) return;
-    const std::size_t task = out_queue_[v].front();
-    out_queue_[v].pop_front();
-    const NodeId next = routes_[task][hop_[task]];
+    if (out_busy_[v] || out_queue_[v].head == kNone) return;
+    const std::size_t task = pop(out_queue_[v]);
+    const NodeId next = route_to(result_.tasks[task].dest)[hop_[task]];
     MST_ASSERT(tree_.parent(next) == v);
     if (v == 0 && hop_[task] == 0) result_.tasks[task].master_emission = engine_.now();
     out_busy_[v] = true;
@@ -82,21 +127,20 @@ class Simulation {
 
   void deliver(NodeId node, std::size_t task) {
     ++hop_[task];
-    if (hop_[task] == routes_[task].size()) {
+    if (hop_[task] == route_to(result_.tasks[task].dest).size()) {
       MST_ASSERT(node == result_.tasks[task].dest);
       result_.tasks[task].arrival = engine_.now();
-      cpu_queue_[node].push_back(task);
+      push(cpu_queue_[node], task);
       try_exec(node);
     } else {
-      out_queue_[node].push_back(task);
+      push(out_queue_[node], task);
       try_send(node);
     }
   }
 
   void try_exec(NodeId node) {
-    if (cpu_busy_[node] || cpu_queue_[node].empty()) return;
-    const std::size_t task = cpu_queue_[node].front();
-    cpu_queue_[node].pop_front();
+    if (cpu_busy_[node] || cpu_queue_[node].head == kNone) return;
+    const std::size_t task = pop(cpu_queue_[node]);
     cpu_busy_[node] = true;
     result_.tasks[task].start = engine_.now();
     engine_.after(workload_.size_of(task) * tree_.proc(node).work, [this, node, task] {
@@ -108,6 +152,8 @@ class Simulation {
     });
   }
 
+  // mstlint: zero-alloc-end
+
   const Tree& tree_;
   const Workload& workload_;
   std::size_t n_;
@@ -115,11 +161,12 @@ class Simulation {
   Engine engine_;
   SimResult result_;
   std::size_t dispatched_ = 0;
-  std::vector<std::vector<NodeId>> routes_;
   std::vector<std::size_t> hop_;
-  std::vector<std::deque<std::size_t>> out_queue_;
+  std::vector<std::size_t> next_task_;
+  std::vector<std::vector<NodeId>> route_to_;
+  std::vector<Fifo> out_queue_;
   std::vector<bool> out_busy_;
-  std::vector<std::deque<std::size_t>> cpu_queue_;
+  std::vector<Fifo> cpu_queue_;
   std::vector<bool> cpu_busy_;
   std::vector<std::size_t> outstanding_;
 };

@@ -88,7 +88,10 @@ ReplayResult replay(const ChainSchedule& schedule) {
                 [&links, &chain, &engine, k, i] { links[k].claim(engine.now(), chain.comm(k), i); });
     }
     const Time arrival = t.emissions.back() + chain.comm(t.proc);
-    engine.at(std::max<Time>(t.start, 0), [&procs, &chain, &engine, &result, t, arrival, i] {
+    // `t` is captured by reference: it lives in `schedule.tasks`, which
+    // outlives `engine.run()`, and a by-value ChainTask copy would exceed
+    // the engine's inline callback storage.
+    engine.at(std::max<Time>(t.start, 0), [&procs, &chain, &engine, &result, &t, arrival, i] {
       if (engine.now() < arrival) {
         std::ostringstream os;
         os << "proc " << t.proc << ": task " << i << " starts at " << engine.now()
@@ -140,7 +143,9 @@ ReplayResult replay(const SpiderSchedule& schedule) {
       });
     }
     const Time arrival = t.emissions.back() + leg.comm(t.proc);
-    engine.at(std::max<Time>(t.start, 0), [&procs, &leg, &engine, &result, t, arrival, i] {
+    // By-reference `t` as in the chain replay above: the task outlives the
+    // run and a SpiderTask copy would not fit the inline callback storage.
+    engine.at(std::max<Time>(t.start, 0), [&procs, &leg, &engine, &result, &t, arrival, i] {
       if (engine.now() < arrival) {
         std::ostringstream os;
         os << "leg " << t.leg << " proc " << t.proc << ": task " << i << " starts at "

@@ -1,0 +1,11 @@
+// Fixture: every ambient randomness source the analyzer must catch.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned bad_sources() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // line 7: two ambient-rng
+  std::random_device entropy;                        // line 8: ambient-rng
+  std::mt19937 twister(entropy());                   // line 9: ambient-rng
+  return static_cast<unsigned>(rand()) + twister();  // line 10: ambient-rng
+}

@@ -1,0 +1,5 @@
+// Fixture: malformed directives.
+// mstlint: allow(no-such-rule) -- the rule name is unknown
+// mstlint: frobnicate
+// mstlint: zero-alloc
+int never_closed() { return 0; }

@@ -1,0 +1,24 @@
+// Fixture: idiomatic repo code — no diagnostics.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+std::string render(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+// A zero-alloc region using the sanctioned warm-scratch idiom.
+// mstlint: zero-alloc
+int count(std::vector<int>& scratch, const std::map<int, int>& jobs) {
+  scratch.clear();
+  for (const auto& [key, weight] : jobs) scratch.push_back(key + weight);
+  return static_cast<int>(scratch.size());
+}
+// mstlint: zero-alloc-end
+
+// Comments may mention rand(), %g or new freely, and non-format strings may
+// carry code-like tokens: the stripper must not let "srand(1)" or
+// "std::unordered_map here" fire.
+const char* kDocumentation = "calls rand() and uses new tricks";

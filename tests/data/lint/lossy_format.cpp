@@ -1,0 +1,15 @@
+// Fixture: every display-lossy float rendering the analyzer must catch.
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+
+void bad() {
+  std::printf("%g\n", 1.0);            // line 7: lossy-float-format
+  std::printf("%.9g\n", 1.0);          // line 8: lossy-float-format
+  std::printf("%f %e\n", 1.0, 2.0);    // line 9: two lossy-float-format
+  std::printf("%.17g\n", 1.0);         // exact: clean
+  std::printf("100%% done\n");         // escaped percent: clean
+  std::cout << std::setprecision(6);   // line 12: stream-precision
+  std::cout << std::fixed;             // line 13: stream-precision
+  std::cout << std::setprecision(17);  // >= max_digits10: clean
+}

@@ -1,0 +1,10 @@
+// Fixture: doubles streamed at default ostream precision.
+#include <iostream>
+
+void bad(double rate) {
+  const double scaled = rate * 2;
+  std::cout << "rate: " << scaled << "\n";  // line 6: raw-double-stream
+  std::cout << result.throughput() << "\n";  // line 7: raw-double-stream
+  const int count = 3;
+  std::cout << count << "\n";  // int: clean
+}

@@ -1,0 +1,13 @@
+// Fixture: Registry entries must spell all six AlgorithmInfo fields.  The
+// file name carries the "registry" marker that scopes the rule.
+void register_all(Registry& r) {
+  r.add({kind, "short", "three fields only"},  // line 4: registry-supports
+        solve_fn);
+  r.add({kind, "five", "stops before supports", /*optimal=*/true,
+         /*exponential=*/true},  // literal spans lines; reported at the add
+        solve_fn, within_fn);
+  r.add({kind, "full", "all six fields", /*optimal=*/true,
+         /*exponential=*/false, WorkloadFeatures{}},
+        solve_fn, within_fn);  // clean
+  r.add(std::move(info), solve_fn);  // not a brace literal: clean
+}

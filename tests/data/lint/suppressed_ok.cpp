@@ -1,0 +1,9 @@
+// Fixture: justified suppressions silence the diagnostics — file is clean.
+#include <cstdlib>
+#include <unordered_set>
+
+int tolerated() {
+  std::unordered_set<int> cache;  // mstlint: allow(unordered-container) -- only size() is read, never iterated
+  // mstlint: allow-next-line(ambient-rng) -- fixture exercising the suppression path
+  return rand() + static_cast<int>(cache.size());
+}

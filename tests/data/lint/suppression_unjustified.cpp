@@ -1,0 +1,7 @@
+// Fixture: a suppression without a `-- reason` is itself an error (and the
+// suppression still applies, so the fix-it message is the only diagnostic).
+#include <cstdlib>
+
+int unjustified() {
+  return rand();  // mstlint: allow(ambient-rng)
+}

@@ -1,0 +1,9 @@
+// Fixture: unordered containers in deterministic-output code.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int bad(const std::unordered_map<std::string, int>& index) {  // line 6: unordered-container
+  std::unordered_set<int> seen;                               // line 7: unordered-container
+  return static_cast<int>(index.size() + seen.size());
+}

@@ -1,0 +1,25 @@
+// Fixture: allocating constructs inside a declared zero-alloc region.
+#include <string>
+#include <vector>
+
+struct Scratch {
+  std::vector<int> values;
+};
+
+// mstlint: zero-alloc
+int hot_path(Scratch& scratch) {
+  int* raw = new int[8];                    // line 11: zero-alloc
+  std::vector<int> local;                   // line 12: zero-alloc
+  std::string label = std::to_string(7);    // line 13: two zero-alloc
+  scratch.values.push_back(raw[0]);         // warm-scratch mutation: clean
+  std::vector<int>& alias = scratch.values; // reference: clean
+  delete[] raw;
+  return static_cast<int>(alias.size()) + static_cast<int>(label.size()) +
+         static_cast<int>(local.size());
+}
+// mstlint: zero-alloc-end
+
+int cold_path() {
+  std::vector<int> fine(4);  // outside the region: clean
+  return static_cast<int>(fine.size());
+}

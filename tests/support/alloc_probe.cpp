@@ -1,0 +1,29 @@
+#include "support/alloc_probe.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace alloc_probe {
+
+namespace {
+std::atomic<long> g_allocations{0};
+}  // namespace
+
+void arm() { g_allocations.store(0, std::memory_order_relaxed); }
+long allocations() { return g_allocations.load(std::memory_order_relaxed); }
+
+}  // namespace alloc_probe
+
+// Counting replacements for the global allocation functions.  `malloc`
+// keeps them sanitizer-friendly (ASan intercepts it).
+void* operator new(std::size_t size) {
+  alloc_probe::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file alloc_probe.hpp
+/// Shared global-allocation probe for the zero-alloc tests.
+///
+/// Linking `mst_alloc_probe` replaces the test binary's global allocation
+/// functions with counting wrappers (backed by `std::malloc`, so ASan
+/// still intercepts the underlying allocation).  The counters only matter
+/// between `arm()` and `allocations()`; the test framework's own traffic
+/// outside that window is irrelevant.
+///
+/// This is the dynamic half of the zero-alloc contract: source regions
+/// marked `// mstlint: zero-alloc` are checked statically for allocating
+/// constructs by `tools/mstlint`, and the claims they make are pinned at
+/// runtime here.  Because the probe counts every allocation in the
+/// process, keep the probed window free of ancillary work (no logging, no
+/// string building) so a regression points at the code under test.
+///
+/// The replacement affects any binary that links this library and
+/// references one of these symbols (referencing `arm()` is what pulls the
+/// object out of the archive), so it lives under tests/ and is linked only
+/// into test targets — never into the library or the tools.
+
+namespace alloc_probe {
+
+/// Resets the allocation counter to zero.
+void arm();
+
+/// Allocations since the last `arm()`.
+long allocations();
+
+/// Scoped form: arms on construction, reads on `count()`.
+///
+///     warm_up();
+///     alloc_probe::Scope probe;
+///     hot_path();
+///     EXPECT_EQ(probe.count(), 0);
+class Scope {
+ public:
+  Scope() { arm(); }
+  [[nodiscard]] long count() const { return allocations(); }
+};
+
+}  // namespace alloc_probe

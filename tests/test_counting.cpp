@@ -3,44 +3,19 @@
 // that sizes the scratch buffers — perform zero heap allocations.  The
 // sweep runner's `materialize=false` hot path depends on both properties.
 //
-// The probe replaces the global allocation functions with counting
-// wrappers; the counters only matter between `probe::arm()` and
-// `probe::allocations()`, so the GTest machinery's own allocations are
-// irrelevant.
+// The shared probe (tests/support/alloc_probe.hpp) replaces the global
+// allocation functions with counting wrappers; the counters only matter
+// between `arm()` and `allocations()`, so the GTest machinery's own
+// allocations are irrelevant.
 
 #include <gtest/gtest.h>
-
-#include <atomic>
-#include <cstdlib>
-#include <new>
 
 #include "mst/core/chain_scheduler.hpp"
 #include "mst/core/fork_scheduler.hpp"
 #include "mst/core/spider_scheduler.hpp"
 #include "mst/common/rng.hpp"
 #include "mst/platform/generator.hpp"
-
-namespace probe {
-
-std::atomic<long> g_allocations{0};
-
-void arm() { g_allocations.store(0, std::memory_order_relaxed); }
-long allocations() { return g_allocations.load(std::memory_order_relaxed); }
-
-}  // namespace probe
-
-// Counting replacements for the global allocation functions.  `malloc`
-// keeps them sanitizer-friendly (ASan intercepts it).
-void* operator new(std::size_t size) {
-  probe::g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#include "support/alloc_probe.hpp"
 
 namespace mst {
 namespace {
@@ -85,9 +60,9 @@ TEST(ChainCounting, ZeroAllocationsAfterWarmup) {
   ChainCountScratch scratch;
   const std::size_t expected = ChainScheduler::count_within(chain, 200, 4096, scratch);
 
-  probe::arm();
+  alloc_probe::arm();
   const std::size_t counted = ChainScheduler::count_within(chain, 200, 4096, scratch);
-  const long allocations = probe::allocations();
+  const long allocations = alloc_probe::allocations();
   EXPECT_EQ(counted, expected);
   EXPECT_GT(counted, 0u);
   EXPECT_EQ(allocations, 0);
@@ -99,9 +74,9 @@ TEST(SpiderCounting, ZeroAllocationsAfterWarmup) {
   SpiderCountScratch scratch;
   const std::size_t expected = SpiderScheduler::count_within(spider, 300, 4096, scratch);
 
-  probe::arm();
+  alloc_probe::arm();
   const std::size_t counted = SpiderScheduler::count_within(spider, 300, 4096, scratch);
-  const long allocations = probe::allocations();
+  const long allocations = alloc_probe::allocations();
   EXPECT_EQ(counted, expected);
   EXPECT_GT(counted, 0u);
   EXPECT_EQ(allocations, 0);
@@ -137,10 +112,10 @@ TEST(ForkCounting, ZeroAllocationsAfterWarmup) {
   const std::size_t expected = ForkScheduler::count_within(fork, 250, 4096, scratch);
   const auto expected_pair = ForkScheduler::makespan_within(fork, 250, 4096, scratch);
 
-  probe::arm();
+  alloc_probe::arm();
   const std::size_t counted = ForkScheduler::count_within(fork, 250, 4096, scratch);
   const auto pair = ForkScheduler::makespan_within(fork, 250, 4096, scratch);
-  const long allocations = probe::allocations();
+  const long allocations = alloc_probe::allocations();
   EXPECT_EQ(counted, expected);
   EXPECT_EQ(pair, expected_pair);
   EXPECT_GT(counted, 0u);

@@ -1,0 +1,172 @@
+// mstlint's own suite: the fixture corpus in tests/data/lint/ pins what
+// each rule catches and what it must leave alone, the suppression grammar
+// round-trips, diagnostics render in GCC format, and the real tree is
+// clean (the in-process twin of the `mstlint_repo` ctest, which also
+// asserts the binary's exit code).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using mstlint::Diagnostic;
+
+std::string fixture_path(const std::string& name) {
+  return std::string(MST_LINT_DATA_DIR) + "/" + name;
+}
+
+std::vector<Diagnostic> lint_fixture(const std::string& name) {
+  const std::string path = fixture_path(name);
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return mstlint::lint_source(name, buffer.str());
+}
+
+/// (rule, line) pairs, sorted — order-insensitive fixture comparison.
+std::vector<std::pair<std::string, int>> outline(const std::vector<Diagnostic>& diags) {
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(diags.size());
+  for (const Diagnostic& d : diags) out.emplace_back(d.rule, d.line);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+using Outline = std::vector<std::pair<std::string, int>>;
+
+TEST(LintRules, TableIsWellFormed) {
+  std::set<std::string> ids;
+  for (const mstlint::RuleInfo& rule : mstlint::rules()) {
+    EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate rule id " << rule.id;
+    EXPECT_TRUE(mstlint::known_rule(rule.id));
+    EXPECT_STRNE(rule.summary, "");
+    EXPECT_STRNE(rule.rationale, "");
+  }
+  EXPECT_FALSE(mstlint::known_rule("no-such-rule"));
+  EXPECT_GE(ids.size(), 8u);
+}
+
+TEST(LintRules, LossyFloatFormats) {
+  const Outline expected = {
+      {"lossy-float-format", 7},  {"lossy-float-format", 8},
+      {"lossy-float-format", 9},  {"lossy-float-format", 9},
+      {"stream-precision", 12},   {"stream-precision", 13},
+  };
+  EXPECT_EQ(outline(lint_fixture("lossy_format.cpp")), expected);
+}
+
+TEST(LintRules, RawDoubleStreams) {
+  const Outline expected = {
+      {"raw-double-stream", 6},
+      {"raw-double-stream", 7},
+  };
+  EXPECT_EQ(outline(lint_fixture("raw_double_stream.cpp")), expected);
+}
+
+TEST(LintRules, AmbientRngSources) {
+  const Outline expected = {
+      {"ambient-rng", 7},  // srand
+      {"ambient-rng", 7},  // time(nullptr)
+      {"ambient-rng", 8},  {"ambient-rng", 9},  {"ambient-rng", 10},
+  };
+  EXPECT_EQ(outline(lint_fixture("ambient_rng.cpp")), expected);
+}
+
+TEST(LintRules, UnorderedContainers) {
+  const Outline expected = {
+      {"unordered-container", 6},
+      {"unordered-container", 7},
+  };
+  EXPECT_EQ(outline(lint_fixture("unordered.cpp")), expected);
+}
+
+TEST(LintRules, ZeroAllocRegions) {
+  const Outline expected = {
+      {"zero-alloc", 11},  // naked new
+      {"zero-alloc", 12},  // vector value declaration
+      {"zero-alloc", 13},  // string value declaration
+      {"zero-alloc", 13},  // to_string
+  };
+  EXPECT_EQ(outline(lint_fixture("zero_alloc.cpp")), expected);
+}
+
+TEST(LintRules, RegistrySupportsFieldCount) {
+  const Outline expected = {
+      {"registry-supports", 4},
+      {"registry-supports", 6},
+  };
+  EXPECT_EQ(outline(lint_fixture("registry_fixture.cpp")), expected);
+}
+
+TEST(LintRules, CleanFixtureIsClean) {
+  EXPECT_EQ(lint_fixture("clean.cpp"), std::vector<Diagnostic>{});
+}
+
+TEST(LintSuppressions, JustifiedAllowSilences) {
+  EXPECT_EQ(lint_fixture("suppressed_ok.cpp"), std::vector<Diagnostic>{});
+}
+
+TEST(LintSuppressions, UnjustifiedAllowIsTheOnlyDiagnostic) {
+  const std::vector<Diagnostic> diags = lint_fixture("suppression_unjustified.cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "allow-justification");
+  EXPECT_EQ(diags[0].line, 6);
+}
+
+TEST(LintSuppressions, MalformedDirectives) {
+  const Outline expected = {
+      {"bad-directive", 2},  // unknown rule name
+      {"bad-directive", 3},  // unrecognized directive
+      {"bad-directive", 4},  // unclosed zero-alloc region
+  };
+  EXPECT_EQ(outline(lint_fixture("bad_directive.cpp")), expected);
+}
+
+TEST(LintSuppressions, RoundTrip) {
+  // A diagnostic, its per-line suppression, and the next-line form — built
+  // from strings so the test is self-contained.
+  const std::string bare = "int f() { return rand(); }\n";
+  const std::string same_line =
+      "int f() { return rand(); }  // mstlint: allow(ambient-rng) -- test stub\n";
+  const std::string next_line =
+      "// mstlint: allow-next-line(ambient-rng) -- test stub\n"
+      "int f() { return rand(); }\n";
+  EXPECT_EQ(mstlint::lint_source("a.cpp", bare).size(), 1u);
+  EXPECT_TRUE(mstlint::lint_source("a.cpp", same_line).empty());
+  EXPECT_TRUE(mstlint::lint_source("a.cpp", next_line).empty());
+  // The suppression only covers the named rule.
+  const std::string wrong_rule =
+      "int f() { return rand(); }  // mstlint: allow(unordered-container) -- wrong rule\n";
+  EXPECT_EQ(mstlint::lint_source("a.cpp", wrong_rule).size(), 1u);
+}
+
+TEST(LintFormat, RenderIsGccStyle) {
+  const Diagnostic d{"src/mst/foo.cpp", 42, "ambient-rng", "the message"};
+  EXPECT_EQ(mstlint::render(d), "src/mst/foo.cpp:42: error: the message [ambient-rng]");
+}
+
+TEST(LintTree, RepositoryIsClean) {
+  std::vector<std::string> scanned;
+  const std::vector<Diagnostic> diags = mstlint::lint_tree(MST_REPO_ROOT, &scanned);
+  for (const Diagnostic& d : diags) ADD_FAILURE() << mstlint::render(d);
+  // The walk visits the real tree (library + tools + drivers), skips the
+  // analyzer's own sources, and is deterministic (sorted paths).
+  EXPECT_GE(scanned.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(scanned.begin(), scanned.end()));
+  EXPECT_EQ(std::count_if(scanned.begin(), scanned.end(),
+                          [](const std::string& p) {
+                            return p.rfind("tools/mstlint/", 0) == 0;
+                          }),
+            0);
+}
+
+}  // namespace

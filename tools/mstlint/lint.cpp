@@ -1,0 +1,617 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+
+namespace mstlint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table
+
+const std::vector<RuleInfo> kRules = {
+    {"lossy-float-format",
+     "printf-style float conversion that is not %.17g",
+     "Reports are compared byte-for-byte across thread counts and re-parsed "
+     "by downstream tooling; only %.17g (max_digits10) round-trips every "
+     "double.  Human-facing renderers are allowlisted by file."},
+    {"stream-precision",
+     "std::setprecision(<17), std::fixed or std::scientific on a stream",
+     "Stream manipulators silently truncate doubles below round-trip "
+     "precision; machine-readable writers must go through %.17g."},
+    {"raw-double-stream",
+     "operator<< on a double at default (6-digit) ostream precision",
+     "The default ostream precision is display-lossy; CSV/JSON columns "
+     "produced this way cannot be compared or re-parsed exactly."},
+    {"ambient-rng",
+     "rand()/srand()/std::random_device/mt19937/time() seeding",
+     "Every random draw must flow from an explicit seed (SolveOptions::seed "
+     "or the sweep spec) through mst::Rng, or runs are not reproducible "
+     "bit-for-bit across machines and standard libraries."},
+    {"unordered-container",
+     "std::unordered_{map,set} in deterministic-output code",
+     "Hash-table iteration order is implementation-defined; one pass over "
+     "an unordered container in a reporter, runner or spec path breaks the "
+     "byte-identical-output contract.  Use std::map/std::set or sorted "
+     "vectors."},
+    {"zero-alloc",
+     "allocation inside a `// mstlint: zero-alloc` region",
+     "The counting hot paths and the simulator event loop promise zero "
+     "steady-state heap traffic (pinned dynamically by the alloc probe); "
+     "naked new/malloc or a local allocating container breaks that promise "
+     "off the probe's radar."},
+    {"registry-supports",
+     "Registry entry whose AlgorithmInfo omits the supports field",
+     "An AlgorithmInfo literal that stops before `supports` silently "
+     "advertises identical-tasks-only; every entry must state its "
+     "capability row explicitly so the matrix is reviewable."},
+    {"allow-justification",
+     "mstlint suppression without a `-- reason` justification",
+     "Suppressions are part of the reviewed source contract; an allow() "
+     "with no recorded reason is indistinguishable from a silenced bug."},
+    {"bad-directive",
+     "malformed or unbalanced `// mstlint:` directive",
+     "Directives the analyzer cannot parse would otherwise be dead "
+     "comments that look like active suppressions."},
+};
+
+// Files allowlisted for human-facing float output: fixed-precision table
+// alignment and SVG pixel coordinates are display formats, not data.
+bool float_rules_allowlisted(const std::string& path) {
+  const auto ends_with = [&](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() && path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with("src/mst/common/table.cpp") || ends_with("src/mst/schedule/svg.cpp");
+}
+
+// The registry-supports rule only has meaning where AlgorithmInfo literals
+// are registered (and in the self-test fixtures, which carry the marker in
+// their file name).
+bool registry_rule_applies(const std::string& path) {
+  return path.find("registry") != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Comment/string stripping
+//
+// One pass over the raw text keeps three synchronized views per line: the
+// original text (directive parsing), the code with comments and literal
+// bodies blanked out (token rules), and the collected string-literal bodies
+// (format-string rules).
+
+struct Stripped {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::pair<int, std::string>> strings;  // 1-based line, body
+};
+
+Stripped strip(const std::string& content) {
+  Stripped out;
+  {
+    std::string line;
+    std::istringstream is(content);
+    while (std::getline(is, line)) out.raw.push_back(line);
+    if (out.raw.empty()) out.raw.emplace_back();
+  }
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string literal;
+  int literal_line = 0;
+
+  out.code.reserve(out.raw.size());
+  for (std::size_t li = 0; li < out.raw.size(); ++li) {
+    const std::string& raw = out.raw[li];
+    std::string code;
+    code.reserve(raw.size());
+    if (state == State::kLineComment) state = State::kCode;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const char c = raw[i];
+      const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            i = raw.size();  // rest of the line is comment
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            code += "  ";
+            ++i;
+          } else if (c == '"') {
+            state = State::kString;
+            literal.clear();
+            literal_line = static_cast<int>(li) + 1;
+            code += '"';
+          } else if (c == '\'') {
+            state = State::kChar;
+            code += '\'';
+          } else {
+            code += c;
+          }
+          break;
+        case State::kLineComment:
+          break;  // unreachable: handled by the line reset above
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            code += "  ";
+            ++i;
+          } else {
+            code += ' ';
+          }
+          break;
+        case State::kString:
+          if (c == '\\' && i + 1 < raw.size()) {
+            literal += c;
+            literal += next;
+            ++i;
+          } else if (c == '"') {
+            state = State::kCode;
+            out.strings.emplace_back(literal_line, literal);
+            code += '"';
+          } else {
+            literal += c;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\' && i + 1 < raw.size()) {
+            ++i;
+          } else if (c == '\'') {
+            state = State::kCode;
+            code += '\'';
+          }
+          break;
+      }
+    }
+    // An unterminated string at end of line (not legal C++ outside raw
+    // literals, which this tree does not use) degrades to "close it here".
+    if (state == State::kString) {
+      state = State::kCode;
+      out.strings.emplace_back(literal_line, literal);
+    }
+    out.code.push_back(std::move(code));
+  }
+
+  // Preprocessor directives are not code to the token rules: `#include
+  // <unordered_map>` names a banned token without using it, and the use
+  // sites are what the rules exist to flag.  String literals inside
+  // directives (e.g. a format string in a #define) were already collected
+  // above and stay visible to the format rules.
+  bool continuation = false;
+  for (std::string& code : out.code) {
+    const std::size_t first = code.find_first_not_of(" \t");
+    const bool directive =
+        continuation || (first != std::string::npos && code[first] == '#');
+    if (directive) {
+      const std::size_t last = code.find_last_not_of(" \t");
+      continuation = last != std::string::npos && code[last] == '\\';
+      std::fill(code.begin(), code.end(), ' ');
+    } else {
+      continuation = false;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Directives
+
+struct Allow {
+  std::vector<std::string> rules;
+  bool justified = false;
+  bool next_line = false;
+};
+
+struct Directives {
+  std::map<int, Allow> allows;        // by 1-based line
+  std::vector<std::pair<int, int>> zero_alloc;  // [begin, end] line ranges
+  std::vector<Diagnostic> errors;     // meta-diagnostics (never suppressible)
+};
+
+void parse_allow(const std::string& file, int line, const std::string& args,
+                 const std::string& tail, bool next_line, Directives& out) {
+  Allow allow;
+  allow.next_line = next_line;
+  std::string id;
+  std::istringstream is(args);
+  while (std::getline(is, id, ',')) {
+    // Trim.
+    const auto b = id.find_first_not_of(" \t");
+    const auto e = id.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    id = id.substr(b, e - b + 1);
+    if (!known_rule(id)) {
+      out.errors.push_back({file, line, "bad-directive",
+                            "allow() names unknown rule '" + id + "'; see --list-rules"});
+      continue;
+    }
+    allow.rules.push_back(id);
+  }
+  // The justification is everything after ` -- `, and must be non-empty.
+  const auto dashes = tail.find("--");
+  if (dashes != std::string::npos) {
+    const std::string reason = tail.substr(dashes + 2);
+    allow.justified = reason.find_first_not_of(" \t") != std::string::npos;
+  }
+  if (!allow.justified) {
+    out.errors.push_back({file, line, "allow-justification",
+                          "suppression needs a justification: `// mstlint: allow(rule) -- why`"});
+  }
+  out.allows[line] = std::move(allow);
+}
+
+Directives parse_directives(const std::string& file, const std::vector<std::string>& raw) {
+  static const std::regex kDirective(R"(//\s*mstlint:\s*(.*)$)");
+  static const std::regex kAllow(R"(^(allow|allow-next-line)\s*\(([^)]*)\)\s*(.*)$)");
+  Directives out;
+  int region_begin = 0;  // 0: not in a region
+  for (std::size_t li = 0; li < raw.size(); ++li) {
+    const int line = static_cast<int>(li) + 1;
+    std::smatch m;
+    if (!std::regex_search(raw[li], m, kDirective)) continue;
+    const std::string body = m[1];
+    std::smatch am;
+    if (std::regex_match(body, am, kAllow)) {
+      parse_allow(file, line, am[2], am[3], am[1] == "allow-next-line", out);
+    } else if (body.rfind("zero-alloc", 0) == 0 && body.rfind("zero-alloc-end", 0) != 0) {
+      if (region_begin != 0) {
+        out.errors.push_back({file, line, "bad-directive",
+                              "nested `zero-alloc` region (previous begins at line " +
+                                  std::to_string(region_begin) + ")"});
+      } else {
+        region_begin = line;
+      }
+    } else if (body.rfind("zero-alloc-end", 0) == 0) {
+      if (region_begin == 0) {
+        out.errors.push_back(
+            {file, line, "bad-directive", "`zero-alloc-end` without a matching `zero-alloc`"});
+      } else {
+        out.zero_alloc.emplace_back(region_begin, line);
+        region_begin = 0;
+      }
+    } else {
+      out.errors.push_back({file, line, "bad-directive",
+                            "unrecognized directive `// mstlint: " + body + "`"});
+    }
+  }
+  if (region_begin != 0) {
+    out.errors.push_back({file, region_begin, "bad-directive",
+                          "`zero-alloc` region is never closed (`// mstlint: zero-alloc-end`)"});
+  }
+  return out;
+}
+
+bool suppressed(const Directives& directives, int line, const std::string& rule) {
+  const auto hit = [&](int at, bool want_next) {
+    const auto it = directives.allows.find(at);
+    if (it == directives.allows.end() || it->second.next_line != want_next) return false;
+    const auto& rules = it->second.rules;
+    return std::find(rules.begin(), rules.end(), rule) != rules.end();
+  };
+  return hit(line, /*want_next=*/false) || hit(line - 1, /*want_next=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Individual rules
+
+void add(std::vector<Diagnostic>& out, const std::string& file, int line, const char* rule,
+         std::string message) {
+  out.push_back({file, line, rule, std::move(message)});
+}
+
+/// printf float conversions inside string literals.  `%%` is an escaped
+/// percent, `%.17g` is the sanctioned exact spelling; everything else in
+/// the aAeEfFgG family is display-lossy.
+void rule_lossy_format(const std::string& file, const Stripped& stripped,
+                       std::vector<Diagnostic>& out) {
+  static const std::regex kSpec(R"(%[-+ #0']*(?:[0-9]+|\*)?(?:\.(?:[0-9]+|\*))?[aAeEfFgG])");
+  for (const auto& [line, body] : stripped.strings) {
+    std::string text = body;
+    for (auto pos = text.find("%%"); pos != std::string::npos; pos = text.find("%%")) {
+      text.erase(pos, 2);
+    }
+    for (std::sregex_iterator it(text.begin(), text.end(), kSpec), end; it != end; ++it) {
+      const std::string spec = it->str();
+      if (spec == "%.17g") continue;
+      add(out, file, line, "lossy-float-format",
+          "float format '" + spec + "' is not round-trip exact; use %.17g");
+    }
+  }
+}
+
+void rule_stream_precision(const std::string& file, const Stripped& stripped,
+                           std::vector<Diagnostic>& out) {
+  static const std::regex kSetPrecision(R"(\bsetprecision\s*\(\s*([0-9]*)\s*\))");
+  static const std::regex kManipulator(R"(\bstd\s*::\s*(fixed|scientific)\b)");
+  for (std::size_t li = 0; li < stripped.code.size(); ++li) {
+    const std::string& code = stripped.code[li];
+    const int line = static_cast<int>(li) + 1;
+    for (std::sregex_iterator it(code.begin(), code.end(), kSetPrecision), end; it != end;
+         ++it) {
+      const std::string digits = (*it)[1];
+      if (!digits.empty() && std::stoi(digits) >= 17) continue;
+      add(out, file, line, "stream-precision",
+          digits.empty()
+              ? "setprecision with a non-constant argument cannot be verified round-trip exact"
+              : "setprecision(" + digits + ") truncates doubles; need >= 17 or %.17g");
+    }
+    for (std::sregex_iterator it(code.begin(), code.end(), kManipulator), end; it != end;
+         ++it) {
+      add(out, file, line, "stream-precision",
+          "std::" + (*it)[1].str() + " renders doubles display-lossy");
+    }
+  }
+}
+
+/// Heuristic for default-precision streaming: identifiers declared
+/// double/float in this file, streamed with `<<`; plus streaming the
+/// library's known double-returning `throughput()`.
+void rule_raw_double_stream(const std::string& file, const Stripped& stripped,
+                            std::vector<Diagnostic>& out) {
+  static const std::regex kDecl(R"(\b(?:double|float)\s+([A-Za-z_]\w*))");
+  static const std::regex kStreamed(R"(<<\s*([A-Za-z_]\w*)\b\s*([^\s]?))");
+  static const std::regex kThroughput(R"(\bthroughput\s*\(\s*\))");
+  std::vector<std::string> doubles;
+  for (const std::string& code : stripped.code) {
+    for (std::sregex_iterator it(code.begin(), code.end(), kDecl), end; it != end; ++it) {
+      doubles.push_back((*it)[1]);
+    }
+  }
+  std::sort(doubles.begin(), doubles.end());
+  doubles.erase(std::unique(doubles.begin(), doubles.end()), doubles.end());
+  for (std::size_t li = 0; li < stripped.code.size(); ++li) {
+    const std::string& code = stripped.code[li];
+    const int line = static_cast<int>(li) + 1;
+    for (std::sregex_iterator it(code.begin(), code.end(), kStreamed), end; it != end; ++it) {
+      const std::string name = (*it)[1];
+      const std::string after = (*it)[2];
+      if (after == "(") continue;  // function call, not the tracked variable
+      if (std::binary_search(doubles.begin(), doubles.end(), name)) {
+        add(out, file, line, "raw-double-stream",
+            "'" + name + "' is a double streamed at default ostream precision; render via "
+            "%.17g (scenario reports) or a fixed-precision table cell");
+      }
+    }
+    std::smatch tp;
+    if (std::regex_search(code, tp, kThroughput)) {
+      const auto shift = code.find("<<");
+      if (shift != std::string::npos &&
+          static_cast<std::size_t>(tp.position(0)) > shift) {
+        add(out, file, line, "raw-double-stream",
+            "throughput() is a double streamed at default ostream precision; render via "
+            "%.17g or a table cell");
+      }
+    }
+  }
+}
+
+void rule_ambient_rng(const std::string& file, const Stripped& stripped,
+                      std::vector<Diagnostic>& out) {
+  struct Pattern {
+    std::regex re;
+    const char* what;
+  };
+  static const std::vector<Pattern> kPatterns = {
+      {std::regex(R"(\b(?:std\s*::\s*)?s?rand\s*\()"), "rand()/srand()"},
+      {std::regex(R"(\brandom_device\b)"), "std::random_device"},
+      {std::regex(R"(\bmt19937(?:_64)?\b)"),
+       "std::mt19937 (implementation-pinned mst::Rng only)"},
+      {std::regex(R"(\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\))"), "time() seeding"},
+      {std::regex(R"(\bsystem_clock\b)"), "wall-clock (system_clock) seeding"},
+  };
+  for (std::size_t li = 0; li < stripped.code.size(); ++li) {
+    for (const Pattern& p : kPatterns) {
+      if (std::regex_search(stripped.code[li], p.re)) {
+        add(out, file, static_cast<int>(li) + 1, "ambient-rng",
+            std::string(p.what) + " is nondeterministic; seeds must flow from "
+            "SolveOptions/the sweep spec through mst::Rng");
+      }
+    }
+  }
+}
+
+void rule_unordered(const std::string& file, const Stripped& stripped,
+                    std::vector<Diagnostic>& out) {
+  static const std::regex kUnordered(R"(\bunordered_(?:map|set|multimap|multiset)\b)");
+  for (std::size_t li = 0; li < stripped.code.size(); ++li) {
+    if (std::regex_search(stripped.code[li], kUnordered)) {
+      add(out, file, static_cast<int>(li) + 1, "unordered-container",
+          "unordered container iteration order is implementation-defined; use "
+          "std::map/std::set or a sorted vector");
+    }
+  }
+}
+
+/// Allocation tokens inside `// mstlint: zero-alloc` regions.  Warm-scratch
+/// mutation (`scratch.x.push_back` onto reserved capacity) is the sanctioned
+/// idiom and stays legal — the dynamic alloc probe owns that half of the
+/// contract; this rule catches the statically-visible allocations.
+void rule_zero_alloc(const std::string& file, const Stripped& stripped,
+                     const Directives& directives, std::vector<Diagnostic>& out) {
+  static const std::regex kNew(R"((^|[^.\w])new\b)");
+  static const std::regex kCAlloc(R"(\b(?:malloc|calloc|realloc|strdup|aligned_alloc)\s*\()");
+  static const std::regex kMakeSmart(R"(\bmake_(?:unique|shared)\b)");
+  static const std::regex kToString(R"(\bto_string\s*\()");
+  static const std::regex kContainer(
+      R"(\b(?:std\s*::\s*)?(vector|deque|list|forward_list|map|set|multimap|multiset|string|stringstream|ostringstream|istringstream|function|queue|priority_queue|stack|shared_ptr|unique_ptr)\b)");
+
+  for (const auto& [begin, end_line] : directives.zero_alloc) {
+    for (int line = begin; line <= end_line; ++line) {
+      const std::string& code = stripped.code[static_cast<std::size_t>(line) - 1];
+      if (std::regex_search(code, kNew)) {
+        add(out, file, line, "zero-alloc", "naked `new` inside a zero-alloc region");
+      }
+      if (std::regex_search(code, kCAlloc)) {
+        add(out, file, line, "zero-alloc", "C allocation call inside a zero-alloc region");
+      }
+      if (std::regex_search(code, kMakeSmart)) {
+        add(out, file, line, "zero-alloc",
+            "make_unique/make_shared allocates inside a zero-alloc region");
+      }
+      if (std::regex_search(code, kToString)) {
+        add(out, file, line, "zero-alloc",
+            "to_string builds a heap string inside a zero-alloc region");
+      }
+      // Container mentions are fine as references/pointers/nested types;
+      // a value declaration or temporary owns an allocation.
+      for (std::sregex_iterator it(code.begin(), code.end(), kContainer), rend; it != rend;
+           ++it) {
+        std::size_t pos = static_cast<std::size_t>(it->position(0)) + it->str().size();
+        // Skip a balanced template argument list on this line.
+        while (pos < code.size() && std::isspace(static_cast<unsigned char>(code[pos]))) ++pos;
+        if (pos < code.size() && code[pos] == '<') {
+          int depth = 0;
+          while (pos < code.size()) {
+            if (code[pos] == '<') ++depth;
+            if (code[pos] == '>' && --depth == 0) {
+              ++pos;
+              break;
+            }
+            ++pos;
+          }
+          while (pos < code.size() && std::isspace(static_cast<unsigned char>(code[pos]))) {
+            ++pos;
+          }
+        }
+        if (pos >= code.size()) continue;  // type continues next line: reference-safe uses only
+        const char c = code[pos];
+        if (c == '&' || c == '*' || c == ':' || c == ',' || c == '>' || c == ')' || c == ';') {
+          continue;  // reference, pointer, nested type or bare template argument
+        }
+        add(out, file, line, "zero-alloc",
+            "allocating container declared or constructed inside a zero-alloc region");
+      }
+    }
+  }
+}
+
+/// AlgorithmInfo literals passed to Registry::add must spell all six fields:
+/// kind, name, summary, optimal, exponential, supports.
+void rule_registry_supports(const std::string& file, const Stripped& stripped,
+                            std::vector<Diagnostic>& out) {
+  // Flatten with a per-character line map so literals spanning lines work.
+  std::string flat;
+  std::vector<int> line_of;
+  for (std::size_t li = 0; li < stripped.code.size(); ++li) {
+    for (const char c : stripped.code[li]) {
+      flat += c;
+      line_of.push_back(static_cast<int>(li) + 1);
+    }
+    flat += '\n';
+    line_of.push_back(static_cast<int>(li) + 1);
+  }
+
+  static const std::regex kAddBrace(R"(\badd\s*\(\s*\{)");
+  for (std::sregex_iterator it(flat.begin(), flat.end(), kAddBrace), end; it != end; ++it) {
+    const std::size_t open = static_cast<std::size_t>(it->position(0)) + it->str().size() - 1;
+    int depth = 0;
+    int commas = 0;
+    std::size_t pos = open;
+    for (; pos < flat.size(); ++pos) {
+      const char c = flat[pos];
+      if (c == '{' || c == '(' || c == '[') ++depth;
+      if (c == '}' || c == ')' || c == ']') {
+        --depth;
+        if (depth == 0) break;
+      }
+      if (c == ',' && depth == 1) ++commas;
+    }
+    const int fields = commas + 1;
+    if (fields != 6) {
+      add(out, file, line_of[static_cast<std::size_t>(it->position(0))], "registry-supports",
+          "AlgorithmInfo literal has " + std::to_string(fields) +
+              " fields; spell all 6 (kind, name, summary, optimal, exponential, supports) — "
+              "an implicit supports row silently advertises identical-only workloads");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public interface
+
+const std::vector<RuleInfo>& rules() { return kRules; }
+
+bool known_rule(const std::string& id) {
+  for (const RuleInfo& rule : kRules) {
+    if (id == rule.id) return true;
+  }
+  return false;
+}
+
+std::vector<Diagnostic> lint_source(const std::string& path, const std::string& content) {
+  const Stripped stripped = strip(content);
+  const Directives directives = parse_directives(path, stripped.raw);
+
+  std::vector<Diagnostic> found;
+  if (!float_rules_allowlisted(path)) {
+    rule_lossy_format(path, stripped, found);
+    rule_stream_precision(path, stripped, found);
+    rule_raw_double_stream(path, stripped, found);
+  }
+  rule_ambient_rng(path, stripped, found);
+  rule_unordered(path, stripped, found);
+  rule_zero_alloc(path, stripped, directives, found);
+  if (registry_rule_applies(path)) rule_registry_supports(path, stripped, found);
+
+  std::vector<Diagnostic> out;
+  for (Diagnostic& d : found) {
+    if (!suppressed(directives, d.line, d.rule)) out.push_back(std::move(d));
+  }
+  // Meta-diagnostics (malformed directives, missing justifications) are
+  // never suppressible.
+  for (const Diagnostic& d : directives.errors) out.push_back(d);
+  std::stable_sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return a.line < b.line;
+  });
+  return out;
+}
+
+std::vector<Diagnostic> lint_tree(const std::string& root, std::vector<std::string>* scanned) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const char* dir : {"src", "tools", "bench", "examples"}) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path rel = fs::relative(entry.path(), root);
+      const std::string rel_str = rel.generic_string();
+      // The analyzer's own sources spell the banned tokens as rule data.
+      if (rel_str.rfind("tools/mstlint/", 0) == 0) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      files.push_back(rel_str);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Diagnostic> out;
+  for (const std::string& file : files) {
+    std::ifstream is(fs::path(root) / file, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    std::vector<Diagnostic> diags = lint_source(file, buffer.str());
+    out.insert(out.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+    if (scanned != nullptr) scanned->push_back(file);
+  }
+  return out;
+}
+
+std::string render(const Diagnostic& diagnostic) {
+  std::ostringstream os;
+  os << diagnostic.file << ':' << diagnostic.line << ": error: " << diagnostic.message << " ["
+     << diagnostic.rule << ']';
+  return os.str();
+}
+
+}  // namespace mstlint

@@ -1,0 +1,86 @@
+// mstlint — repo-specific static analysis driver.
+//
+//   mstlint --root=DIR          lint the whole tree (src/tools/bench/examples)
+//   mstlint FILE...             lint specific files
+//   mstlint --list-rules        print the rule table
+//
+// Exit status is 0 when clean, 1 when any diagnostic fires, 2 on usage or
+// I/O errors.  Diagnostics go to stdout in GCC format so editors and CI
+// annotate them natively.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int list_rules() {
+  for (const mstlint::RuleInfo& rule : mstlint::rules()) {
+    std::printf("%-22s %s\n", rule.id, rule.summary);
+    std::printf("%-22s   %s\n", "", rule.rationale);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") return list_rules();
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: mstlint --root=DIR | mstlint FILE... | mstlint --list-rules\n");
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "mstlint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (root.empty() && files.empty()) {
+    std::fprintf(stderr, "usage: mstlint --root=DIR | mstlint FILE... | mstlint --list-rules\n");
+    return 2;
+  }
+
+  std::vector<mstlint::Diagnostic> diagnostics;
+  std::size_t scanned_count = 0;
+  if (!root.empty()) {
+    std::vector<std::string> scanned;
+    diagnostics = mstlint::lint_tree(root, &scanned);
+    scanned_count = scanned.size();
+  }
+  for (const std::string& file : files) {
+    std::ifstream is(file, std::ios::binary);
+    if (!is) {
+      std::fprintf(stderr, "mstlint: cannot read '%s'\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    for (mstlint::Diagnostic& d : mstlint::lint_source(file, buffer.str())) {
+      diagnostics.push_back(std::move(d));
+    }
+    ++scanned_count;
+  }
+
+  for (const mstlint::Diagnostic& d : diagnostics) {
+    std::cout << mstlint::render(d) << '\n';
+  }
+  if (diagnostics.empty()) {
+    std::cout << "mstlint: clean (" << scanned_count << " files)\n";
+    return 0;
+  }
+  std::cout << "mstlint: " << diagnostics.size() << " error(s) in " << scanned_count
+            << " files\n";
+  return 1;
+}
