@@ -1,61 +1,139 @@
 // CPLX-CHAIN: microbenchmarks of the chain algorithm — the paper claims
 // O(n·p²); the n-sweep must scale linearly and the p-sweep quadratically
 // (see exp_scaling for the fitted exponents).
+//
+// Self-contained timing harness (no Google Benchmark dependency, so this
+// binary always builds): each subject runs over std::chrono::steady_clock
+// in calibrated batches, reporting the minimum ns/op across repetitions —
+// the least-noise estimate.  `--json` emits one {bench, n, ns_per_op}
+// record per row; bench/BENCH_chain.json holds the committed baseline that
+// future runs are compared against.  `n` is the swept size parameter: task
+// count for the n-sweeps, processor count for the procs sweep.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
 
-#include <cstdint>
-
+#include "mst/common/fmt.hpp"
 #include "mst/common/rng.hpp"
-#include "mst/schedule/feasibility.hpp"
 #include "mst/core/chain_scheduler.hpp"
 #include "mst/platform/generator.hpp"
+#include "mst/schedule/feasibility.hpp"
 
 namespace {
+
+/// Defeats dead-code elimination without a benchmark-library dependency:
+/// the empty asm claims to read memory through the pointer, so the
+/// computation of `value` cannot be elided.
+template <typename T>
+void keep(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
 
 mst::Chain make_chain(std::size_t p) {
   mst::Rng rng(0xC4A1F + p);
   return mst::random_chain(rng, p, {1, 10, mst::PlatformClass::kUniform});
 }
 
-void BM_ChainScheduleTasksSweep(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const mst::Chain chain = make_chain(16);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(mst::ChainScheduler::schedule(chain, n));
-  }
-  state.SetComplexityN(static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_ChainScheduleTasksSweep)->RangeMultiplier(2)->Range(64, 4096)->Complexity();
+struct Row {
+  std::string bench;
+  std::size_t n = 0;
+  double ns_per_op = 0.0;
+};
 
-void BM_ChainScheduleProcsSweep(benchmark::State& state) {
-  const auto p = static_cast<std::size_t>(state.range(0));
-  const mst::Chain chain = make_chain(p);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(mst::ChainScheduler::schedule(chain, 256));
+/// Calibrates a batch size long enough to trust the clock (≥ 2 ms), then
+/// returns the best per-op time over three batches.
+double time_op(const std::function<void()>& op) {
+  using Clock = std::chrono::steady_clock;
+  const auto batch_ns = [&](std::size_t iters) {
+    const Clock::time_point start = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) op();
+    const auto elapsed = Clock::now() - start;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  };
+  std::size_t iters = 1;
+  long long ns = batch_ns(iters);
+  while (ns < 2'000'000 && iters < (std::size_t{1} << 22)) {
+    iters *= 2;
+    ns = batch_ns(iters);
   }
-  state.SetComplexityN(static_cast<std::int64_t>(p));
+  double best = static_cast<double>(ns) / static_cast<double>(iters);
+  for (int repetition = 0; repetition < 2; ++repetition) {
+    const double per_op =
+        static_cast<double>(batch_ns(iters)) / static_cast<double>(iters);
+    if (per_op < best) best = per_op;
+  }
+  return best;
 }
-BENCHMARK(BM_ChainScheduleProcsSweep)->RangeMultiplier(2)->Range(2, 128)->Complexity(benchmark::oNSquared);
 
-void BM_ChainDecisionForm(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const mst::Chain chain = make_chain(16);
-  const mst::Time window = chain.t_infinity(n) / 2;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(mst::ChainScheduler::max_tasks(chain, window, n));
-  }
-}
-BENCHMARK(BM_ChainDecisionForm)->RangeMultiplier(4)->Range(64, 4096);
+std::vector<Row> run_all() {
+  std::vector<Row> rows;
+  const mst::Chain chain16 = make_chain(16);
 
-void BM_ChainFeasibilityCheck(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const mst::Chain chain = make_chain(16);
-  const mst::ChainSchedule s = mst::ChainScheduler::schedule(chain, n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(mst::check_feasibility(s));
+  for (std::size_t n = 64; n <= 4096; n *= 2) {
+    rows.push_back({"chain_schedule_tasks", n, time_op([&] {
+                      keep(mst::ChainScheduler::schedule(chain16, n));
+                    })});
+  }
+  for (std::size_t p = 2; p <= 128; p *= 2) {
+    const mst::Chain chain = make_chain(p);
+    rows.push_back({"chain_schedule_procs", p, time_op([&] {
+                      keep(mst::ChainScheduler::schedule(chain, 256));
+                    })});
+  }
+  for (std::size_t n = 64; n <= 4096; n *= 4) {
+    const mst::Time window = chain16.t_infinity(n) / 2;
+    rows.push_back({"chain_decision_form", n, time_op([&] {
+                      keep(mst::ChainScheduler::max_tasks(chain16, window, n));
+                    })});
+  }
+  for (std::size_t n = 64; n <= 1024; n *= 4) {
+    const mst::ChainSchedule schedule = mst::ChainScheduler::schedule(chain16, n);
+    rows.push_back({"chain_feasibility_check", n, time_op([&] {
+                      keep(mst::check_feasibility(schedule));
+                    })});
+  }
+  return rows;
+}
+
+void print_json(const std::vector<Row>& rows) {
+  std::cout << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::cout << "  {\"bench\": \"" << rows[i].bench << "\", \"n\": " << rows[i].n
+              << ", \"ns_per_op\": " << mst::format_double(rows[i].ns_per_op) << "}"
+              << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  std::cout << "]\n";
+}
+
+void print_table(const std::vector<Row>& rows) {
+  for (const Row& row : rows) {
+    std::cout << row.bench << " n=" << row.n
+              << " ns/op=" << mst::format_double(row.ns_per_op) << "\n";
   }
 }
-BENCHMARK(BM_ChainFeasibilityCheck)->RangeMultiplier(4)->Range(64, 1024);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::cerr << "usage: bench_chain [--json]\n";
+      return 2;
+    }
+  }
+  const std::vector<Row> rows = run_all();
+  if (json) {
+    print_json(rows);
+  } else {
+    print_table(rows);
+  }
+  return 0;
+}

@@ -4,13 +4,13 @@
 // the warm-up length needed to reach 95% / 99% of the LP rate.
 //
 // Platforms come from the scenario generators; the curves are sampled by
-// the registry-driven `throughput_curve` (analysis/throughput.hpp), i.e.
+// the registry-driven `api::throughput_curve` (api/curves.hpp), i.e.
 // every makespan is an `api::Registry` dispatch on the fast path.
 
 #include <iostream>
 #include <variant>
 
-#include "mst/analysis/throughput.hpp"
+#include "mst/api/curves.hpp"
 #include "mst/common/cli.hpp"
 #include "mst/common/table.hpp"
 #include "mst/scenario/generators.hpp"
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     spec.hi = 9;
     const api::Platform chain = scenario::make_platform(spec, scenario::derive_seed(seed, 0));
     std::cout << "chain: " << api::describe(chain) << "\n";
-    print_curve(throughput_curve(chain, {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}));
+    print_curve(api::throughput_curve(chain, {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}));
     std::cout << "tasks to reach 95% of rate: "
               << tasks_to_reach_rate_fraction(std::get<Chain>(chain), 0.95) << "\n";
     std::cout << "tasks to reach 99% of rate: "
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
     spec.max_leg_len = 3;
     const api::Platform spider = scenario::make_platform(spec, scenario::derive_seed(seed, 1));
     std::cout << "spider: " << api::describe(spider) << "\n";
-    print_curve(throughput_curve(spider, {1, 2, 4, 8, 16, 32, 64, 128}));
+    print_curve(api::throughput_curve(spider, {1, 2, 4, 8, 16, 32, 64, 128}));
   }
 
   std::cout << "\nExpected shape: marginal cost settles at 1/rate; the curve is\n"

@@ -48,42 +48,42 @@ double ThroughputCurve::efficiency_at_tail() const {
   return tp / steady_rate;
 }
 
-ThroughputCurve throughput_curve(const api::Platform& platform,
+double steady_state_rate(const Platform& platform) {
+  if (const auto* chain = std::get_if<Chain>(&platform)) {
+    return chain_steady_state_rate(*chain);
+  }
+  if (const auto* fork = std::get_if<Fork>(&platform)) {
+    return spider_steady_state_rate(Spider::from_fork(*fork));
+  }
+  if (const auto* spider = std::get_if<Spider>(&platform)) {
+    return spider_steady_state_rate(*spider);
+  }
+  return tree_steady_state_rate(std::get<Tree>(platform));
+}
+
+ThroughputCurve throughput_curve(const Platform& platform,
                                  const std::vector<std::size_t>& ns,
-                                 std::string_view algorithm) {
+                                 const std::function<Time(std::size_t)>& makespan_of) {
   validate_counts(ns);
-  const std::string name =
-      algorithm.empty() ? api::default_algorithm(api::kind_of(platform))
-                        : std::string(algorithm);
   ThroughputCurve curve;
   curve.n = ns;
   curve.makespan.reserve(ns.size());
-  api::SolveOptions fast;
-  fast.materialize = false;
-  for (std::size_t n : ns) {
-    curve.makespan.push_back(api::registry().solve(platform, name, n, fast).makespan);
-  }
-  if (const auto* chain = std::get_if<Chain>(&platform)) {
-    curve.steady_rate = chain_steady_state_rate(*chain);
-  } else if (const auto* fork = std::get_if<Fork>(&platform)) {
-    curve.steady_rate = spider_steady_state_rate(Spider::from_fork(*fork));
-  } else if (const auto* spider = std::get_if<Spider>(&platform)) {
-    curve.steady_rate = spider_steady_state_rate(*spider);
-  } else {
-    curve.steady_rate = tree_steady_state_rate(std::get<Tree>(platform));
-  }
+  for (std::size_t n : ns) curve.makespan.push_back(makespan_of(n));
+  curve.steady_rate = steady_state_rate(platform);
   finish(curve);
   return curve;
 }
 
 ThroughputCurve chain_throughput_curve(const Chain& chain,
                                        const std::vector<std::size_t>& ns) {
-  return throughput_curve(chain, ns, "optimal");
+  return throughput_curve(chain, ns,
+                          [&](std::size_t n) { return ChainScheduler::makespan(chain, n); });
 }
 
 ThroughputCurve spider_throughput_curve(const Spider& spider,
                                         const std::vector<std::size_t>& ns) {
-  return throughput_curve(spider, ns, "optimal");
+  return throughput_curve(
+      spider, ns, [&](std::size_t n) { return SpiderScheduler::makespan(spider, n); });
 }
 
 std::size_t tasks_to_reach_rate_fraction(const Chain& chain, double fraction,

@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstddef>
-#include <string_view>
+#include <functional>
 #include <vector>
 
-#include "mst/api/registry.hpp"
 #include "mst/common/time.hpp"
+#include "mst/platform/any.hpp"
 #include "mst/platform/chain.hpp"
 #include "mst/platform/spider.hpp"
 
@@ -20,6 +20,10 @@
 /// rate.  This module computes the curve, the marginal cost per task, and
 /// fits the affine tail, giving the "time to first task" vs "cost per
 /// additional task" split that capacity planners actually need.
+///
+/// This layer knows nothing about the algorithm registry: makespans reach
+/// it through a sampling callback.  The registry-dispatched convenience
+/// overload lives one layer up, in `mst/api/curves.hpp`.
 
 namespace mst {
 
@@ -37,19 +41,20 @@ struct ThroughputCurve {
   [[nodiscard]] double efficiency_at_tail() const;
 };
 
-/// Samples `M(n)` at the given counts (must be increasing, >= 1) by
-/// dispatching `algorithm` through `api::registry()` on the makespan-only
-/// fast path — any platform kind, any registered algorithm.  An empty
-/// `algorithm` picks the kind's default: "optimal" where an exact algorithm
-/// is registered, else the first registered entry (trees: "spider-cover").
-/// The steady rate comes from the matching LP bound (trees use the
-/// bandwidth-centric tree rate).
-ThroughputCurve throughput_curve(const api::Platform& platform,
-                                 const std::vector<std::size_t>& ns,
-                                 std::string_view algorithm = {});
+/// The LP steady-state rate of any platform (bounds.hpp, per kind; forks
+/// embed as single-processor-leg spiders, trees use the bandwidth-centric
+/// tree rate).
+double steady_state_rate(const Platform& platform);
 
-/// Samples `M(n)` at the given counts (must be increasing, >= 1).
-/// Convenience wrappers over the registry-driven `throughput_curve`.
+/// Samples `M(n)` at the given counts (must be increasing, >= 1), calling
+/// `makespan_of(n)` once per count, and fits the affine tail.  The steady
+/// rate comes from the matching LP bound for `platform`.
+ThroughputCurve throughput_curve(const Platform& platform,
+                                 const std::vector<std::size_t>& ns,
+                                 const std::function<Time(std::size_t)>& makespan_of);
+
+/// Samples the *optimal* `M(n)` at the given counts (must be increasing,
+/// >= 1) directly on the exact core schedulers.
 ThroughputCurve chain_throughput_curve(const Chain& chain, const std::vector<std::size_t>& ns);
 ThroughputCurve spider_throughput_curve(const Spider& spider,
                                         const std::vector<std::size_t>& ns);

@@ -1,0 +1,19 @@
+#include "mst/api/curves.hpp"
+
+#include <string>
+
+namespace mst::api {
+
+ThroughputCurve throughput_curve(const Platform& platform,
+                                 const std::vector<std::size_t>& ns,
+                                 std::string_view algorithm, const Registry& registry) {
+  const std::string name =
+      algorithm.empty() ? default_algorithm(kind_of(platform)) : std::string(algorithm);
+  SolveOptions fast;
+  fast.materialize = false;
+  return mst::throughput_curve(platform, ns, [&](std::size_t n) {
+    return registry.solve(platform, name, n, fast).makespan;
+  });
+}
+
+}  // namespace mst::api

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "mst/analysis/throughput.hpp"
+#include "mst/api/registry.hpp"
+#include "mst/platform/any.hpp"
+
+/// \file curves.hpp
+/// The registry bridge for makespan-curve analysis.
+///
+/// The curve machinery (affine-tail fit, steady-state rates) lives in
+/// `mst/analysis/throughput.hpp`, strictly below the api layer and sampled
+/// through a callback; this module owns the overload that resolves an
+/// algorithm *name* through the registry.
+
+namespace mst::api {
+
+/// Samples `M(n)` at the given counts (must be increasing, >= 1) by
+/// dispatching `algorithm` through `registry` on the makespan-only fast
+/// path — any platform kind, any registered algorithm.  An empty
+/// `algorithm` picks the kind's default: "optimal" where an exact algorithm
+/// is registered, else the first registered entry (trees: "spider-cover").
+ThroughputCurve throughput_curve(const Platform& platform,
+                                 const std::vector<std::size_t>& ns,
+                                 std::string_view algorithm = {},
+                                 const Registry& registry = api::registry());
+
+}  // namespace mst::api

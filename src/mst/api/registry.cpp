@@ -26,51 +26,9 @@
 
 namespace mst::api {
 
-// ---------------------------------------------------------------------------
-// Platforms
-
-std::string to_string(PlatformKind kind) {
-  switch (kind) {
-    case PlatformKind::kChain: return "chain";
-    case PlatformKind::kFork: return "fork";
-    case PlatformKind::kSpider: return "spider";
-    case PlatformKind::kTree: return "tree";
-  }
-  return "?";
-}
-
-std::optional<PlatformKind> platform_kind_from(std::string_view name) {
-  for (PlatformKind kind : all_platform_kinds()) {
-    if (name == to_string(kind)) return kind;
-  }
-  return std::nullopt;
-}
-
-const std::vector<PlatformKind>& all_platform_kinds() {
-  static const std::vector<PlatformKind> kinds{PlatformKind::kChain, PlatformKind::kFork,
-                                              PlatformKind::kSpider, PlatformKind::kTree};
-  return kinds;
-}
-
-PlatformKind kind_of(const Platform& platform) {
-  switch (platform.index()) {
-    case 0: return PlatformKind::kChain;
-    case 1: return PlatformKind::kFork;
-    case 2: return PlatformKind::kSpider;
-    default: return PlatformKind::kTree;
-  }
-}
-
-std::string describe(const Platform& platform) {
-  return std::visit([](const auto& p) { return p.describe(); }, platform);
-}
-
-std::size_t num_processors(const Platform& platform) {
-  if (const auto* chain = std::get_if<Chain>(&platform)) return chain->size();
-  if (const auto* fork = std::get_if<Fork>(&platform)) return fork->size();
-  if (const auto* spider = std::get_if<Spider>(&platform)) return spider->num_processors();
-  return std::get<Tree>(platform).num_slaves();
-}
+// The Platform variant and its kind helpers moved to the platform layer
+// (src/mst/platform/any.cpp); `registry.hpp` re-exports them into this
+// namespace.
 
 namespace {
 
@@ -750,7 +708,10 @@ void register_chain_algorithms(Registry& r) {
             // warm scratch, no placement vectors ever built.  A nonempty
             // backward construction always ends exactly at the horizon, so
             // the completion time is `deadline` itself (release dates
-            // included — the horizon anchor is unchanged).
+            // included — the horizon anchor is unchanged).  `thread_local`
+            // is the whole thread-safety story: each pool worker owns its
+            // scratch outright, so the handoff into count_within needs no
+            // lock (and the shared-mutable-state lint exempts it).
             static thread_local ChainCountScratch scratch;
             const std::size_t tasks =
                 pool != nullptr && pool->has_release_dates()
@@ -1075,7 +1036,10 @@ void register_tree_algorithms(Registry& r) {
 }  // namespace
 
 Registry& Registry::instance() {
-  static Registry* shared = [] {
+  // `* const`: the pointer is written exactly once, under the C++11
+  // thread-safe static-initialization guarantee; the Registry it points to
+  // is fully populated before the first reference escapes.
+  static Registry* const shared = [] {
     auto* r = new Registry();
     register_chain_algorithms(*r);
     register_fork_algorithms(*r);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "mst/common/time.hpp"
+#include "mst/platform/any.hpp"
 #include "mst/platform/chain.hpp"
 #include "mst/platform/fork.hpp"
 #include "mst/platform/spider.hpp"
@@ -63,27 +64,20 @@ namespace mst::api {
 
 // ---------------------------------------------------------------------------
 // Platforms
+//
+// The topology-erased `Platform` variant and its kind enum live in the
+// platform layer (`mst/platform/any.hpp`) so the simulator and analysis
+// modules can use them without depending upward on the registry.  The
+// re-exports below keep every historical `api::Platform` spelling working.
 
-/// Topology families the library schedules on.
-enum class PlatformKind { kChain, kFork, kSpider, kTree };
-
-std::string to_string(PlatformKind kind);
-
-/// Inverse of `to_string`; empty optional on unknown names.
-std::optional<PlatformKind> platform_kind_from(std::string_view name);
-
-/// All kinds, for sweep loops.
-const std::vector<PlatformKind>& all_platform_kinds();
-
-/// A platform of any topology.  Algorithms receive this and throw
-/// `std::invalid_argument` when handed the wrong alternative.
-using Platform = std::variant<Chain, Fork, Spider, Tree>;
-
-PlatformKind kind_of(const Platform& platform);
-std::string describe(const Platform& platform);
-
-/// Total number of slave processors, whatever the topology.
-std::size_t num_processors(const Platform& platform);
+using mst::all_platform_kinds;
+using mst::describe;
+using mst::kind_of;
+using mst::num_processors;
+using mst::Platform;
+using mst::platform_kind_from;
+using mst::PlatformKind;
+using mst::to_string;
 
 // ---------------------------------------------------------------------------
 // Results

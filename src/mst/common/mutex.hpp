@@ -1,0 +1,44 @@
+#pragma once
+
+#include <mutex>
+
+#include "mst/common/thread_annotations.hpp"
+
+/// \file mutex.hpp
+/// `std::mutex` wrapped as an annotated capability, plus its RAII guard.
+///
+/// The standard mutex carries no thread-safety attributes, so Clang's
+/// analysis cannot connect a `std::lock_guard` to the members it protects.
+/// These wrappers restate the same primitives with the `MST_*` annotations
+/// (thread_annotations.hpp); use them for any state shared across the
+/// sweep thread pool so the Clang CI job can prove the locking discipline.
+
+namespace mst {
+
+/// A `std::mutex` the thread-safety analysis can see.
+class MST_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MST_ACQUIRE() { impl_.lock(); }
+  void unlock() MST_RELEASE() { impl_.unlock(); }
+
+ private:
+  std::mutex impl_;
+};
+
+/// RAII lock for `Mutex`; scoped capability, non-movable.
+class MST_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) MST_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~LockGuard() MST_RELEASE() { mutex_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace mst

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file thread_annotations.hpp
+/// Clang Thread Safety Analysis attribute macros, `MST_`-prefixed.
+///
+/// Under Clang with `-Wthread-safety` these expand to the `capability`
+/// attribute family and the compiler proves, at build time, that every
+/// access to a `MST_GUARDED_BY(m)` member happens with `m` held.  Under
+/// every other compiler they expand to nothing — the annotations are
+/// contract documentation locally and a compiler-checked proof in the
+/// Clang CI job.
+///
+/// Usage contract (enforced by the `shared-mutable-state` mstlint rule for
+/// static storage, and by the Clang job for everything annotated):
+///
+///     mst::Mutex mutex_;
+///     std::size_t done_ MST_GUARDED_BY(mutex_) = 0;
+///
+///     void bump() {
+///       LockGuard lock(mutex_);   // MST_SCOPED_CAPABILITY
+///       ++done_;                  // OK: mutex_ held
+///     }
+
+#if defined(__clang__)
+#define MST_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MST_THREAD_ANNOTATION(x)
+#endif
+
+/// A type that is a lockable capability (mutexes).
+#define MST_CAPABILITY(x) MST_THREAD_ANNOTATION(capability(x))
+
+/// An RAII type that acquires on construction, releases on destruction.
+#define MST_SCOPED_CAPABILITY MST_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the capability held.
+#define MST_GUARDED_BY(x) MST_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability.
+#define MST_PT_GUARDED_BY(x) MST_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that acquires the capability (and did not hold it on entry).
+#define MST_ACQUIRE(...) MST_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability (held on entry).
+#define MST_RELEASE(...) MST_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function callable only with the capability already held.
+#define MST_REQUIRES(...) MST_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the capability held (deadlock).
+#define MST_EXCLUDES(...) MST_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the named capability.
+#define MST_RETURN_CAPABILITY(x) MST_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: function whose body the analysis skips.  Use only at
+/// init/teardown boundaries that are single-threaded by construction, with
+/// a comment saying why.
+#define MST_NO_THREAD_SAFETY_ANALYSIS MST_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -29,7 +29,6 @@ TreeScheduleResult schedule_tree_via_cover(const Tree& tree, std::size_t n) {
     result.destinations.push_back(cover.node_of[t.leg][t.proc]);
   }
 
-  result.simulated = sim::simulate_dispatch(tree, result.destinations);
   return result;
 }
 

@@ -3,8 +3,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "mst/common/time.hpp"
 #include "mst/platform/tree.hpp"
-#include "mst/sim/platform_sim.hpp"
 
 /// \file tree_schedule.hpp
 /// Scheduling on general trees (the paper's open problem) via the spider
@@ -18,11 +18,10 @@ namespace mst {
 /// Outcome of the cover-and-schedule heuristic.
 struct TreeScheduleResult {
   Time makespan = 0;
-  /// Tree node executing each task, in master-emission order.
+  /// Tree node executing each task, in master-emission order.  Replaying it
+  /// on the tree simulator (`sim::simulate_dispatch`) yields the same
+  /// makespan or better — eager forwarding may only move work earlier.
   std::vector<NodeId> destinations;
-  /// Operational replay of the plan on the tree simulator (same makespan or
-  /// better — eager forwarding may only move work earlier).
-  sim::SimResult simulated;
 };
 
 /// Schedule `n` tasks on `tree` through the spider cover.

@@ -16,6 +16,7 @@
 #include "mst/workload/workload.hpp"
 #include "mst/workload/workload_io.hpp"
 
+#include "mst/platform/any.hpp"
 #include "mst/platform/chain.hpp"
 #include "mst/platform/fork.hpp"
 #include "mst/platform/generator.hpp"
@@ -61,8 +62,10 @@
 #include "mst/analysis/robustness.hpp"
 #include "mst/analysis/throughput.hpp"
 
+#include "mst/api/curves.hpp"
 #include "mst/api/platform_io.hpp"
 #include "mst/api/registry.hpp"
+#include "mst/api/stream.hpp"
 
 #include "mst/scenario/generators.hpp"
 #include "mst/scenario/report.hpp"

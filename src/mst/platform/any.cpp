@@ -1,0 +1,48 @@
+#include "mst/platform/any.hpp"
+
+namespace mst {
+
+std::string to_string(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::kChain: return "chain";
+    case PlatformKind::kFork: return "fork";
+    case PlatformKind::kSpider: return "spider";
+    case PlatformKind::kTree: return "tree";
+  }
+  return "?";
+}
+
+std::optional<PlatformKind> platform_kind_from(std::string_view name) {
+  for (PlatformKind kind : all_platform_kinds()) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+const std::vector<PlatformKind>& all_platform_kinds() {
+  static const std::vector<PlatformKind> kinds{PlatformKind::kChain, PlatformKind::kFork,
+                                               PlatformKind::kSpider, PlatformKind::kTree};
+  return kinds;
+}
+
+PlatformKind kind_of(const Platform& platform) {
+  switch (platform.index()) {
+    case 0: return PlatformKind::kChain;
+    case 1: return PlatformKind::kFork;
+    case 2: return PlatformKind::kSpider;
+    default: return PlatformKind::kTree;
+  }
+}
+
+std::string describe(const Platform& platform) {
+  return std::visit([](const auto& p) { return p.describe(); }, platform);
+}
+
+std::size_t num_processors(const Platform& platform) {
+  if (const auto* chain = std::get_if<Chain>(&platform)) return chain->size();
+  if (const auto* fork = std::get_if<Fork>(&platform)) return fork->size();
+  if (const auto* spider = std::get_if<Spider>(&platform)) return spider->num_processors();
+  return std::get<Tree>(platform).num_slaves();
+}
+
+}  // namespace mst

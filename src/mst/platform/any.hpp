@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "mst/platform/chain.hpp"
+#include "mst/platform/fork.hpp"
+#include "mst/platform/spider.hpp"
+#include "mst/platform/tree.hpp"
+
+/// \file any.hpp
+/// The topology-erased platform value: one variant over the four concrete
+/// platform families, plus the kind enum and the uniform accessors every
+/// layer above `platform/` shares.
+///
+/// This lives in the platform layer on purpose.  The simulator, the
+/// analysis curves and the registry all need "a platform of any kind"
+/// without caring who dispatches on it; keeping the variant here lets them
+/// depend downward only (enforced by mstlint's layering pass — see the
+/// module DAG in tools/mstlint).  `api/registry.hpp` re-exports these names
+/// into `mst::api`, so registry call sites keep spelling `api::Platform`.
+
+namespace mst {
+
+/// Topology families the library schedules on.
+enum class PlatformKind { kChain, kFork, kSpider, kTree };
+
+std::string to_string(PlatformKind kind);
+
+/// Inverse of `to_string`; empty optional on unknown names.
+std::optional<PlatformKind> platform_kind_from(std::string_view name);
+
+/// All kinds, for sweep loops.
+const std::vector<PlatformKind>& all_platform_kinds();
+
+/// A platform of any topology.  Algorithms receive this and throw
+/// `std::invalid_argument` when handed the wrong alternative.
+using Platform = std::variant<Chain, Fork, Spider, Tree>;
+
+PlatformKind kind_of(const Platform& platform);
+std::string describe(const Platform& platform);
+
+/// Total number of slave processors, whatever the topology.
+std::size_t num_processors(const Platform& platform);
+
+}  // namespace mst

@@ -4,12 +4,42 @@
 #include <chrono>
 #include <exception>
 #include <thread>
+#include <utility>
 
-#include "mst/sim/streaming.hpp"
+#include "mst/api/stream.hpp"
+#include "mst/common/mutex.hpp"
+#include "mst/common/thread_annotations.hpp"
 
 namespace mst::scenario {
 
 namespace {
+
+/// The pool's one cross-thread aggregation point.  Result slots are
+/// disjoint by construction (slot `i` belongs to cell `i`), so the only
+/// genuinely shared state is this progress tally — guarded by an annotated
+/// mutex so the Clang `-Wthread-safety` job proves every access holds it.
+class ProgressSink {
+ public:
+  ProgressSink(std::function<void(std::size_t, std::size_t, bool)> callback, std::size_t total)
+      : callback_(std::move(callback)), total_(total) {}
+
+  /// Records one finished cell; forwards to the user callback (if any)
+  /// while still holding the lock, so callbacks never interleave.
+  void report(bool failed) MST_EXCLUDES(mutex_) {
+    if (callback_ == nullptr) return;
+    LockGuard lock(mutex_);
+    ++done_;
+    if (failed) ++failed_;
+    callback_(done_, total_, failed);
+  }
+
+ private:
+  const std::function<void(std::size_t, std::size_t, bool)> callback_;
+  const std::size_t total_;
+  Mutex mutex_;
+  std::size_t done_ MST_GUARDED_BY(mutex_) = 0;
+  std::size_t failed_ MST_GUARDED_BY(mutex_) = 0;
+};
 
 double ms_since(const std::chrono::steady_clock::time_point& start) {
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
@@ -32,17 +62,17 @@ void run_one(const Cell& cell, const RunOptions& options, const api::Registry& r
       // stream `n` tasks all released at 0 (the equivalence baseline).
       const Workload workload =
           cell.workload != nullptr ? *cell.workload : Workload::identical(cell.n);
-      sim::StreamOutcome result;
+      api::StreamOutcome result;
       for (int rep = 0; rep < reps; ++rep) {
         const auto start = std::chrono::steady_clock::now();
         // Reference-free inside the timed loop: wall_ms measures the
         // streamed run alone, not the offline regret baseline.
-        result = sim::run_stream(*cell.platform, cell.algorithm, workload, cell.seed, registry,
+        result = api::run_stream(*cell.platform, cell.algorithm, workload, cell.seed, registry,
                                  /*attach_reference=*/false);
         const double ms = ms_since(start);
         if (rep == 0 || ms < out.wall_ms) out.wall_ms = ms;
       }
-      sim::attach_offline_reference(result, *cell.platform, workload, registry);
+      api::attach_offline_reference(result, *cell.platform, workload, registry);
       out.tasks = result.tasks;
       out.makespan = result.makespan;
       out.throughput = result.throughput();
@@ -111,9 +141,11 @@ std::vector<CellOutcome> run_cells(const std::vector<Cell>& cells, const RunOpti
   // Work stealing by atomic index; slot `i` belongs to cell `i`, so the
   // result order never depends on scheduling.
   std::atomic<std::size_t> next{0};
+  ProgressSink progress(options.on_progress, cells.size());
   auto worker = [&] {
     for (std::size_t i = next.fetch_add(1); i < cells.size(); i = next.fetch_add(1)) {
       run_one(cells[i], options, registry, results[i]);
+      progress.report(!results[i].ok());
     }
   };
 

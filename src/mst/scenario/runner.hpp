@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,14 @@ struct RunOptions {
   int reps = 1;
   /// Decision-form search cap (`SolveOptions::cap`).
   std::size_t cap = 1u << 20;
+  /// Progress callback: invoked once per finished cell with (cells done so
+  /// far, total cells, whether that cell failed).  Calls are serialized
+  /// under a mutex (the pool's one shared-state channel — see ProgressSink
+  /// in runner.cpp, whose counters are compiler-checked `MST_GUARDED_BY`
+  /// under the Clang CI job), and `done` is monotone 1..total; completion
+  /// *order* still depends on thread scheduling, so a callback that cares
+  /// about determinism should key on counts, never on which cell landed.
+  std::function<void(std::size_t done, std::size_t total, bool failed)> on_progress;
 };
 
 /// One cell's result row.

@@ -1,8 +1,6 @@
 #include "mst/sim/streaming.hpp"
 
 #include <deque>
-#include <limits>
-#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -99,7 +97,7 @@ class EctStream final : public StreamPolicy {
 
 class ReplanStream final : public StreamPolicy {
  public:
-  explicit ReplanStream(api::Platform platform) : platform_(std::move(platform)) {
+  explicit ReplanStream(Platform platform) : platform_(std::move(platform)) {
     if (const auto* spider = std::get_if<Spider>(&platform_)) {
       leg_base_.reserve(spider->num_legs());
       NodeId base = 1;
@@ -151,7 +149,7 @@ class ReplanStream final : public StreamPolicy {
     stale_ = false;
   }
 
-  api::Platform platform_;
+  Platform platform_;
   std::vector<NodeId> leg_base_;  ///< spider leg -> first embedded node id
   std::size_t backlog_ = 0;       ///< observed, not yet dispatched
   bool stale_ = false;
@@ -231,7 +229,7 @@ std::unique_ptr<StreamPolicy> make_stream_policy(const Tree& tree, OnlinePolicy 
   throw std::logic_error("mst: unknown online policy");
 }
 
-std::unique_ptr<StreamPolicy> make_replan_policy(const api::Platform& platform) {
+std::unique_ptr<StreamPolicy> make_replan_policy(const Platform& platform) {
   if (std::holds_alternative<Tree>(platform)) {
     throw std::invalid_argument(
         "replan: no exact tree solver exists to re-plan with (chain/fork/spider only)");
@@ -239,7 +237,7 @@ std::unique_ptr<StreamPolicy> make_replan_policy(const api::Platform& platform) 
   return std::make_unique<ReplanStream>(platform);
 }
 
-Tree stream_substrate(const api::Platform& platform) {
+Tree stream_substrate(const Platform& platform) {
   if (const auto* chain = std::get_if<Chain>(&platform)) return tree_from_chain(*chain);
   if (const auto* fork = std::get_if<Fork>(&platform)) {
     return tree_from_spider(Spider::from_fork(*fork));
@@ -248,97 +246,23 @@ Tree stream_substrate(const api::Platform& platform) {
   return std::get<Tree>(platform);
 }
 
-double StreamOutcome::throughput() const {
-  if (tasks == 0) return 0.0;
-  if (makespan <= 0) return std::numeric_limits<double>::infinity();
-  return static_cast<double>(tasks) / static_cast<double>(makespan);
-}
-
-void attach_offline_reference(StreamOutcome& outcome, const api::Platform& platform,
-                              const Workload& workload, const api::Registry& registry) {
-  // Exact offline reference: the kind's "optimal" entry, when it is
-  // registered, provably optimal, and able to schedule this workload.
-  //
-  // Provably is the operative word.  The chain release-date construction is
-  // exact (minimal-horizon anchoring, Lemma 4 suffix optimality), but the
-  // fork/spider positional-release selection commits to one EDD emission
-  // order, which the exhaustive release-gated ASAP oracle beats on some
-  // instances — a streamed execution can then undercut the claimed
-  // "optimum" and regret would dip below 1.  Until an exact released
-  // selection exists (ROADMAP), released fork/spider runs report the
-  // sentinel instead of a regret against a beatable reference.
-  if (workload.empty()) return;
-  const api::PlatformKind kind = api::kind_of(platform);
-  const bool reference_is_exact =
-      kind == api::PlatformKind::kChain || !workload.has_release_dates();
-  if (const api::AlgorithmInfo* offline = registry.info(kind, "optimal");
-      reference_is_exact && offline != nullptr && offline->optimal &&
-      workload.features().subset_of(offline->supports)) {
-    api::SolveOptions fast;
-    fast.materialize = false;
-    outcome.offline_makespan = registry.solve(platform, "optimal", workload, fast).makespan;
+std::unique_ptr<StreamPolicy> make_named_policy(const Platform& platform, const Tree& substrate,
+                                                std::string_view algorithm, std::uint64_t seed) {
+  if (algorithm == "replan") return make_replan_policy(platform);
+  if (algorithm == "online-round-robin") {
+    return make_stream_policy(substrate, OnlinePolicy::kRoundRobin, seed);
   }
-  // The regret sentinel stays negative unless both makespans are genuinely
-  // positive — a degenerate zero-makespan run must never put inf/nan into a
-  // report column.
-  if (outcome.offline_makespan > 0 && outcome.makespan > 0) {
-    outcome.regret =
-        static_cast<double>(outcome.makespan) / static_cast<double>(outcome.offline_makespan);
+  if (algorithm == "online-random") {
+    return make_stream_policy(substrate, OnlinePolicy::kRandom, seed);
   }
-}
-
-StreamOutcome run_stream(const api::Platform& platform, std::string_view algorithm,
-                         const Workload& workload, std::uint64_t seed,
-                         const api::Registry& registry, bool attach_reference) {
-  const api::PlatformKind kind = api::kind_of(platform);
-  const api::AlgorithmInfo* info = registry.info(kind, algorithm);
-  if (info == nullptr) {
-    std::ostringstream os;
-    os << "no algorithm '" << algorithm << "' for " << to_string(kind) << " platforms";
-    throw std::invalid_argument(os.str());
+  if (algorithm == "online-jsq") {
+    return make_stream_policy(substrate, OnlinePolicy::kJoinShortestQueue, seed);
   }
-  // The up-front streaming gate: requested features are the workload's plus
-  // the streaming capability itself.
-  WorkloadFeatures requested = workload.features();
-  requested.streaming = true;
-  if (!requested.subset_of(info->supports)) {
-    std::ostringstream os;
-    os << "algorithm '" << algorithm << "' cannot run in streaming mode with "
-       << to_string(requested) << " (supported: " << to_string(info->supports)
-       << "); see the capability matrix in mstctl --mode=list";
-    throw std::invalid_argument(os.str());
+  if (algorithm == "online-ect") {
+    return make_stream_policy(substrate, OnlinePolicy::kEarliestCompletion, seed);
   }
-
-  const Tree tree = stream_substrate(platform);
-  std::unique_ptr<StreamPolicy> policy;
-  if (algorithm == "replan") {
-    policy = make_replan_policy(platform);
-  } else if (algorithm == "online-round-robin") {
-    policy = make_stream_policy(tree, OnlinePolicy::kRoundRobin, seed);
-  } else if (algorithm == "online-random") {
-    policy = make_stream_policy(tree, OnlinePolicy::kRandom, seed);
-  } else if (algorithm == "online-jsq") {
-    policy = make_stream_policy(tree, OnlinePolicy::kJoinShortestQueue, seed);
-  } else if (algorithm == "online-ect") {
-    policy = make_stream_policy(tree, OnlinePolicy::kEarliestCompletion, seed);
-  } else {
-    throw std::logic_error("mst: algorithm '" + std::string(algorithm) +
-                           "' declares streaming support but has no stream policy");
-  }
-
-  StreamOutcome out;
-  out.algorithm = std::string(algorithm);
-  out.kind = kind;
-  if (!workload.empty()) {
-    StreamResult run = simulate_stream(tree, workload, *policy);
-    out.tasks = run.sim.num_tasks();
-    out.makespan = run.sim.makespan;
-    out.metrics = std::move(run.metrics);
-    out.sim = std::move(run.sim);
-  }
-
-  if (attach_reference) attach_offline_reference(out, platform, workload, registry);
-  return out;
+  throw std::logic_error("mst: algorithm '" + std::string(algorithm) +
+                         "' declares streaming support but has no stream policy");
 }
 
 }  // namespace mst::sim

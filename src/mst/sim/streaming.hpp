@@ -3,11 +3,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <string>
 #include <string_view>
 #include <vector>
 
-#include "mst/api/registry.hpp"
+#include "mst/platform/any.hpp"
 #include "mst/platform/tree.hpp"
 #include "mst/sim/online.hpp"
 #include "mst/sim/platform_sim.hpp"
@@ -39,11 +38,14 @@
 ///    everything released at 0 this degenerates to the offline optimum
 ///    (one plan over the whole instance).
 ///
-/// The registry bridge `run_stream` resolves a `(platform kind, algorithm)`
-/// pair whose `AlgorithmInfo::supports.streaming` flag is set, embeds the
-/// platform into the store-and-forward tree substrate, runs the driver and
-/// computes the streaming metrics — per-task latency, master backlog and
-/// the regret against the exact offline optimum where one is registered.
+/// The registry bridge (`api::run_stream`, in `mst/api/stream.hpp`)
+/// resolves a `(platform kind, algorithm)` pair whose
+/// `AlgorithmInfo::supports.streaming` flag is set, embeds the platform
+/// into the store-and-forward tree substrate, runs this driver and computes
+/// the streaming metrics — per-task latency, master backlog and the regret
+/// against the exact offline optimum where one is registered.  This module
+/// itself stays registry-free: the policies and the driver live strictly
+/// below the api layer.
 
 namespace mst::sim {
 
@@ -115,60 +117,20 @@ std::unique_ptr<StreamPolicy> make_stream_policy(const Tree& tree, OnlinePolicy 
 /// (throws `std::invalid_argument` for trees — no exact tree solver
 /// exists).  Uniform task sizes only: the exact solvers' optimality proofs
 /// do not cover sizes, and the registry gate rejects them up front.
-std::unique_ptr<StreamPolicy> make_replan_policy(const api::Platform& platform);
+std::unique_ptr<StreamPolicy> make_replan_policy(const Platform& platform);
 
 /// The store-and-forward substrate a platform streams on: chains and
 /// spiders embed via `tree_from_chain` / `tree_from_spider`, forks via
 /// their spider form, trees are returned as-is.  Slave numbering follows
 /// the embeddings (chain processor `i` is node `i + 1`; spider leg `l`
 /// depth `d` is node `1 + sum(len of legs < l) + d`).
-Tree stream_substrate(const api::Platform& platform);
+Tree stream_substrate(const Platform& platform);
 
-/// One streaming solve, resolved through the registry.
-struct StreamOutcome {
-  std::string algorithm;
-  api::PlatformKind kind = api::PlatformKind::kChain;
-  std::size_t tasks = 0;
-  Time makespan = 0;
-  StreamMetrics metrics;
-  /// Exact offline optimum of the same workload (the registered "optimal"
-  /// entry of the platform's kind, when it exists, is provably optimal and
-  /// supports the workload's features).  0 = no exact reference — trees
-  /// always, and released fork/spider streams too: their positional-release
-  /// selection is not exact (the exhaustive oracle beats it on some
-  /// instances), so regret against it would be meaningless.
-  Time offline_makespan = 0;
-  /// Competitive ratio `makespan / offline_makespan` (>= 1).  Negative =
-  /// unavailable: no exact offline reference, or a degenerate zero-makespan
-  /// run — the reporters print the sentinel as an empty cell instead of
-  /// ever leaking `inf`/`nan` into CSV/JSON.
-  double regret = -1;
-  SimResult sim;  ///< full per-task timeline, dispatch order
-
-  /// Tasks per unit time; same degenerate-platform sentinel semantics as
-  /// `api::SolveResult::throughput` (+inf on nonempty zero-makespan runs).
-  [[nodiscard]] double throughput() const;
-};
-
-/// Streams `workload` through the named algorithm: capability check
-/// (`supports.streaming` plus the workload's features — rejected up front
-/// with a `std::invalid_argument` naming the remedy), policy construction
-/// (`replan` or an `online-*` adaptation), driver run, metrics and regret.
-/// Deterministic per (platform, algorithm, workload, seed).
-/// `attach_reference = false` skips the offline reference solve (regret
-/// stays the sentinel) — for timed repetitions that must measure the
-/// streamed run alone; attach it once afterwards with
-/// `attach_offline_reference`.
-StreamOutcome run_stream(const api::Platform& platform, std::string_view algorithm,
-                         const Workload& workload, std::uint64_t seed = 1,
-                         const api::Registry& registry = api::registry(),
-                         bool attach_reference = true);
-
-/// Computes `outcome.offline_makespan` / `outcome.regret` for a run of
-/// `workload` on `platform` (see `StreamOutcome::offline_makespan` for
-/// when a reference exists).  Idempotent; no-op on empty runs.
-void attach_offline_reference(StreamOutcome& outcome, const api::Platform& platform,
-                              const Workload& workload,
-                              const api::Registry& registry = api::registry());
+/// Constructs the streaming policy a registry algorithm name denotes:
+/// `replan` or one of the four `online-*` adaptations.  Throws
+/// `std::logic_error` for any other name — callers gate on the registry's
+/// `supports.streaming` flag first (`api::run_stream` does).
+std::unique_ptr<StreamPolicy> make_named_policy(const Platform& platform, const Tree& substrate,
+                                                std::string_view algorithm, std::uint64_t seed);
 
 }  // namespace mst::sim

@@ -1,0 +1,5 @@
+#pragma once
+
+// Fixture: a two-header include cycle inside one module (no layering
+// violation — the cycle pass alone must catch it).
+#include "mst/common/b.hpp"

@@ -1,0 +1,3 @@
+#pragma once
+
+#include "mst/common/a.hpp"

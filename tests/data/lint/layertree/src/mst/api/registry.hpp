@@ -1,0 +1,4 @@
+#pragma once
+
+// Fixture: an upper-layer header (no includes, so the only graph findings
+// in this tree are the layering edges in core/solver.hpp).

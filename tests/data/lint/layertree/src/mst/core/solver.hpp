@@ -1,0 +1,8 @@
+#pragma once
+
+// Fixture: one downward include (fine), one upward include (flagged), and
+// one upward include suppressed with a recorded reason.
+#include "mst/schedule/plan.hpp"
+#include "mst/api/registry.hpp"
+// mstlint: allow-next-line(layering) -- fixture: reviewed upward edge
+#include "mst/sim/engine.hpp"

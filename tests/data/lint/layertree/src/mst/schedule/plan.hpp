@@ -1,0 +1,3 @@
+#pragma once
+
+// Fixture: a plain lower-layer header.

@@ -1,0 +1,24 @@
+// Fixture: static-storage state with and without a thread-safety story.
+// The analyzer flags mutable static storage unless the declaration head
+// carries const/constexpr/thread_local, a synchronization primitive, or an
+// MST_GUARDED_BY annotation; function declarations are skipped.
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+static int bad_counter = 0;
+static double bad_total;
+static std::vector<int>
+    bad_table = {1, 2, 3};
+
+static const int fine_const = 1;
+static constexpr std::size_t fine_capacity = 64;
+static thread_local int fine_scratch = 0;
+static std::atomic<std::size_t> fine_atomic{0};
+static std::mutex fine_mutex;
+static std::once_flag fine_once;
+static int fine_function(int x);
+static std::size_t fine_guarded MST_GUARDED_BY(fine_mutex);
+
+int consume();

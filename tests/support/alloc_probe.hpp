@@ -10,8 +10,8 @@
 /// outside that window is irrelevant.
 ///
 /// This is the dynamic half of the zero-alloc contract: source regions
-/// marked `// mstlint: zero-alloc` are checked statically for allocating
-/// constructs by `tools/mstlint`, and the claims they make are pinned at
+/// marked with the mstlint zero-alloc directive are checked statically for
+/// allocating constructs by `tools/mstlint`, and the claims they make are pinned at
 /// runtime here.  Because the probe counts every allocation in the
 /// process, keep the probed window free of ancillary work (no logging, no
 /// string building) so a regression points at the code under test.

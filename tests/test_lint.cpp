@@ -52,7 +52,11 @@ TEST(LintRules, TableIsWellFormed) {
     EXPECT_STRNE(rule.rationale, "");
   }
   EXPECT_FALSE(mstlint::known_rule("no-such-rule"));
-  EXPECT_GE(ids.size(), 8u);
+  EXPECT_GE(ids.size(), 11u);
+  // The v2 graph and shared-state rules are present and suppressible.
+  EXPECT_TRUE(mstlint::known_rule("layering"));
+  EXPECT_TRUE(mstlint::known_rule("include-cycle"));
+  EXPECT_TRUE(mstlint::known_rule("shared-mutable-state"));
 }
 
 TEST(LintRules, LossyFloatFormats) {
@@ -107,8 +111,48 @@ TEST(LintRules, RegistrySupportsFieldCount) {
   EXPECT_EQ(outline(lint_fixture("registry_fixture.cpp")), expected);
 }
 
+TEST(LintRules, SharedMutableState) {
+  const Outline expected = {
+      {"shared-mutable-state", 10},  // bad_counter
+      {"shared-mutable-state", 11},  // bad_total
+      {"shared-mutable-state", 12},  // bad_table (multi-line declaration)
+  };
+  EXPECT_EQ(outline(lint_fixture("shared_state.cpp")), expected);
+}
+
+TEST(LintRules, SharedMutableStateScopedToLibraryPaths) {
+  // The rule patrols src/ (and the fixture marker); tests and drivers are
+  // single-threaded and keep their statics.
+  const std::string source = "static int counter = 0;\n";
+  EXPECT_EQ(mstlint::lint_source("src/mst/core/x.cpp", source).size(), 1u);
+  EXPECT_TRUE(mstlint::lint_source("tests/test_x.cpp", source).empty());
+  EXPECT_TRUE(mstlint::lint_source("bench/exp_x.cpp", source).empty());
+}
+
 TEST(LintRules, CleanFixtureIsClean) {
   EXPECT_EQ(lint_fixture("clean.cpp"), std::vector<Diagnostic>{});
+}
+
+TEST(LintTree, LayeringFixtureTree) {
+  // One upward edge fires; the second upward edge carries a justified
+  // allow-next-line and must stay silent; the downward edges are legal.
+  const std::vector<Diagnostic> diags = mstlint::lint_tree(fixture_path("layertree"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "layering");
+  EXPECT_EQ(diags[0].file, "src/mst/core/solver.hpp");
+  EXPECT_EQ(diags[0].line, 6);
+  EXPECT_NE(diags[0].message.find("'core' may not include 'api'"), std::string::npos);
+}
+
+TEST(LintTree, IncludeCycleFixtureTree) {
+  const std::vector<Diagnostic> diags = mstlint::lint_tree(fixture_path("cycletree"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "include-cycle");
+  EXPECT_EQ(diags[0].file, "src/mst/common/b.hpp");
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("src/mst/common/a.hpp -> src/mst/common/b.hpp -> "
+                                  "src/mst/common/a.hpp"),
+            std::string::npos);
 }
 
 TEST(LintSuppressions, JustifiedAllowSilences) {
@@ -149,6 +193,14 @@ TEST(LintSuppressions, RoundTrip) {
   EXPECT_EQ(mstlint::lint_source("a.cpp", wrong_rule).size(), 1u);
 }
 
+TEST(LintSuppressions, SharedMutableStateRoundTrip) {
+  const std::string bare = "static int counter = 0;\n";
+  const std::string same_line =
+      "static int counter = 0;  // mstlint: allow(shared-mutable-state) -- set before spawn\n";
+  EXPECT_EQ(mstlint::lint_source("src/mst/core/x.cpp", bare).size(), 1u);
+  EXPECT_TRUE(mstlint::lint_source("src/mst/core/x.cpp", same_line).empty());
+}
+
 TEST(LintFormat, RenderIsGccStyle) {
   const Diagnostic d{"src/mst/foo.cpp", 42, "ambient-rng", "the message"};
   EXPECT_EQ(mstlint::render(d), "src/mst/foo.cpp:42: error: the message [ambient-rng]");
@@ -158,15 +210,23 @@ TEST(LintTree, RepositoryIsClean) {
   std::vector<std::string> scanned;
   const std::vector<Diagnostic> diags = mstlint::lint_tree(MST_REPO_ROOT, &scanned);
   for (const Diagnostic& d : diags) ADD_FAILURE() << mstlint::render(d);
-  // The walk visits the real tree (library + tools + drivers), skips the
-  // analyzer's own sources, and is deterministic (sorted paths).
+  // The walk visits the real tree (library + tools + drivers + tests),
+  // skips the analyzer's own sources and the intentional-violation corpus,
+  // and is deterministic (sorted paths).
   EXPECT_GE(scanned.size(), 100u);
   EXPECT_TRUE(std::is_sorted(scanned.begin(), scanned.end()));
-  EXPECT_EQ(std::count_if(scanned.begin(), scanned.end(),
-                          [](const std::string& p) {
-                            return p.rfind("tools/mstlint/", 0) == 0;
-                          }),
-            0);
+  const auto none_under = [&](const char* prefix) {
+    return std::count_if(scanned.begin(), scanned.end(), [&](const std::string& p) {
+             return p.rfind(prefix, 0) == 0;
+           }) == 0;
+  };
+  EXPECT_TRUE(none_under("tools/mstlint/"));
+  EXPECT_TRUE(none_under("tests/data/lint/"));
+  EXPECT_TRUE(std::find(scanned.begin(), scanned.end(), "tests/test_lint.cpp") ==
+              scanned.end());
+  // tests/ itself IS scanned (the corpus exclusion is surgical).
+  EXPECT_TRUE(std::find(scanned.begin(), scanned.end(), "tests/test_registry.cpp") !=
+              scanned.end());
 }
 
 }  // namespace

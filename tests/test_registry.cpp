@@ -165,7 +165,8 @@ TEST(Registry, WrongPlatformAlternativeThrows) {
 TEST(Registry, CustomRegistrationIsOneLine) {
   api::Registry local;
   local.add({api::PlatformKind::kChain, "always-first",
-             "send everything to processor 0 (test stub)"},
+             "send everything to processor 0 (test stub)", /*optimal=*/false,
+             /*exponential=*/false, WorkloadFeatures{}},
             [](const api::Platform& platform, std::size_t n) {
               const Chain& chain = std::get<Chain>(platform);
               api::SolveResult result;
@@ -186,10 +187,12 @@ TEST(Registry, CustomRegistrationIsOneLine) {
   EXPECT_TRUE(api::check_feasibility(result).ok());
 
   // Duplicate (kind, name) pairs and empty names are rejected.
-  EXPECT_THROW(local.add({api::PlatformKind::kChain, "always-first", "dup"},
+  EXPECT_THROW(local.add({api::PlatformKind::kChain, "always-first", "dup",
+                          /*optimal=*/false, /*exponential=*/false, WorkloadFeatures{}},
                          [](const api::Platform&, std::size_t) { return api::SolveResult{}; }),
                std::invalid_argument);
-  EXPECT_THROW(local.add({api::PlatformKind::kChain, "", "anonymous"},
+  EXPECT_THROW(local.add({api::PlatformKind::kChain, "", "anonymous",
+                          /*optimal=*/false, /*exponential=*/false, WorkloadFeatures{}},
                          [](const api::Platform&, std::size_t) { return api::SolveResult{}; }),
                std::invalid_argument);
 }

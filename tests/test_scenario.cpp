@@ -206,6 +206,31 @@ TEST(Runner, ThreadCountInvariance) {
   EXPECT_EQ(json_one, json_many);
 }
 
+TEST(Runner, ProgressCallbackCountsEveryCellAtAnyThreadCount) {
+  const SweepSpec spec = small_grid();
+  const std::vector<Cell> cells = expand(spec);
+  for (const unsigned threads : {1u, 2u, 5u}) {
+    RunOptions options;
+    options.threads = threads;
+    std::vector<std::size_t> dones;
+    std::size_t failures = 0;
+    // The callback mutates plain vectors from pool workers on purpose: the
+    // ProgressSink serializes invocations under its annotated mutex, so
+    // this is race-free (TSan runs this suite in CI).
+    options.on_progress = [&](std::size_t done, std::size_t total, bool failed) {
+      EXPECT_EQ(total, cells.size());
+      dones.push_back(done);
+      if (failed) ++failures;
+    };
+    run_cells(cells, options);
+    // Exactly one call per cell; `done` is monotone 1..total regardless of
+    // which thread finished which cell.
+    ASSERT_EQ(dones.size(), cells.size());
+    for (std::size_t i = 0; i < dones.size(); ++i) EXPECT_EQ(dones[i], i + 1);
+    EXPECT_EQ(failures, 0u);
+  }
+}
+
 TEST(Runner, FastPathMatchesMaterializedAndChecked) {
   // The allocation-free counting paths and payload stripping must not change
   // any reported number: the CSV (which excludes timing) is identical.

@@ -18,6 +18,7 @@
 #include <initializer_list>
 
 #include "mst/api/registry.hpp"
+#include "mst/api/stream.hpp"
 #include "mst/common/rng.hpp"
 #include "mst/core/chain_scheduler.hpp"
 #include "mst/core/fork_scheduler.hpp"
@@ -61,8 +62,8 @@ TEST(Streaming, ReplanReproducesTheOfflineOptimumWhenAllTasksAreAvailable) {
         for (Time w2 : {1, 2, 3}) {
           const Chain chain = Chain::from_vectors({c1, c2}, {w1, w2});
           for (std::size_t n = 1; n <= 5; ++n) {
-            const sim::StreamOutcome run =
-                sim::run_stream(chain, "replan", Workload::identical(n));
+            const api::StreamOutcome run =
+                api::run_stream(chain, "replan", Workload::identical(n));
             EXPECT_EQ(run.makespan, ChainScheduler::makespan(chain, n))
                 << chain.describe() << " n=" << n;
             EXPECT_EQ(run.offline_makespan, run.makespan);
@@ -79,12 +80,12 @@ TEST(Streaming, ReplanReproducesTheOfflineOptimumWhenAllTasksAreAvailable) {
     Rng inst = rng.split();
     const auto n = static_cast<std::size_t>(rng.uniform(1, 9));
     const Fork fork = random_fork(inst, static_cast<std::size_t>(rng.uniform(1, 4)), params);
-    EXPECT_EQ(sim::run_stream(fork, "replan", Workload::identical(n)).makespan,
+    EXPECT_EQ(api::run_stream(fork, "replan", Workload::identical(n)).makespan,
               ForkScheduler::makespan(fork, n))
         << fork.describe() << " n=" << n;
     const Spider spider =
         random_spider(inst, static_cast<std::size_t>(rng.uniform(1, 3)), 3, params);
-    EXPECT_EQ(sim::run_stream(spider, "replan", Workload::identical(n)).makespan,
+    EXPECT_EQ(api::run_stream(spider, "replan", Workload::identical(n)).makespan,
               SpiderScheduler::makespan(spider, n))
         << spider.describe() << " n=" << n;
   }
@@ -114,7 +115,7 @@ TEST(Streaming, ReplanNeverBeatsTheOfflineOptimumOnArrivalStreams) {
     for (const WorkloadGen& gen : {poisson, bursts}) {
       const Workload workload = gen.make(n, rng.next_u64());
       {
-        const sim::StreamOutcome run = sim::run_stream(chain, "replan", workload);
+        const api::StreamOutcome run = api::run_stream(chain, "replan", workload);
         ASSERT_GT(run.offline_makespan, 0) << chain.describe();
         EXPECT_EQ(run.offline_makespan, ChainScheduler::schedule(chain, workload).makespan());
         EXPECT_GE(run.makespan, run.offline_makespan)
@@ -127,13 +128,13 @@ TEST(Streaming, ReplanNeverBeatsTheOfflineOptimumOnArrivalStreams) {
                   1.0 + 1e-12);
       }
       {
-        const sim::StreamOutcome run = sim::run_stream(fork, "replan", workload);
+        const api::StreamOutcome run = api::run_stream(fork, "replan", workload);
         EXPECT_EQ(run.offline_makespan, 0) << "beatable reference must not be reported";
         EXPECT_LT(run.regret, 0.0);
         EXPECT_GE(run.makespan, ForkScheduler::makespan(fork, n)) << fork.describe();
       }
       {
-        const sim::StreamOutcome run = sim::run_stream(spider, "replan", workload);
+        const api::StreamOutcome run = api::run_stream(spider, "replan", workload);
         EXPECT_EQ(run.offline_makespan, 0);
         EXPECT_LT(run.regret, 0.0);
         EXPECT_GE(run.makespan, SpiderScheduler::makespan(spider, n)) << spider.describe();
@@ -239,13 +240,13 @@ TEST(Streaming, MetricsAreExactOnHandComputableInstances) {
 TEST(Streaming, RunStreamRejectsUnsupportedRequestsUpFront) {
   const Chain chain = Chain::from_vectors({2, 3}, {3, 5});
   // Not streaming-capable (the exact planner needs the whole instance).
-  EXPECT_THROW((void)sim::run_stream(chain, "optimal", Workload::identical(4)),
+  EXPECT_THROW((void)api::run_stream(chain, "optimal", Workload::identical(4)),
                std::invalid_argument);
   // Unknown name.
-  EXPECT_THROW((void)sim::run_stream(chain, "no-such-algorithm", Workload::identical(4)),
+  EXPECT_THROW((void)api::run_stream(chain, "no-such-algorithm", Workload::identical(4)),
                std::invalid_argument);
   // The re-planner's exact solvers do not cover non-uniform sizes.
-  EXPECT_THROW((void)sim::run_stream(chain, "replan", Workload::of_sizes({1, 2, 3})),
+  EXPECT_THROW((void)api::run_stream(chain, "replan", Workload::of_sizes({1, 2, 3})),
                std::invalid_argument);
   // No exact tree solver to re-plan with.
   Tree tree;
@@ -268,7 +269,7 @@ TEST(Streaming, RegistryReplanEntrySolvesAndPassesFeasibility) {
     EXPECT_EQ(result.tasks, workload.count());
     const FeasibilityReport report = api::check_feasibility(result);
     EXPECT_TRUE(report.ok()) << api::describe(platform) << ": " << report.summary();
-    const sim::StreamOutcome direct = sim::run_stream(platform, "replan", workload);
+    const api::StreamOutcome direct = api::run_stream(platform, "replan", workload);
     EXPECT_EQ(result.makespan, direct.makespan) << api::describe(platform);
     // The registry gate mirrors run_stream's: capability checked up front.
     const api::AlgorithmInfo* info =
@@ -298,7 +299,7 @@ TEST(Streaming, EveryStreamingCapableEntryResolvesToAPolicy) {
         : info.kind == api::PlatformKind::kSpider
             ? api::Platform{Spider{Chain::from_vectors({2}, {3})}}
             : api::Platform{tree};
-    EXPECT_NO_THROW((void)sim::run_stream(platform, info.name, Workload::identical(2)))
+    EXPECT_NO_THROW((void)api::run_stream(platform, info.name, Workload::identical(2)))
         << to_string(info.kind) << "/" << info.name;
   }
   // 3 replan entries + 4 tree online policies today; growth is fine, the

@@ -1,5 +1,5 @@
 // Dynamic half of the zero-alloc contract for the simulator substrate: the
-// static `// mstlint: zero-alloc` regions in engine.cpp/platform_sim.cpp
+// statically-checked mstlint zero-alloc regions in engine.cpp/platform_sim.cpp
 // ban allocating constructs at the token level; these tests pin the actual
 // runtime behaviour with the shared global-allocation probe.
 //

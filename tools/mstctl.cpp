@@ -227,7 +227,7 @@ int run_max_tasks(const mst::Args& args) {
     // Default: the exact algorithm (or the strongest heuristic for trees);
     // when it cannot handle the workload's features, the first
     // non-exponential entry that can.
-    std::string name = default_algorithm(kind);
+    std::string name = api::default_algorithm(kind);
     if (workload && !api::registry().supports(kind, name, workload->features())) {
       for (const api::AlgorithmInfo& info : api::registry().list(kind)) {
         if (!info.exponential && workload->features().subset_of(info.supports)) {
@@ -311,7 +311,7 @@ int run_stream_mode(const mst::Args& args) {
   Table table({"algorithm", "tasks", "makespan", "mean latency", "max latency", "backlog",
                "offline", "regret"});
   for (const api::AlgorithmInfo& info : selected) {
-    const sim::StreamOutcome result = sim::run_stream(platform, info.name, workload, seed);
+    const api::StreamOutcome result = api::run_stream(platform, info.name, workload, seed);
     Table& row = table.row();
     row.cell(result.algorithm)
         .cell(result.tasks)
@@ -342,7 +342,7 @@ int run_count(const mst::Args& args) {
   const api::Platform platform = load_platform(args.get("platform", ""));
   const Time deadline = args.get_int("tlim", args.get_int("deadline", 100));
   const api::SolveOptions options = solve_options(args, /*default_cap=*/100000);
-  const std::string algo = args.get("algo", default_algorithm(api::kind_of(platform)));
+  const std::string algo = args.get("algo", api::default_algorithm(api::kind_of(platform)));
   std::cout << api::registry().max_tasks(platform, algo, deadline, options) << "\n";
   return 0;
 }
@@ -359,7 +359,7 @@ int run_schedule_tree(const mst::Args& args, const mst::api::Platform& platform)
     return 2;
   }
   const std::size_t n = task_count(args);
-  const std::string algo = args.get("algo", default_algorithm(api::PlatformKind::kTree));
+  const std::string algo = args.get("algo", api::default_algorithm(api::PlatformKind::kTree));
   const api::SolveResult result =
       api::registry().solve(platform, algo, n, solve_options(args));
   const auto& dispatch = std::get<api::TreeDispatch>(result.schedule);

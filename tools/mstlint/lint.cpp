@@ -51,6 +51,24 @@ const std::vector<RuleInfo> kRules = {
      "An AlgorithmInfo literal that stops before `supports` silently "
      "advertises identical-tasks-only; every entry must state its "
      "capability row explicitly so the matrix is reviewable."},
+    {"layering",
+     "#include that jumps to a higher (or unrelated) module layer",
+     "The library is layered common -> platform -> workload -> schedule -> "
+     "core -> baselines -> heuristics -> sim -> analysis -> api -> "
+     "scenario; an upward include couples an inner algorithm to the "
+     "registry/report surface and makes the layers untestable in "
+     "isolation.  The allowed edges are data in tools/mstlint/lint.cpp."},
+    {"include-cycle",
+     "cycle in the project #include graph",
+     "A header cycle means neither file can be understood (or compiled "
+     "standalone) without the other; the one-TU-per-header gate and the "
+     "layer DAG both presuppose an acyclic graph."},
+    {"shared-mutable-state",
+     "static-storage mutable state with no thread-safety story",
+     "The sweep runner fans cells over a thread pool; a naked mutable "
+     "global or function-local static is a data race waiting for the "
+     "second thread.  Static state must be const/constexpr, thread_local, "
+     "a synchronization primitive, or carry MST_GUARDED_BY(mutex)."},
     {"allow-justification",
      "mstlint suppression without a `-- reason` justification",
      "Suppressions are part of the reviewed source contract; an allow() "
@@ -533,6 +551,204 @@ void rule_registry_supports(const std::string& file, const Stripped& stripped,
   }
 }
 
+/// The shared-mutable-state rule patrols library code (and the self-test
+/// fixtures, which carry the marker in their file name); tests and
+/// experiment binaries are single-threaded drivers.
+bool shared_state_rule_applies(const std::string& path) {
+  return path.rfind("src/", 0) == 0 || path.find("shared_state") != std::string::npos;
+}
+
+/// `static`-storage mutable state with no thread-safety story.  A flagged
+/// declaration head is one that is not const/constexpr, not thread_local,
+/// not itself a synchronization primitive, and not annotated with
+/// MST_GUARDED_BY.  Function declarations (a `(` before any `=` in the
+/// head) are skipped — they declare code, not state.
+void rule_shared_mutable_state(const std::string& file, const Stripped& stripped,
+                               std::vector<Diagnostic>& out) {
+  // Flatten with a per-character line map so declarations spanning lines
+  // are judged whole.
+  std::string flat;
+  std::vector<int> line_of;
+  for (std::size_t li = 0; li < stripped.code.size(); ++li) {
+    for (const char c : stripped.code[li]) {
+      flat += c;
+      line_of.push_back(static_cast<int>(li) + 1);
+    }
+    flat += '\n';
+    line_of.push_back(static_cast<int>(li) + 1);
+  }
+
+  static const std::regex kStatic(R"(\bstatic\b)");
+  static const std::regex kExempt(
+      R"(\b(?:const|constexpr|consteval|thread_local|atomic(?:_[a-z0-9_]+)?|mutex|Mutex|once_flag|condition_variable)\b|MST_GUARDED_BY|MST_PT_GUARDED_BY)");
+  for (std::sregex_iterator it(flat.begin(), flat.end(), kStatic), end; it != end; ++it) {
+    const std::size_t at = static_cast<std::size_t>(it->position(0));
+    // Declaration head: from the start of the statement's line to the first
+    // `;` or `{` (brace-init heads keep scanning to the closing `;`).
+    std::size_t begin = flat.rfind('\n', at);
+    begin = begin == std::string::npos ? 0 : begin + 1;
+    std::size_t pos = at;
+    bool saw_assign = false;
+    bool saw_call = false;
+    while (pos < flat.size() && flat[pos] != ';' && flat[pos] != '{') {
+      if (flat[pos] == '=') saw_assign = true;
+      if (flat[pos] == '(' && !saw_assign) saw_call = true;
+      ++pos;
+    }
+    if (saw_call) continue;  // function/method declaration, not state
+    const std::string head = flat.substr(begin, pos - begin);
+    if (std::regex_search(head, kExempt)) continue;
+    add(out, file, line_of[at], "shared-mutable-state",
+        "mutable static-storage state with no thread-safety story; make it "
+        "const/constexpr or thread_local, use a sync primitive, or annotate "
+        "with MST_GUARDED_BY(mutex)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tree-level passes: the include graph
+//
+// Layering and cycle detection need every file at once, so they run in
+// `lint_tree`, not `lint_source`.  Both parse the raw lines (the code view
+// blanks preprocessor directives on purpose).
+
+/// The module layering, as data.  Key: directory under src/mst/.  Value:
+/// the modules its headers and sources may include (its own module is
+/// always allowed).  This is the single source of truth for the layer DAG;
+/// the README diagram is generated from the same order.
+const std::vector<std::pair<const char*, std::vector<const char*>>> kLayerDeps = {
+    {"common", {}},
+    {"platform", {"common"}},
+    {"workload", {"common"}},
+    {"schedule", {"common", "platform", "workload"}},
+    {"core", {"common", "platform", "workload", "schedule"}},
+    {"baselines", {"common", "platform", "workload", "schedule", "core"}},
+    {"heuristics", {"common", "platform", "workload", "schedule", "core", "baselines"}},
+    {"sim",
+     {"common", "platform", "workload", "schedule", "core", "baselines", "heuristics"}},
+    {"analysis",
+     {"common", "platform", "workload", "schedule", "core", "baselines", "heuristics", "sim"}},
+    {"api",
+     {"common", "platform", "workload", "schedule", "core", "baselines", "heuristics", "sim",
+      "analysis"}},
+    {"scenario",
+     {"common", "platform", "workload", "schedule", "core", "baselines", "heuristics", "sim",
+      "analysis", "api"}},
+};
+
+/// Module of a file under the scanned root, or "" when the file is not
+/// subject to layering (tools, tests, benches — and the umbrella
+/// `src/mst/mst.hpp`, which re-exports every layer by design).
+std::string module_of(const std::string& path) {
+  static const std::string prefix = "src/mst/";
+  if (path.rfind(prefix, 0) != 0) return {};
+  const std::size_t slash = path.find('/', prefix.size());
+  if (slash == std::string::npos) return {};  // src/mst/mst.hpp umbrella
+  return path.substr(prefix.size(), slash - prefix.size());
+}
+
+struct IncludeRef {
+  int line = 0;
+  std::string target;  ///< as written between the quotes
+};
+
+/// Quoted project includes, straight off the raw lines.
+std::vector<IncludeRef> parse_includes(const std::string& content) {
+  static const std::regex kInclude(R"inc(^\s*#\s*include\s*"([^"]+)")inc");
+  std::vector<IncludeRef> out;
+  std::istringstream is(content);
+  std::string line;
+  int number = 0;
+  while (std::getline(is, line)) {
+    ++number;
+    std::smatch m;
+    if (std::regex_search(line, m, kInclude)) out.push_back({number, m[1]});
+  }
+  return out;
+}
+
+struct FileRecord {
+  std::string path;
+  std::vector<IncludeRef> includes;
+  Directives directives;
+};
+
+void check_layering(const std::vector<FileRecord>& records, std::vector<Diagnostic>& out) {
+  for (const FileRecord& record : records) {
+    const std::string from = module_of(record.path);
+    if (from.empty()) continue;
+    const auto layer =
+        std::find_if(kLayerDeps.begin(), kLayerDeps.end(),
+                     [&](const auto& entry) { return from == entry.first; });
+    for (const IncludeRef& include : record.includes) {
+      const std::string to = module_of("src/" + include.target);
+      if (to.empty() || to == from) continue;
+      const bool known = layer != kLayerDeps.end();
+      const bool allowed =
+          known && std::find_if(layer->second.begin(), layer->second.end(),
+                                [&](const char* dep) { return to == dep; }) !=
+                       layer->second.end();
+      if (allowed) continue;
+      std::string message = known
+          ? "module '" + from + "' may not include '" + to +
+                "' (layer order: common -> platform -> workload -> schedule -> core -> "
+                "baselines -> heuristics -> sim -> analysis -> api -> scenario)"
+          : "module '" + from + "' is not in the layer table; add it to kLayerDeps in "
+            "tools/mstlint/lint.cpp";
+      out.push_back({record.path, include.line, "layering", std::move(message)});
+    }
+  }
+}
+
+void check_cycles(const std::vector<FileRecord>& records, std::vector<Diagnostic>& out) {
+  // File-level graph over project headers: edges follow `mst/...` includes
+  // that resolve to a scanned file.  DFS; every back edge closes a cycle.
+  std::map<std::string, const FileRecord*> by_path;
+  for (const FileRecord& record : records) by_path[record.path] = &record;
+
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  std::vector<std::string> stack;
+
+  struct Dfs {
+    std::map<std::string, const FileRecord*>& by_path;
+    std::map<std::string, Color>& color;
+    std::vector<std::string>& stack;
+    std::vector<Diagnostic>& out;
+
+    void visit(const std::string& path) {
+      color[path] = Color::kGray;
+      stack.push_back(path);
+      for (const IncludeRef& include : by_path[path]->includes) {
+        const std::string target = "src/" + include.target;
+        const auto it = by_path.find(target);
+        if (it == by_path.end()) continue;
+        const Color c = color.count(target) ? color[target] : Color::kWhite;
+        if (c == Color::kGray) {
+          // Render the cycle from the target's position on the stack.
+          std::string chain;
+          for (auto at = std::find(stack.begin(), stack.end(), target); at != stack.end();
+               ++at) {
+            chain += *at + " -> ";
+          }
+          chain += target;
+          out.push_back({path, include.line, "include-cycle",
+                         "#include closes a cycle: " + chain});
+        } else if (c == Color::kWhite) {
+          visit(target);
+        }
+      }
+      stack.pop_back();
+      color[path] = Color::kBlack;
+    }
+  };
+
+  Dfs dfs{by_path, color, stack, out};
+  for (const FileRecord& record : records) {
+    if (!color.count(record.path)) dfs.visit(record.path);
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -561,6 +777,7 @@ std::vector<Diagnostic> lint_source(const std::string& path, const std::string& 
   rule_unordered(path, stripped, found);
   rule_zero_alloc(path, stripped, directives, found);
   if (registry_rule_applies(path)) rule_registry_supports(path, stripped, found);
+  if (shared_state_rule_applies(path)) rule_shared_mutable_state(path, stripped, found);
 
   std::vector<Diagnostic> out;
   for (Diagnostic& d : found) {
@@ -578,15 +795,18 @@ std::vector<Diagnostic> lint_source(const std::string& path, const std::string& 
 std::vector<Diagnostic> lint_tree(const std::string& root, std::vector<std::string>* scanned) {
   namespace fs = std::filesystem;
   std::vector<std::string> files;
-  for (const char* dir : {"src", "tools", "bench", "examples"}) {
+  for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
     const fs::path base = fs::path(root) / dir;
     if (!fs::exists(base)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
       if (!entry.is_regular_file()) continue;
       const fs::path rel = fs::relative(entry.path(), root);
       const std::string rel_str = rel.generic_string();
-      // The analyzer's own sources spell the banned tokens as rule data.
+      // The analyzer's own sources spell the banned tokens as rule data;
+      // its test and the fixture corpus spell the violations as data.
       if (rel_str.rfind("tools/mstlint/", 0) == 0) continue;
+      if (rel_str.rfind("tests/data/lint/", 0) == 0) continue;
+      if (rel_str == "tests/test_lint.cpp") continue;
       const std::string ext = entry.path().extension().string();
       if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
       files.push_back(rel_str);
@@ -595,15 +815,37 @@ std::vector<Diagnostic> lint_tree(const std::string& root, std::vector<std::stri
   std::sort(files.begin(), files.end());
 
   std::vector<Diagnostic> out;
+  std::vector<FileRecord> records;
+  records.reserve(files.size());
   for (const std::string& file : files) {
     std::ifstream is(fs::path(root) / file, std::ios::binary);
     std::ostringstream buffer;
     buffer << is.rdbuf();
-    std::vector<Diagnostic> diags = lint_source(file, buffer.str());
+    const std::string content = buffer.str();
+    std::vector<Diagnostic> diags = lint_source(file, content);
     out.insert(out.end(), std::make_move_iterator(diags.begin()),
                std::make_move_iterator(diags.end()));
+    FileRecord record;
+    record.path = file;
+    record.includes = parse_includes(content);
+    record.directives = parse_directives(file, strip(content).raw);
+    records.push_back(std::move(record));
     if (scanned != nullptr) scanned->push_back(file);
   }
+
+  // Tree-level passes over the include graph; suppressions apply at the
+  // offending #include's own file:line.
+  std::vector<Diagnostic> graph;
+  check_layering(records, graph);
+  check_cycles(records, graph);
+  std::map<std::string, const FileRecord*> by_path;
+  for (const FileRecord& record : records) by_path[record.path] = &record;
+  for (Diagnostic& d : graph) {
+    if (!suppressed(by_path[d.file]->directives, d.line, d.rule)) out.push_back(std::move(d));
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
   return out;
 }
 

@@ -54,10 +54,14 @@ bool known_rule(const std::string& id);
 /// paths), `content` is the raw file text.
 std::vector<Diagnostic> lint_source(const std::string& path, const std::string& content);
 
-/// Walks `src/`, `tools/`, `bench/` and `examples/` under `root`, linting
-/// every `.cpp`/`.hpp`.  `tools/mstlint/` itself is skipped: the rule table
-/// spells the banned tokens out as data.  When `scanned` is non-null the
-/// visited relative paths are appended to it (for the self-test).
+/// Walks `src/`, `tools/`, `bench/`, `examples/` and `tests/` under
+/// `root`, linting every `.cpp`/`.hpp`, then runs the tree-level passes
+/// over the project include graph (module layering, include cycles).
+/// Skipped by design: `tools/mstlint/` (the rule table spells the banned
+/// tokens out as data), `tests/data/lint/` and `tests/test_lint.cpp` (the
+/// intentional-violation corpus and the fixtures embedded in the lint
+/// test).  When `scanned` is non-null the visited relative paths are
+/// appended to it (for the self-test).
 std::vector<Diagnostic> lint_tree(const std::string& root,
                                   std::vector<std::string>* scanned = nullptr);
 
