@@ -1,24 +1,13 @@
 // CPLX-CHAIN: microbenchmarks of the chain algorithm — the paper claims
 // O(n·p²); the n-sweep must scale linearly and the p-sweep quadratically
-// (see exp_scaling for the fitted exponents).
-//
-// Self-contained timing harness (no Google Benchmark dependency, so this
-// binary always builds): each subject runs over std::chrono::steady_clock
-// in calibrated batches, reporting the minimum ns/op across repetitions —
-// the least-noise estimate.  `--json` emits one {bench, n, ns_per_op}
-// record per row; bench/BENCH_chain.json holds the committed baseline that
-// future runs are compared against.  `n` is the swept size parameter: task
-// count for the n-sweeps, processor count for the procs sweep.
+// (see exp_scaling for the fitted exponents).  Timing harness shared with
+// the other bench_* binaries: bench/bench_harness.hpp; the committed
+// baseline is bench/BENCH_chain.json.
 
-#include <chrono>
 #include <cstddef>
-#include <cstring>
-#include <functional>
-#include <iostream>
-#include <string>
 #include <vector>
 
-#include "mst/common/fmt.hpp"
+#include "bench_harness.hpp"
 #include "mst/common/rng.hpp"
 #include "mst/core/chain_scheduler.hpp"
 #include "mst/platform/generator.hpp"
@@ -26,48 +15,13 @@
 
 namespace {
 
-/// Defeats dead-code elimination without a benchmark-library dependency:
-/// the empty asm claims to read memory through the pointer, so the
-/// computation of `value` cannot be elided.
-template <typename T>
-void keep(const T& value) {
-  asm volatile("" : : "g"(&value) : "memory");
-}
+using mst::bench::Row;
+using mst::bench::keep;
+using mst::bench::time_op;
 
 mst::Chain make_chain(std::size_t p) {
   mst::Rng rng(0xC4A1F + p);
   return mst::random_chain(rng, p, {1, 10, mst::PlatformClass::kUniform});
-}
-
-struct Row {
-  std::string bench;
-  std::size_t n = 0;
-  double ns_per_op = 0.0;
-};
-
-/// Calibrates a batch size long enough to trust the clock (≥ 2 ms), then
-/// returns the best per-op time over three batches.
-double time_op(const std::function<void()>& op) {
-  using Clock = std::chrono::steady_clock;
-  const auto batch_ns = [&](std::size_t iters) {
-    const Clock::time_point start = Clock::now();
-    for (std::size_t i = 0; i < iters; ++i) op();
-    const auto elapsed = Clock::now() - start;
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
-  };
-  std::size_t iters = 1;
-  long long ns = batch_ns(iters);
-  while (ns < 2'000'000 && iters < (std::size_t{1} << 22)) {
-    iters *= 2;
-    ns = batch_ns(iters);
-  }
-  double best = static_cast<double>(ns) / static_cast<double>(iters);
-  for (int repetition = 0; repetition < 2; ++repetition) {
-    const double per_op =
-        static_cast<double>(batch_ns(iters)) / static_cast<double>(iters);
-    if (per_op < best) best = per_op;
-  }
-  return best;
 }
 
 std::vector<Row> run_all() {
@@ -100,40 +54,8 @@ std::vector<Row> run_all() {
   return rows;
 }
 
-void print_json(const std::vector<Row>& rows) {
-  std::cout << "[\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::cout << "  {\"bench\": \"" << rows[i].bench << "\", \"n\": " << rows[i].n
-              << ", \"ns_per_op\": " << mst::format_double(rows[i].ns_per_op) << "}"
-              << (i + 1 < rows.size() ? "," : "") << "\n";
-  }
-  std::cout << "]\n";
-}
-
-void print_table(const std::vector<Row>& rows) {
-  for (const Row& row : rows) {
-    std::cout << row.bench << " n=" << row.n
-              << " ns/op=" << mst::format_double(row.ns_per_op) << "\n";
-  }
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else {
-      std::cerr << "usage: bench_chain [--json]\n";
-      return 2;
-    }
-  }
-  const std::vector<Row> rows = run_all();
-  if (json) {
-    print_json(rows);
-  } else {
-    print_table(rows);
-  }
-  return 0;
+  return mst::bench::bench_main(argc, argv, "bench_chain", run_all);
 }

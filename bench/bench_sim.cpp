@@ -1,53 +1,60 @@
-// Microbenchmarks of the simulator substrate: event engine throughput,
-// store-and-forward dispatch and static replay.
+// CPLX-SIM: microbenchmarks of the simulator substrate — event engine
+// throughput, online store-and-forward dispatch and static replay.  Timing
+// harness shared with the other bench_* binaries: bench/bench_harness.hpp;
+// the committed baseline is bench/BENCH_sim.json.
 
-#include <benchmark/benchmark.h>
+#include <cstddef>
+#include <vector>
 
-#include <cstdint>
-
+#include "bench_harness.hpp"
 #include "mst/common/rng.hpp"
 #include "mst/core/chain_scheduler.hpp"
 #include "mst/platform/generator.hpp"
 #include "mst/sim/engine.hpp"
 #include "mst/sim/online.hpp"
-#include "mst/sim/platform_sim.hpp"
 #include "mst/sim/static_replay.hpp"
 
 namespace {
 
-void BM_EngineEventThroughput(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    mst::sim::Engine engine;
-    for (std::size_t i = 0; i < n; ++i) {
-      engine.at(static_cast<mst::Time>(i % 97), [] {});
+using mst::bench::Row;
+using mst::bench::keep;
+using mst::bench::time_op;
+
+std::vector<Row> run_all() {
+  std::vector<Row> rows;
+
+  for (std::size_t n = 1024; n <= 65536; n *= 4) {
+    rows.push_back({"engine_event_throughput", n, time_op([&] {
+                      mst::sim::Engine engine;
+                      for (std::size_t i = 0; i < n; ++i) {
+                        engine.at(static_cast<mst::Time>(i % 97), [] {});
+                      }
+                      keep(engine.run());
+                    })});
+  }
+  {
+    mst::Rng rng(0x51D);
+    const mst::Tree tree = mst::random_tree(rng, 24, {1, 10, mst::PlatformClass::kUniform});
+    for (std::size_t n = 64; n <= 1024; n *= 4) {
+      rows.push_back({"simulate_online_ect", n, time_op([&] {
+                        keep(mst::sim::simulate_online(
+                            tree, n, mst::sim::OnlinePolicy::kEarliestCompletion, 1));
+                      })});
     }
-    benchmark::DoNotOptimize(engine.run());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
-}
-BENCHMARK(BM_EngineEventThroughput)->RangeMultiplier(4)->Range(1024, 65536);
-
-void BM_SimulateOnlineEct(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  mst::Rng rng(0x51D);
-  const mst::Tree tree = mst::random_tree(rng, 24, {1, 10, mst::PlatformClass::kUniform});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        mst::sim::simulate_online(tree, n, mst::sim::OnlinePolicy::kEarliestCompletion, 1));
+  {
+    mst::Rng rng(0x9E91A);
+    const mst::Chain chain = mst::random_chain(rng, 12, {1, 10, mst::PlatformClass::kUniform});
+    for (std::size_t n = 64; n <= 1024; n *= 4) {
+      const mst::ChainSchedule s = mst::ChainScheduler::schedule(chain, n);
+      rows.push_back({"static_replay_chain", n, time_op([&] { keep(mst::sim::replay(s)); })});
+    }
   }
+  return rows;
 }
-BENCHMARK(BM_SimulateOnlineEct)->RangeMultiplier(4)->Range(64, 1024);
-
-void BM_StaticReplayChain(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  mst::Rng rng(0x9E91A);
-  const mst::Chain chain = mst::random_chain(rng, 12, {1, 10, mst::PlatformClass::kUniform});
-  const mst::ChainSchedule s = mst::ChainScheduler::schedule(chain, n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(mst::sim::replay(s));
-  }
-}
-BENCHMARK(BM_StaticReplayChain)->RangeMultiplier(4)->Range(64, 1024);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return mst::bench::bench_main(argc, argv, "bench_sim", run_all);
+}

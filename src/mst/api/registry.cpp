@@ -1,6 +1,7 @@
 #include "mst/api/registry.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -20,6 +21,7 @@
 #include "mst/core/spider_scheduler.hpp"
 #include "mst/heuristics/local_search.hpp"
 #include "mst/heuristics/tree_schedule.hpp"
+#include "mst/obs/metrics.hpp"
 #include "mst/sim/online.hpp"
 #include "mst/sim/platform_sim.hpp"
 #include "mst/sim/streaming.hpp"
@@ -69,6 +71,18 @@ void require_supported(std::string_view algorithm, const WorkloadFeatures& suppo
      << to_string(requested) << " (supported: " << to_string(supports)
      << "); see the capability matrix in mstctl --mode=list";
   throw std::invalid_argument(os.str());
+}
+
+/// Per-algorithm dispatch counter, e.g. "api.solve.optimal".  The name is
+/// assembled in a stack buffer — instrumented dispatch allocates nothing the
+/// uninstrumented one does not.
+void count_dispatch(obs::MetricsRegistry* metrics, const char* prefix,
+                    std::string_view algorithm) {
+  if (metrics == nullptr) return;
+  char name[obs::MetricsRegistry::kNameCapacity];
+  std::snprintf(name, sizeof name, "%s%.*s", prefix, static_cast<int>(algorithm.size()),
+                algorithm.data());
+  metrics->counter(name).increment();
 }
 
 }  // namespace
@@ -232,7 +246,15 @@ DecisionResult Scheduler::solve_within(const Platform& platform, Time deadline,
   // dispatch.
   if (deadline <= 0 || cap == 0) return out;
 
+  // Instrumentation point: every makespan-form evaluation the inversion
+  // spends — exponential growth, bisection and the final materializing
+  // solve — lands on one counter.
+  obs::Counter probes;
+  if (options.metrics != nullptr) {
+    probes = options.metrics->counter("api.decision.probe_solves");
+  }
   const auto probe_solve = [&](std::size_t k, const SolveOptions& solve_options) {
+    probes.increment();
     return pool != nullptr ? solve(platform, pool->prefix(k), solve_options)
                            : solve(platform, k, solve_options);
   };
@@ -430,6 +452,7 @@ SolveResult Registry::solve(const Platform& platform, std::string_view algorithm
   if (const AlgorithmInfo* entry = info(kind_of(platform), algorithm)) {
     require_supported(algorithm, entry->supports, workload.features());
   }
+  count_dispatch(options.metrics, "api.solve.", algorithm);
   SolveResult result = resolve(*this, platform, algorithm).solve(platform, workload, options);
   result.workload = workload;
   return result;
@@ -447,6 +470,7 @@ DecisionResult Registry::solve_within(const Platform& platform, std::string_view
       require_supported(algorithm, entry->supports, options.workload->features());
     }
   }
+  count_dispatch(options.metrics, "api.decide.", algorithm);
   DecisionResult result =
       resolve(*this, platform, algorithm).solve_within(platform, deadline, options);
   // The adapter's empty-window early return has no probe to learn its

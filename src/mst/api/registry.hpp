@@ -60,6 +60,10 @@
 /// handle, and `Registry::solve*` rejects unsupported workloads with a
 /// clear `std::invalid_argument` instead of silently mis-scheduling.
 
+namespace mst::obs {
+class MetricsRegistry;
+}  // namespace mst::obs
+
 namespace mst::api {
 
 // ---------------------------------------------------------------------------
@@ -117,6 +121,12 @@ struct SolveOptions {
   /// `min(cap, workload->count())`.  Shared pointer so copying options per
   /// cell stays cheap in sweeps.
   std::shared_ptr<const Workload> workload;
+  /// Optional, borrowed metrics sink.  When set, registry dispatch counts
+  /// solves per algorithm and the decision-form adapter counts its
+  /// makespan-inversion probes; every metric recorded through this pointer
+  /// is deterministic-class (pure function of the inputs).  The caller owns
+  /// the registry and keeps it alive for the call.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Uniform outcome of `Scheduler::solve`: the schedule plus the metrics the

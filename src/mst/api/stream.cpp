@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "mst/obs/metrics.hpp"
+
 namespace mst::api {
 
 double StreamOutcome::throughput() const {
@@ -15,7 +17,8 @@ double StreamOutcome::throughput() const {
 }
 
 void attach_offline_reference(StreamOutcome& outcome, const Platform& platform,
-                              const Workload& workload, const Registry& registry) {
+                              const Workload& workload, const Registry& registry,
+                              obs::MetricsRegistry* metrics) {
   // Exact offline reference: the kind's "optimal" entry, when it is
   // registered, provably optimal, and able to schedule this workload.
   //
@@ -36,6 +39,7 @@ void attach_offline_reference(StreamOutcome& outcome, const Platform& platform,
       workload.features().subset_of(offline->supports)) {
     SolveOptions fast;
     fast.materialize = false;
+    fast.metrics = metrics;
     outcome.offline_makespan = registry.solve(platform, "optimal", workload, fast).makespan;
   }
   // The regret sentinel stays negative unless both makespans are genuinely
@@ -49,7 +53,8 @@ void attach_offline_reference(StreamOutcome& outcome, const Platform& platform,
 
 StreamOutcome run_stream(const Platform& platform, std::string_view algorithm,
                          const Workload& workload, std::uint64_t seed,
-                         const Registry& registry, bool attach_reference) {
+                         const Registry& registry, bool attach_reference,
+                         const obs::Observation& observation) {
   const PlatformKind kind = kind_of(platform);
   const AlgorithmInfo* info = registry.info(kind, algorithm);
   if (info == nullptr) {
@@ -73,18 +78,24 @@ StreamOutcome run_stream(const Platform& platform, std::string_view algorithm,
   const std::unique_ptr<sim::StreamPolicy> policy =
       sim::make_named_policy(platform, tree, algorithm, seed);
 
+  if (observation.metrics != nullptr) {
+    observation.metrics->counter("api.stream.runs").increment();
+  }
+
   StreamOutcome out;
   out.algorithm = std::string(algorithm);
   out.kind = kind;
   if (!workload.empty()) {
-    sim::StreamResult run = sim::simulate_stream(tree, workload, *policy);
+    sim::StreamResult run = sim::simulate_stream(tree, workload, *policy, observation);
     out.tasks = run.sim.num_tasks();
     out.makespan = run.sim.makespan;
     out.metrics = std::move(run.metrics);
     out.sim = std::move(run.sim);
   }
 
-  if (attach_reference) attach_offline_reference(out, platform, workload, registry);
+  if (attach_reference) {
+    attach_offline_reference(out, platform, workload, registry, observation.metrics);
+  }
   return out;
 }
 

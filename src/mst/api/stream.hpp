@@ -55,17 +55,24 @@ struct StreamOutcome {
 /// `attach_reference = false` skips the offline reference solve (regret
 /// stays the sentinel) — for timed repetitions that must measure the
 /// streamed run alone; attach it once afterwards with
-/// `attach_offline_reference`.
+/// `attach_offline_reference`.  `observation` (optional, defaulted off)
+/// instruments the streamed run: the simulator's Gantt/queue signals, the
+/// streaming layer's arrival/latency/backlog signals, and an
+/// "api.stream.runs" counter.
 StreamOutcome run_stream(const Platform& platform, std::string_view algorithm,
                          const Workload& workload, std::uint64_t seed = 1,
                          const Registry& registry = api::registry(),
-                         bool attach_reference = true);
+                         bool attach_reference = true,
+                         const obs::Observation& observation = {});
 
 /// Computes `outcome.offline_makespan` / `outcome.regret` for a run of
 /// `workload` on `platform` (see `StreamOutcome::offline_makespan` for
-/// when a reference exists).  Idempotent; no-op on empty runs.
+/// when a reference exists).  Idempotent; no-op on empty runs.  `metrics`
+/// (optional) counts the reference solve through the registry's
+/// per-algorithm dispatch counters.
 void attach_offline_reference(StreamOutcome& outcome, const Platform& platform,
                               const Workload& workload,
-                              const Registry& registry = api::registry());
+                              const Registry& registry = api::registry(),
+                              obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace mst::api

@@ -1,0 +1,70 @@
+#include "mst/api/trace_replay.hpp"
+
+#include <stdexcept>
+#include <variant>
+#include <vector>
+
+namespace mst::api {
+
+namespace {
+
+struct ReplayVisitor {
+  const SolveResult& result;
+  const obs::Observation& observation;
+
+  sim::SimResult operator()(const std::monostate&) const {
+    throw std::invalid_argument(
+        "replay_schedule: result carries no materialized schedule (solve with "
+        "options.materialize = true)");
+  }
+
+  sim::SimResult operator()(const ChainSchedule& schedule) const {
+    std::vector<NodeId> dests;
+    dests.reserve(schedule.tasks.size());
+    for (const ChainTask& task : schedule.tasks) {
+      dests.push_back(static_cast<NodeId>(task.proc + 1));
+    }
+    return sim::simulate_dispatch(tree_from_chain(schedule.chain), dests, result.workload,
+                                  observation);
+  }
+
+  sim::SimResult operator()(const ForkSchedule& schedule) const {
+    std::vector<NodeId> dests;
+    dests.reserve(schedule.tasks.size());
+    for (const ForkTask& task : schedule.tasks) {
+      dests.push_back(static_cast<NodeId>(task.slave + 1));
+    }
+    return sim::simulate_dispatch(tree_from_spider(Spider::from_fork(schedule.fork)), dests,
+                                  result.workload, observation);
+  }
+
+  sim::SimResult operator()(const SpiderSchedule& schedule) const {
+    // Embedding bases: leg `l`'s first node is 1 + total length of legs < l.
+    std::vector<NodeId> leg_base;
+    leg_base.reserve(schedule.spider.num_legs());
+    NodeId base = 1;
+    for (std::size_t l = 0; l < schedule.spider.num_legs(); ++l) {
+      leg_base.push_back(base);
+      base += static_cast<NodeId>(schedule.spider.leg(l).size());
+    }
+    std::vector<NodeId> dests;
+    dests.reserve(schedule.tasks.size());
+    for (const SpiderTask& task : schedule.tasks) {
+      dests.push_back(leg_base[task.leg] + static_cast<NodeId>(task.proc));
+    }
+    return sim::simulate_dispatch(tree_from_spider(schedule.spider), dests, result.workload,
+                                  observation);
+  }
+
+  sim::SimResult operator()(const TreeDispatch& dispatch) const {
+    return sim::simulate_dispatch(dispatch.tree, dispatch.dests, result.workload, observation);
+  }
+};
+
+}  // namespace
+
+sim::SimResult replay_schedule(const SolveResult& result, const obs::Observation& observation) {
+  return std::visit(ReplayVisitor{result, observation}, result.schedule);
+}
+
+}  // namespace mst::api

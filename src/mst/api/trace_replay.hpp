@@ -1,0 +1,30 @@
+#pragma once
+
+#include "mst/api/registry.hpp"
+#include "mst/obs/observation.hpp"
+#include "mst/sim/platform_sim.hpp"
+
+/// \file trace_replay.hpp
+/// Operational replay of a solved schedule, for observability.
+///
+/// The analytic schedulers emit timing vectors, not event streams; to trace
+/// a solve as a Gantt chart the schedule is replayed through the
+/// store-and-forward simulator (`sim::simulate_dispatch`) on the platform's
+/// tree embedding, with the observation attached.  For the optimal
+/// constructions the replayed makespan reproduces the analytic one exactly
+/// (the cross-validation invariant the simulator was built on), so the
+/// trace *is* the schedule — the paper's Figure 2, machine-readable.
+
+namespace mst::api {
+
+/// Replays `result`'s materialized schedule and records it on
+/// `observation`.  The destination sequence follows the schedule's
+/// master-emission order under the canonical embeddings (chain processor
+/// `i` -> node `i + 1`; fork slave `s` -> node `s + 1` via the spider form;
+/// spider leg `l` depth `d` -> node `1 + sum(len of legs < l) + d`; tree
+/// dispatch plans replay as-is).  Throws `std::invalid_argument` for a
+/// `monostate` schedule — a makespan-only result has nothing to replay.
+sim::SimResult replay_schedule(const SolveResult& result,
+                               const obs::Observation& observation = {});
+
+}  // namespace mst::api

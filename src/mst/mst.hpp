@@ -12,6 +12,10 @@
 #include "mst/common/table.hpp"
 #include "mst/common/time.hpp"
 
+#include "mst/obs/metrics.hpp"
+#include "mst/obs/observation.hpp"
+#include "mst/obs/trace.hpp"
+
 #include "mst/workload/arrival.hpp"
 #include "mst/workload/workload.hpp"
 #include "mst/workload/workload_io.hpp"
@@ -66,6 +70,7 @@
 #include "mst/api/platform_io.hpp"
 #include "mst/api/registry.hpp"
 #include "mst/api/stream.hpp"
+#include "mst/api/trace_replay.hpp"
 
 #include "mst/scenario/generators.hpp"
 #include "mst/scenario/report.hpp"

@@ -134,4 +134,27 @@ std::string to_json(const std::vector<CellOutcome>& outcomes, const ReportOption
   return os.str();
 }
 
+void trace_outcomes(const std::vector<CellOutcome>& outcomes, obs::TraceSink& sink) {
+  const obs::NameId solve_name = sink.name("solve");
+  const obs::NameId within_name = sink.name("within");
+  const obs::NameId stream_name = sink.name("stream");
+  const obs::NameId failed_name = sink.name("failed");
+  char label[obs::TraceSink::kLabelCapacity];
+  for (const CellOutcome& out : outcomes) {
+    const Cell& cell = out.cell;
+    std::snprintf(label, sizeof label, "cell %03zu %s/%s", cell.index, cell.kind.c_str(),
+                  cell.algorithm.c_str());
+    const obs::TrackId track = sink.track(label);
+    if (!out.ok()) {
+      sink.instant(track, failed_name, 0);
+      continue;
+    }
+    const obs::NameId mode_name = cell.mode == CellMode::kStream  ? stream_name
+                                  : cell.mode == CellMode::kWithin ? within_name
+                                                                   : solve_name;
+    sink.begin(track, mode_name, 0, static_cast<Time>(out.tasks));
+    sink.end(track, mode_name, out.makespan);
+  }
+}
+
 }  // namespace mst::scenario

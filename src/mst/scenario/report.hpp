@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "mst/obs/trace.hpp"
 #include "mst/scenario/runner.hpp"
 
 /// \file report.hpp
@@ -40,5 +41,12 @@ std::string to_csv(const std::vector<CellOutcome>& outcomes, const ReportOptions
 /// JSON array, one object per row (same fields, inapplicable ones omitted).
 std::string to_json(const std::vector<CellOutcome>& outcomes,
                     const ReportOptions& options = {});
+
+/// Sweep overview trace: one track per cell (labelled
+/// `cell NNN <kind>/<algorithm>`), carrying a `[0, makespan]` span named by
+/// the cell's mode and a failure instant for error rows.  All sim-clock
+/// spans over index-ordered outcomes — deterministic at any thread count,
+/// like the CSV/JSON writers.
+void trace_outcomes(const std::vector<CellOutcome>& outcomes, obs::TraceSink& sink);
 
 }  // namespace mst::scenario

@@ -3,12 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "mst/api/stream.hpp"
 #include "mst/common/mutex.hpp"
 #include "mst/common/thread_annotations.hpp"
+#include "mst/obs/metrics.hpp"
 
 namespace mst::scenario {
 
@@ -20,12 +22,31 @@ namespace {
 /// mutex so the Clang `-Wthread-safety` job proves every access holds it.
 class ProgressSink {
  public:
-  ProgressSink(std::function<void(std::size_t, std::size_t, bool)> callback, std::size_t total)
-      : callback_(std::move(callback)), total_(total) {}
+  ProgressSink(std::function<void(std::size_t, std::size_t, bool)> callback, std::size_t total,
+               obs::MetricsRegistry* metrics)
+      : callback_(std::move(callback)), total_(total) {
+    if (metrics != nullptr) {
+      completed_counter_ = metrics->counter("scenario.cells.completed");
+      failed_counter_ = metrics->counter("scenario.cells.failed");
+      total_gauge_ = metrics->gauge("scenario.cells.total");
+    }
+  }
 
-  /// Records one finished cell; forwards to the user callback (if any)
-  /// while still holding the lock, so callbacks never interleave.
+  /// Announces the run before any cell executes: records the grid size on
+  /// the metrics sink and fires the callback's leading `(0, total, false)`
+  /// report, so consumers learn the total up front.
+  void start() MST_EXCLUDES(mutex_) {
+    total_gauge_.record(static_cast<Time>(total_));
+    if (callback_ == nullptr) return;
+    LockGuard lock(mutex_);
+    callback_(0, total_, false);
+  }
+
+  /// Records one finished cell — counters always, then the user callback
+  /// (if any) while still holding the lock, so callbacks never interleave.
   void report(bool failed) MST_EXCLUDES(mutex_) {
+    completed_counter_.increment();
+    if (failed) failed_counter_.increment();
     if (callback_ == nullptr) return;
     LockGuard lock(mutex_);
     ++done_;
@@ -36,6 +57,9 @@ class ProgressSink {
  private:
   const std::function<void(std::size_t, std::size_t, bool)> callback_;
   const std::size_t total_;
+  obs::Counter completed_counter_;
+  obs::Counter failed_counter_;
+  obs::Gauge total_gauge_;
   Mutex mutex_;
   std::size_t done_ MST_GUARDED_BY(mutex_) = 0;
   std::size_t failed_ MST_GUARDED_BY(mutex_) = 0;
@@ -55,6 +79,24 @@ void run_one(const Cell& cell, const RunOptions& options, const api::Registry& r
   // Decision-form cells of the workload axis select from a finite pool.
   if (cell.mode == CellMode::kWithin) solve_options.workload = cell.workload;
 
+  // Cell-local metrics: each cell records into its own registry (giving the
+  // per-cell snapshot), then merges into the sweep-wide one on exit — a
+  // commutative fold, so the aggregate is thread-count independent.
+  std::optional<obs::MetricsRegistry> cell_metrics;
+  if (options.metrics != nullptr) {
+    cell_metrics.emplace();
+    solve_options.metrics = &*cell_metrics;
+  }
+  const auto flush_metrics = [&] {
+    if (!cell_metrics.has_value()) return;
+    // Host-measured, hence wall-time class: excluded from default
+    // snapshots, mirroring the reporters' --timing convention.
+    cell_metrics->counter("scenario.cell.wall_us", obs::DeterminismClass::kWallTime)
+        .add(static_cast<Time>(out.wall_ms * 1000.0));
+    out.metrics = cell_metrics->snapshot(/*include_wall_time=*/true);
+    cell_metrics->merge_into(*options.metrics);
+  };
+
   try {
     const int reps = options.reps < 1 ? 1 : options.reps;
     if (cell.mode == CellMode::kStream) {
@@ -68,17 +110,20 @@ void run_one(const Cell& cell, const RunOptions& options, const api::Registry& r
         // Reference-free inside the timed loop: wall_ms measures the
         // streamed run alone, not the offline regret baseline.
         result = api::run_stream(*cell.platform, cell.algorithm, workload, cell.seed, registry,
-                                 /*attach_reference=*/false);
+                                 /*attach_reference=*/false,
+                                 obs::Observation{solve_options.metrics, nullptr});
         const double ms = ms_since(start);
         if (rep == 0 || ms < out.wall_ms) out.wall_ms = ms;
       }
-      api::attach_offline_reference(result, *cell.platform, workload, registry);
+      api::attach_offline_reference(result, *cell.platform, workload, registry,
+                                    solve_options.metrics);
       out.tasks = result.tasks;
       out.makespan = result.makespan;
       out.throughput = result.throughput();
       out.mean_latency = result.metrics.mean_latency;
       out.peak_backlog = result.metrics.peak_backlog;
       out.regret = result.regret;
+      flush_metrics();
       return;
     }
     if (cell.mode == CellMode::kSolve) {
@@ -122,6 +167,7 @@ void run_one(const Cell& cell, const RunOptions& options, const api::Registry& r
   } catch (const std::exception& e) {
     out.error = e.what();
   }
+  flush_metrics();
 }
 
 }  // namespace
@@ -141,7 +187,8 @@ std::vector<CellOutcome> run_cells(const std::vector<Cell>& cells, const RunOpti
   // Work stealing by atomic index; slot `i` belongs to cell `i`, so the
   // result order never depends on scheduling.
   std::atomic<std::size_t> next{0};
-  ProgressSink progress(options.on_progress, cells.size());
+  ProgressSink progress(options.on_progress, cells.size(), options.metrics);
+  progress.start();
   auto worker = [&] {
     for (std::size_t i = next.fetch_add(1); i < cells.size(); i = next.fetch_add(1)) {
       run_one(cells[i], options, registry, results[i]);

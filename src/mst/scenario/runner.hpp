@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mst/api/registry.hpp"
+#include "mst/obs/metrics.hpp"
 #include "mst/scenario/generators.hpp"
 #include "mst/scenario/spec.hpp"
 
@@ -41,14 +42,25 @@ struct RunOptions {
   int reps = 1;
   /// Decision-form search cap (`SolveOptions::cap`).
   std::size_t cap = 1u << 20;
-  /// Progress callback: invoked once per finished cell with (cells done so
-  /// far, total cells, whether that cell failed).  Calls are serialized
-  /// under a mutex (the pool's one shared-state channel — see ProgressSink
-  /// in runner.cpp, whose counters are compiler-checked `MST_GUARDED_BY`
-  /// under the Clang CI job), and `done` is monotone 1..total; completion
-  /// *order* still depends on thread scheduling, so a callback that cares
-  /// about determinism should key on counts, never on which cell landed.
+  /// Progress callback: invoked once up front with `(0, total, false)` —
+  /// announcing the grid size before any cell runs, so consumers can size
+  /// progress bars without waiting for the first completion — then once per
+  /// finished cell with (cells done so far, total cells, whether that cell
+  /// failed).  Calls are serialized under a mutex (the pool's one
+  /// shared-state channel — see ProgressSink in runner.cpp, whose counters
+  /// are compiler-checked `MST_GUARDED_BY` under the Clang CI job), and
+  /// `done` is monotone 0, 1 .. total; completion *order* still depends on
+  /// thread scheduling, so a callback that cares about determinism should
+  /// key on counts, never on which cell landed.
   std::function<void(std::size_t done, std::size_t total, bool failed)> on_progress;
+  /// Optional, borrowed metrics sink for the whole sweep.  Each cell solves
+  /// against its own local registry (so per-cell snapshots exist in
+  /// `CellOutcome::metrics`) and merges into this one when it finishes;
+  /// merging is commutative, so the aggregate — like every other runner
+  /// output — is byte-identical at any thread count.  Wall-time-class
+  /// entries (e.g. `scenario.cell.wall_us`) are segregated at serialization
+  /// time, mirroring the reporters' `--timing` convention.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One cell's result row.
@@ -68,6 +80,11 @@ struct CellOutcome {
   double mean_latency = -1;      ///< mean per-task (completion - release)
   std::size_t peak_backlog = 0;  ///< max tasks arrived but not yet emitted
   double regret = -1;            ///< online/offline makespan ratio (>= 1)
+
+  /// Per-cell metric snapshot (sorted by name, wall-time entries included —
+  /// consumers filter by `DeterminismClass`).  Empty unless
+  /// `RunOptions::metrics` was set.
+  std::vector<obs::MetricSample> metrics;
 
   [[nodiscard]] bool ok() const { return error.empty(); }
 };

@@ -1,6 +1,10 @@
 #include "mst/sim/platform_sim.hpp"
 
+#include <cstdio>
+
 #include "mst/common/assert.hpp"
+#include "mst/obs/metrics.hpp"
+#include "mst/obs/trace.hpp"
 #include "mst/sim/engine.hpp"
 
 namespace mst::sim {
@@ -8,6 +12,11 @@ namespace mst::sim {
 namespace {
 
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Per-node gauge names are bounded so a sweep's merged registry cannot be
+/// flooded by one very wide platform: nodes past the cap still feed the
+/// global high-water gauge.
+constexpr std::size_t kPerNodeMetricCap = 128;
 
 /// Whole-run simulation state; nodes interact only through the engine.
 ///
@@ -18,10 +27,17 @@ constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 /// waits in at most one queue at a time, so one intrusive link suffices.
 /// The streaming driver rides this same loop, so its steady state inherits
 /// the property (pinned by tests/test_zero_alloc.cpp).
+///
+/// Observability rides the same discipline: trace tracks and event names
+/// are interned here in the constructor (into the sink's fixed label
+/// tables), so the per-event hooks are null checks plus reserved-capacity
+/// pushes — the zero-alloc region below stays clean with a sink attached.
 class Simulation {
  public:
-  Simulation(const Tree& tree, const Workload& workload, const DestinationChooser& chooser)
-      : tree_(tree), workload_(workload), n_(workload.count()), chooser_(chooser) {
+  Simulation(const Tree& tree, const Workload& workload, const DestinationChooser& chooser,
+             const obs::Observation& observation)
+      : tree_(tree), workload_(workload), n_(workload.count()), chooser_(chooser),
+        obs_(observation) {
     result_.tasks.resize(n_);
     hop_.assign(n_, 0);
     next_task_.assign(n_, kNone);
@@ -34,6 +50,24 @@ class Simulation {
     // A bounded cut of the event graph is live at once: per node one
     // in-flight send and one running execution, plus the dispatch re-arm.
     engine_.reserve(2 * tree.size() + 1);
+    if (obs_.trace != nullptr) {
+      // Gantt layout: one track for the master's emissions, one per link
+      // (the span is the link's busy interval) and one per slave CPU.
+      obs::TraceSink& trace = *obs_.trace;
+      master_track_ = trace.track("master");
+      comm_name_ = trace.name("comm");
+      exec_name_ = trace.name("exec");
+      emit_name_ = trace.name("emit");
+      link_track_.assign(tree.size(), obs::kInvalidTrack);
+      cpu_track_.assign(tree.size(), obs::kInvalidTrack);
+      char label[obs::TraceSink::kLabelCapacity];
+      for (NodeId v = 1; v < tree.size(); ++v) {
+        std::snprintf(label, sizeof label, "link %zu->%zu", tree.parent(v), v);
+        link_track_[v] = trace.track(label);
+        std::snprintf(label, sizeof label, "cpu %zu", v);
+        cpu_track_[v] = trace.track(label);
+      }
+    }
   }
 
   SimResult run() {
@@ -45,14 +79,18 @@ class Simulation {
       ++result_.tasks_per_node[t.dest];
       result_.makespan = std::max(result_.makespan, t.end);
     }
+    record_metrics();
     return std::move(result_);
   }
 
  private:
-  /// Intrusive FIFO of task indices threaded through `next_task_`.
+  /// Intrusive FIFO of task indices threaded through `next_task_`.  Depth
+  /// bookkeeping feeds the per-node queue high-water gauges.
   struct Fifo {
     std::size_t head = kNone;
     std::size_t tail = kNone;
+    std::size_t depth = 0;
+    std::size_t high_water = 0;
   };
 
   void push(Fifo& queue, std::size_t task) {
@@ -63,6 +101,7 @@ class Simulation {
       next_task_[queue.tail] = task;
     }
     queue.tail = task;
+    if (++queue.depth > queue.high_water) queue.high_water = queue.depth;
   }
 
   std::size_t pop(Fifo& queue) {
@@ -70,6 +109,7 @@ class Simulation {
     MST_ASSERT(task != kNone);
     queue.head = next_task_[task];
     if (queue.head == kNone) queue.tail = kNone;
+    --queue.depth;
     return task;
   }
 
@@ -80,8 +120,28 @@ class Simulation {
     return route;
   }
 
+  /// Post-run counter flush; sim-clock derived, so every metric here is
+  /// deterministic-class.
+  void record_metrics() {
+    if (obs_.metrics == nullptr) return;
+    obs::MetricsRegistry& metrics = *obs_.metrics;
+    metrics.counter("sim.engine.events").add(static_cast<Time>(engine_.events_processed()));
+    metrics.counter("sim.tasks.completed").add(static_cast<Time>(n_));
+    char name[obs::MetricsRegistry::kNameCapacity];
+    Time global_hw = 0;
+    for (NodeId v = 0; v < tree_.size(); ++v) {
+      const std::size_t hw = std::max(out_queue_[v].high_water, cpu_queue_[v].high_water);
+      global_hw = std::max(global_hw, static_cast<Time>(hw));
+      if (v == 0 || v >= kPerNodeMetricCap || hw == 0) continue;
+      std::snprintf(name, sizeof name, "sim.node.%03zu.queue_hw", v);
+      metrics.gauge(name).record(static_cast<Time>(hw));
+    }
+    metrics.gauge("sim.queue.high_water").record(global_hw);
+  }
+
   // The steady-state region: everything below runs per event, after the
   // constructor sized the arrays and the first task warmed each route.
+  // Trace hooks are reserved-capacity pushes behind null checks.
   // mstlint: zero-alloc
 
   /// The master's out-port freed (or the run just started): pick the next
@@ -115,10 +175,21 @@ class Simulation {
     const std::size_t task = pop(out_queue_[v]);
     const NodeId next = route_to(result_.tasks[task].dest)[hop_[task]];
     MST_ASSERT(tree_.parent(next) == v);
-    if (v == 0 && hop_[task] == 0) result_.tasks[task].master_emission = engine_.now();
+    if (v == 0 && hop_[task] == 0) {
+      result_.tasks[task].master_emission = engine_.now();
+      if (obs_.trace != nullptr) {
+        obs_.trace->instant(master_track_, emit_name_, engine_.now(),
+                            static_cast<Time>(task));
+      }
+    }
     out_busy_[v] = true;
+    if (obs_.trace != nullptr) {
+      obs_.trace->begin(link_track_[next], comm_name_, engine_.now(),
+                        static_cast<Time>(task));
+    }
     engine_.after(workload_.size_of(task) * tree_.proc(next).comm, [this, v, next, task] {
       out_busy_[v] = false;
+      if (obs_.trace != nullptr) obs_.trace->end(link_track_[next], comm_name_, engine_.now());
       deliver(next, task);
       if (v == 0) master_dispatch();
       try_send(v);
@@ -143,9 +214,14 @@ class Simulation {
     const std::size_t task = pop(cpu_queue_[node]);
     cpu_busy_[node] = true;
     result_.tasks[task].start = engine_.now();
+    if (obs_.trace != nullptr) {
+      obs_.trace->begin(cpu_track_[node], exec_name_, engine_.now(),
+                        static_cast<Time>(task));
+    }
     engine_.after(workload_.size_of(task) * tree_.proc(node).work, [this, node, task] {
       result_.tasks[task].end = engine_.now();
       cpu_busy_[node] = false;
+      if (obs_.trace != nullptr) obs_.trace->end(cpu_track_[node], exec_name_, engine_.now());
       MST_ASSERT(outstanding_[node] > 0);
       --outstanding_[node];
       try_exec(node);
@@ -158,6 +234,7 @@ class Simulation {
   const Workload& workload_;
   std::size_t n_;
   const DestinationChooser& chooser_;
+  obs::Observation obs_;
   Engine engine_;
   SimResult result_;
   std::size_t dispatched_ = 0;
@@ -169,30 +246,40 @@ class Simulation {
   std::vector<Fifo> cpu_queue_;
   std::vector<bool> cpu_busy_;
   std::vector<std::size_t> outstanding_;
+  obs::TrackId master_track_ = obs::kInvalidTrack;
+  obs::NameId comm_name_ = obs::kInvalidName;
+  obs::NameId exec_name_ = obs::kInvalidName;
+  obs::NameId emit_name_ = obs::kInvalidName;
+  std::vector<obs::TrackId> link_track_;
+  std::vector<obs::TrackId> cpu_track_;
 };
 
 }  // namespace
 
-SimResult simulate_chooser(const Tree& tree, std::size_t n, const DestinationChooser& chooser) {
-  return simulate_chooser(tree, Workload::identical(n), chooser);
+SimResult simulate_chooser(const Tree& tree, std::size_t n, const DestinationChooser& chooser,
+                           const obs::Observation& observation) {
+  return simulate_chooser(tree, Workload::identical(n), chooser, observation);
 }
 
 SimResult simulate_chooser(const Tree& tree, const Workload& workload,
-                           const DestinationChooser& chooser) {
-  Simulation sim(tree, workload, chooser);
+                           const DestinationChooser& chooser,
+                           const obs::Observation& observation) {
+  Simulation sim(tree, workload, chooser, observation);
   return sim.run();
 }
 
-SimResult simulate_dispatch(const Tree& tree, const std::vector<NodeId>& dests) {
-  return simulate_dispatch(tree, dests, Workload::identical(dests.size()));
+SimResult simulate_dispatch(const Tree& tree, const std::vector<NodeId>& dests,
+                            const obs::Observation& observation) {
+  return simulate_dispatch(tree, dests, Workload::identical(dests.size()), observation);
 }
 
 SimResult simulate_dispatch(const Tree& tree, const std::vector<NodeId>& dests,
-                            const Workload& workload) {
+                            const Workload& workload, const obs::Observation& observation) {
   MST_REQUIRE(workload.count() == dests.size(),
               "workload and destination sequence must have the same length");
   return simulate_chooser(tree, workload,
-                          [&dests](std::size_t i, const DispatchContext&) { return dests[i]; });
+                          [&dests](std::size_t i, const DispatchContext&) { return dests[i]; },
+                          observation);
 }
 
 }  // namespace mst::sim

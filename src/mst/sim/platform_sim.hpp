@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "mst/obs/observation.hpp"
 #include "mst/platform/tree.hpp"
 #include "mst/workload/workload.hpp"
 
@@ -60,7 +61,15 @@ struct DispatchContext {
 using DestinationChooser = std::function<NodeId(std::size_t task_index, const DispatchContext&)>;
 
 /// Simulate `n` tasks whose destinations are chosen on the fly.
-SimResult simulate_chooser(const Tree& tree, std::size_t n, const DestinationChooser& chooser);
+///
+/// Every entry point takes an optional `obs::Observation`.  With a metrics
+/// registry attached the run records engine event counts, completed tasks
+/// and per-node queue high-water marks; with a trace sink attached it
+/// records the paper's Figure-2 Gantt on the sim clock — compute spans per
+/// slave, communication spans per link, master emission instants.  Both
+/// default to off, in which case the instrumentation is null checks only.
+SimResult simulate_chooser(const Tree& tree, std::size_t n, const DestinationChooser& chooser,
+                           const obs::Observation& observation = {});
 
 /// Workload form: task `i` (canonical workload order) is dispatched no
 /// earlier than its release date — the master's out-port sits idle until
@@ -68,14 +77,16 @@ SimResult simulate_chooser(const Tree& tree, std::size_t n, const DestinationCho
 /// processor for `size·w`.  `Workload::identical(n)` reproduces the `n`
 /// form exactly.
 SimResult simulate_chooser(const Tree& tree, const Workload& workload,
-                           const DestinationChooser& chooser);
+                           const DestinationChooser& chooser,
+                           const obs::Observation& observation = {});
 
 /// Simulate dispatching tasks to the given fixed destinations, in order,
 /// each emitted by the master as soon as its out-port frees.
-SimResult simulate_dispatch(const Tree& tree, const std::vector<NodeId>& dests);
+SimResult simulate_dispatch(const Tree& tree, const std::vector<NodeId>& dests,
+                            const obs::Observation& observation = {});
 
 /// Workload form of the above; requires `workload.count() == dests.size()`.
 SimResult simulate_dispatch(const Tree& tree, const std::vector<NodeId>& dests,
-                            const Workload& workload);
+                            const Workload& workload, const obs::Observation& observation = {});
 
 }  // namespace mst::sim

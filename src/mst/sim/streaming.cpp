@@ -7,6 +7,8 @@
 #include "mst/baselines/tree_asap.hpp"
 #include "mst/common/assert.hpp"
 #include "mst/common/rng.hpp"
+#include "mst/obs/metrics.hpp"
+#include "mst/obs/trace.hpp"
 #include "mst/core/chain_scheduler.hpp"
 #include "mst/core/fork_scheduler.hpp"
 #include "mst/core/spider_scheduler.hpp"
@@ -162,19 +164,38 @@ class ReplanStream final : public StreamPolicy {
 // `master_emission`); both lists are already sorted — releases canonically,
 // emissions because the master dispatches in arrival order.
 
-StreamMetrics compute_metrics(const Workload& workload, const SimResult& sim) {
+StreamMetrics compute_metrics(const Workload& workload, const SimResult& sim,
+                              const obs::Observation& observation) {
   StreamMetrics metrics;
   const std::size_t n = sim.tasks.size();
   metrics.latency.reserve(n);
+  obs::Histogram latency_histogram;
+  if (observation.metrics != nullptr) {
+    observation.metrics->counter("stream.arrivals").add(static_cast<Time>(n));
+    latency_histogram = observation.metrics->histogram("stream.latency");
+  }
   double total = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const Time latency = sim.tasks[i].end - sim.tasks[i].release;
     MST_ASSERT(latency >= 0);
     metrics.latency.push_back(latency);
     metrics.max_latency = std::max(metrics.max_latency, latency);
+    latency_histogram.observe(latency);
     total += static_cast<double>(latency);
   }
   metrics.mean_latency = n > 0 ? total / static_cast<double>(n) : 0.0;
+
+  // Trace layout: arrival instants and the backlog counter series share one
+  // "stream" track at the top of the Gantt.  The serializer's stable sort
+  // folds these post-hoc events into timestamp order with the simulation's.
+  obs::TrackId stream_track = obs::kInvalidTrack;
+  obs::NameId arrive_name = obs::kInvalidName;
+  obs::NameId backlog_name = obs::kInvalidName;
+  if (observation.trace != nullptr) {
+    stream_track = observation.trace->track("stream");
+    arrive_name = observation.trace->name("arrive");
+    backlog_name = observation.trace->name("backlog");
+  }
 
   std::size_t arrived = 0;
   std::size_t emitted = 0;
@@ -183,22 +204,39 @@ StreamMetrics compute_metrics(const Workload& workload, const SimResult& sim) {
     // Arrivals first at equal times: a task dispatched the instant it
     // arrives still counts as backlog 1.
     if (emitted >= n || workload.release_of(arrived) <= sim.tasks[emitted].master_emission) {
+      if (observation.trace != nullptr) {
+        const Time release = workload.release_of(arrived);
+        observation.trace->instant(stream_track, arrive_name, release,
+                                   static_cast<Time>(arrived));
+        observation.trace->counter(stream_track, backlog_name, release,
+                                   static_cast<Time>(backlog + 1));
+      }
       ++arrived;
       ++backlog;
       metrics.peak_backlog = std::max(metrics.peak_backlog, backlog);
     } else {
+      if (observation.trace != nullptr) {
+        observation.trace->counter(stream_track, backlog_name,
+                                   sim.tasks[emitted].master_emission,
+                                   static_cast<Time>(backlog - 1));
+      }
       ++emitted;
       MST_ASSERT(backlog > 0);
       --backlog;
     }
+  }
+  if (observation.metrics != nullptr) {
+    observation.metrics->gauge("stream.backlog.peak")
+        .record(static_cast<Time>(metrics.peak_backlog));
+    observation.metrics->gauge("stream.latency.max").record(metrics.max_latency);
   }
   return metrics;
 }
 
 }  // namespace
 
-StreamResult simulate_stream(const Tree& tree, const Workload& workload,
-                             StreamPolicy& policy) {
+StreamResult simulate_stream(const Tree& tree, const Workload& workload, StreamPolicy& policy,
+                             const obs::Observation& observation) {
   std::size_t revealed = 0;
   const DestinationChooser chooser = [&](std::size_t task, const DispatchContext& ctx) {
     // Reveal exactly the arrived prefix: every task whose release date the
@@ -213,8 +251,8 @@ StreamResult simulate_stream(const Tree& tree, const Workload& workload,
     return policy.choose(task, ctx);
   };
   StreamResult result;
-  result.sim = simulate_chooser(tree, workload, chooser);
-  result.metrics = compute_metrics(workload, result.sim);
+  result.sim = simulate_chooser(tree, workload, chooser, observation);
+  result.metrics = compute_metrics(workload, result.sim, observation);
   return result;
 }
 

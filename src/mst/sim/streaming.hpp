@@ -104,7 +104,14 @@ struct StreamResult {
 /// FIFO in arrival order (tasks are interchangeable up to their observed
 /// size, and the master serves its backlog in order); the policy only picks
 /// destinations.  `tree` must outlive the call.
-StreamResult simulate_stream(const Tree& tree, const Workload& workload, StreamPolicy& policy);
+///
+/// `observation` (optional, defaulted off) instruments the run: the
+/// underlying simulation records its Gantt and queue metrics, and the
+/// streaming layer adds arrival counts, a latency histogram and backlog
+/// gauges to the registry plus per-task arrival instants and a backlog
+/// counter series to the trace — all on the simulated clock.
+StreamResult simulate_stream(const Tree& tree, const Workload& workload, StreamPolicy& policy,
+                             const obs::Observation& observation = {});
 
 /// Adapts one of the four online dispatchers to the streaming interface.
 /// `tree` must outlive the returned policy; `seed` only matters for

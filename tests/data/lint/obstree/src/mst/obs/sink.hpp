@@ -1,0 +1,6 @@
+#pragma once
+
+// Fixture: obs sits just above common — one downward include (fine) and
+// one upward include into api (flagged: obs must not know its consumers).
+#include "mst/common/time.hpp"
+#include "mst/api/registry.hpp"

@@ -144,6 +144,18 @@ TEST(LintTree, LayeringFixtureTree) {
   EXPECT_NE(diags[0].message.find("'core' may not include 'api'"), std::string::npos);
 }
 
+TEST(LintTree, ObsLayerFixtureTree) {
+  // The observability layer sits just above common: its downward include is
+  // legal, and an include of any consumer layer (api here) fires — the obs
+  // core must stay ignorant of who instruments with it.
+  const std::vector<Diagnostic> diags = mstlint::lint_tree(fixture_path("obstree"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "layering");
+  EXPECT_EQ(diags[0].file, "src/mst/obs/sink.hpp");
+  EXPECT_EQ(diags[0].line, 6);
+  EXPECT_NE(diags[0].message.find("'obs' may not include 'api'"), std::string::npos);
+}
+
 TEST(LintTree, IncludeCycleFixtureTree) {
   const std::vector<Diagnostic> diags = mstlint::lint_tree(fixture_path("cycletree"));
   ASSERT_EQ(diags.size(), 1u);

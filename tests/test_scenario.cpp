@@ -223,10 +223,11 @@ TEST(Runner, ProgressCallbackCountsEveryCellAtAnyThreadCount) {
       if (failed) ++failures;
     };
     run_cells(cells, options);
-    // Exactly one call per cell; `done` is monotone 1..total regardless of
-    // which thread finished which cell.
-    ASSERT_EQ(dones.size(), cells.size());
-    for (std::size_t i = 0; i < dones.size(); ++i) EXPECT_EQ(dones[i], i + 1);
+    // One leading (0, total, false) announcement, then exactly one call per
+    // cell; `done` is monotone 0, 1 .. total regardless of which thread
+    // finished which cell.
+    ASSERT_EQ(dones.size(), cells.size() + 1);
+    for (std::size_t i = 0; i < dones.size(); ++i) EXPECT_EQ(dones[i], i);
     EXPECT_EQ(failures, 0u);
   }
 }

@@ -15,6 +15,8 @@
 #include <cstddef>
 
 #include "mst/common/rng.hpp"
+#include "mst/obs/metrics.hpp"
+#include "mst/obs/observation.hpp"
 #include "mst/platform/generator.hpp"
 #include "mst/sim/engine.hpp"
 #include "mst/sim/online.hpp"
@@ -53,6 +55,44 @@ TEST(EngineZeroAlloc, SteadyStateEventLoopIsAllocationFree) {
   EXPECT_GE(engine.events_processed(), 10000u);
 }
 
+/// Ticker that counts every firing through a metric handle — the
+/// instrumented twin of the test above.  The handle is one pointer, so the
+/// capture still fits the inline storage.
+struct CountingTicker {
+  sim::Engine* engine;
+  int remaining;
+  mutable obs::Counter fired;  // handle updates are non-const (atomic RMW)
+  void operator()() const {
+    fired.increment();
+    if (remaining > 0) engine->after(1, CountingTicker{engine, remaining - 1, fired});
+  }
+};
+
+TEST(EngineZeroAlloc, InstrumentedEventLoopIsAllocationFree) {
+  // Both halves of the observability cost model: a disabled handle (the
+  // uninstrumented default) and an enabled, preregistered one — neither may
+  // allocate in the steady state.
+  obs::MetricsRegistry registry;
+  for (const bool enabled : {false, true}) {
+    obs::Counter fired = enabled ? registry.counter("engine.fired") : obs::Counter{};
+    EXPECT_EQ(fired.enabled(), enabled);
+    sim::Engine engine;
+    engine.reserve(8);
+    engine.at(0, CountingTicker{&engine, 100, fired});
+    engine.run();
+
+    alloc_probe::Scope probe;
+    for (int lane = 0; lane < 4; ++lane) {
+      engine.at(engine.now() + lane, CountingTicker{&engine, 2500, fired});
+    }
+    engine.run();
+    EXPECT_EQ(probe.count(), 0) << (enabled ? "enabled" : "disabled");
+  }
+  const std::vector<obs::MetricSample> samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_GE(samples[0].value, 10000);
+}
+
 TEST(EngineZeroAlloc, OversizedCaptureWouldNotCompile) {
   // Compile-time contract documented here: InplaceCallback rejects
   // captures beyond kStorage via static_assert, so nothing silently heap
@@ -65,14 +105,15 @@ TEST(EngineZeroAlloc, OversizedCaptureWouldNotCompile) {
 /// Total allocations of one full streaming run (policy and workload are
 /// built outside the probed window; the run itself is driver + simulator +
 /// metrics).
-long stream_allocations(std::size_t n) {
+long stream_allocations(std::size_t n, obs::MetricsRegistry* metrics = nullptr) {
   Rng rng(99);
   const Tree tree = random_tree(rng, 12, {1, 9, PlatformClass::kUniform});
   const auto policy = sim::make_stream_policy(tree, sim::OnlinePolicy::kRoundRobin);
   const Workload workload = Workload::identical(n);
 
   alloc_probe::Scope probe;
-  const sim::StreamResult result = sim::simulate_stream(tree, workload, *policy);
+  const sim::StreamResult result =
+      sim::simulate_stream(tree, workload, *policy, obs::Observation{metrics, nullptr});
   EXPECT_EQ(result.sim.tasks.size(), n);
   return probe.count();
 }
@@ -85,6 +126,25 @@ TEST(StreamingZeroAlloc, RunAllocationCountIndependentOfTaskCount) {
   // a single extra allocation.
   EXPECT_GT(small, 0);
   EXPECT_EQ(small, large);
+}
+
+TEST(StreamingZeroAlloc, MetricsAttachedRunAllocatesNothingExtra) {
+  // The observability contract end to end: with a metrics registry attached
+  // the driver registers into fixed slots and updates atomics, so the run's
+  // allocation count neither grows with the task count nor exceeds the
+  // uninstrumented run's.
+  obs::MetricsRegistry registry;
+  const long small = stream_allocations(256, &registry);
+  const long large = stream_allocations(2048, &registry);
+  EXPECT_GT(small, 0);
+  EXPECT_EQ(small, large);
+  EXPECT_EQ(small, stream_allocations(256));
+
+  const std::vector<obs::MetricSample> samples = registry.snapshot();
+  EXPECT_FALSE(samples.empty());
+  for (const obs::MetricSample& sample : samples) {
+    if (sample.name == "stream.arrivals") EXPECT_EQ(sample.value, 256 + 2048);
+  }
 }
 
 }  // namespace

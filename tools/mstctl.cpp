@@ -2,17 +2,19 @@
 //
 //   mstctl --mode=list      [--kind=chain|fork|spider|tree]
 //   mstctl --mode=solve     --platform=FILE --algo=NAME|all --tasks=N [--seed=S]
-//                           [--workload=FILE]
+//                           [--workload=FILE] [--metrics-out=FILE] [--trace-out=FILE]
 //   mstctl --mode=max-tasks --platform=FILE --deadline=T
 //                           [--algo=NAME|all] [--cap=K] [--seed=S] [--fast]
 //                           [--workload=FILE]
 //   mstctl --mode=count     --platform=FILE --tlim=T   # bare number (script-friendly)
 //   mstctl --mode=stream    --platform=FILE [--workload=FILE | --tasks=N]
 //                           [--algo=NAME|all] [--seed=S]
+//                           [--metrics-out=FILE] [--trace-out=FILE]
 //   mstctl --mode=schedule  --platform=FILE --tasks=N [--format=summary|gantt|svg|json|schedule]
 //   mstctl --mode=sweep     --spec=FILE [--threads=N] [--out=csv|json]
 //                           [--out-file=PATH] [--seed=S] [--cap=K]
 //                           [--timing] [--check] [--reps=R]
+//                           [--metrics-out=FILE] [--trace-out=FILE]
 //   mstctl --mode=validate  --schedule=FILE
 //   mstctl --mode=rate      --platform=FILE
 //   mstctl --mode=demo      [--dir=.]        # writes sample platform files
@@ -45,6 +47,16 @@
 // and the regret against the exact offline optimum where one is registered.
 // Only algorithms with the `streaming` capability qualify (`--algo=all`
 // selects exactly those; see the workloads column of --mode=list).
+//
+// Observability (mst/obs/): `--metrics-out=FILE` writes the run's metric
+// registry as JSON — counters/gauges/histograms whose values are
+// deterministic, byte-identical at any --threads; wall-time-class entries
+// are included only when --timing also asks for timing, mirroring the
+// report column.  `--trace-out=FILE` writes a Chrome trace-event JSON file
+// (open in https://ui.perfetto.dev or chrome://tracing): on solve/stream
+// the sim-clock Gantt of the first selected algorithm's run — per-slave
+// compute spans, per-link communication spans, master emissions — and on
+// sweep a one-track-per-cell overview of the grid.
 
 #include <fstream>
 #include <iostream>
@@ -81,6 +93,51 @@ std::optional<mst::Workload> load_workload(const mst::Args& args) {
     throw std::invalid_argument(path + ": " + e.what());
   }
 }
+
+/// Observability sinks for `--metrics-out` / `--trace-out`.  Construct one
+/// per mode invocation, point the library calls at `observation()`, then
+/// `write()` the files; members stay disengaged when the flags are absent,
+/// so un-instrumented runs carry no sinks at all.
+struct ObsSinks {
+  std::string metrics_path;
+  std::string trace_path;
+  std::optional<mst::obs::MetricsRegistry> metrics;
+  std::optional<mst::obs::TraceSink> trace;
+
+  explicit ObsSinks(const mst::Args& args)
+      : metrics_path(args.get("metrics-out", "")), trace_path(args.get("trace-out", "")) {
+    if (!metrics_path.empty()) metrics.emplace();
+    if (!trace_path.empty()) trace.emplace();
+  }
+
+  [[nodiscard]] mst::obs::MetricsRegistry* metrics_ptr() {
+    return metrics.has_value() ? &*metrics : nullptr;
+  }
+  [[nodiscard]] mst::obs::TraceSink* trace_ptr() {
+    return trace.has_value() ? &*trace : nullptr;
+  }
+  [[nodiscard]] mst::obs::Observation observation() {
+    return {metrics_ptr(), trace_ptr()};
+  }
+
+  /// Writes whichever files were requested.  `include_wall_time` admits
+  /// wall-time-class metrics into the JSON (mirroring --timing); the
+  /// default output is deterministic.
+  void write(bool include_wall_time = false) const {
+    if (metrics.has_value()) {
+      std::ofstream file(metrics_path);
+      if (!file) throw std::invalid_argument("cannot write file: " + metrics_path);
+      file << metrics->to_json(include_wall_time);
+      std::cout << "wrote metrics to " << metrics_path << "\n";
+    }
+    if (trace.has_value()) {
+      std::ofstream file(trace_path);
+      if (!file) throw std::invalid_argument("cannot write file: " + trace_path);
+      file << trace->to_chrome_json();
+      std::cout << "wrote trace to " << trace_path << "\n";
+    }
+  }
+};
 
 /// Per-call options from the shared flags (`--seed`, `--cap`).
 mst::api::SolveOptions solve_options(const mst::Args& args, std::int64_t default_cap = 1 << 20) {
@@ -168,7 +225,9 @@ int run_solve(const mst::Args& args) {
   const api::PlatformKind kind = api::kind_of(platform);
   const std::optional<Workload> workload = load_workload(args);
   const std::size_t n = workload ? workload->count() : task_count(args);
-  const api::SolveOptions options = solve_options(args);
+  ObsSinks obs(args);
+  api::SolveOptions options = solve_options(args);
+  options.metrics = obs.metrics_ptr();
 
   std::cout << "platform : " << api::describe(platform) << "\n";
   if (workload) {
@@ -184,12 +243,21 @@ int run_solve(const mst::Args& args) {
 
   Table table({"algorithm", "optimal", "makespan", "lower bound", "throughput", "feasible"});
   bool all_feasible = true;
+  bool traced = false;
   for (const api::AlgorithmInfo& info : selected) {
     const api::SolveResult result =
         workload ? api::registry().solve(platform, info.name, *workload, options)
                  : api::registry().solve(platform, info.name, n, options);
     const FeasibilityReport report = api::check_feasibility(result);
     all_feasible = all_feasible && report.ok();
+    // The trace carries one Gantt: the first selected algorithm's schedule,
+    // replayed operationally on the tree embedding (metrics keep counting
+    // across the whole table).
+    if (!traced && obs.trace.has_value() &&
+        !std::holds_alternative<std::monostate>(result.schedule)) {
+      api::replay_schedule(result, obs.observation());
+      traced = true;
+    }
     table.row()
         .cell(result.algorithm)
         .cell(result.optimal ? "yes" : "no")
@@ -199,6 +267,7 @@ int run_solve(const mst::Args& args) {
         .cell(report.ok() ? "yes" : report.summary());
   }
   table.print(std::cout);
+  obs.write();
   return all_feasible ? 0 : 1;
 }
 
@@ -308,10 +377,19 @@ int run_stream_mode(const mst::Args& args) {
   std::cout << "platform : " << api::describe(platform) << "\n";
   std::cout << "workload : " << workload.describe() << " (arrivals stream online)\n\n";
 
+  ObsSinks obs(args);
   Table table({"algorithm", "tasks", "makespan", "mean latency", "max latency", "backlog",
                "offline", "regret"});
+  bool first = true;
   for (const api::AlgorithmInfo& info : selected) {
-    const api::StreamOutcome result = api::run_stream(platform, info.name, workload, seed);
+    // Metrics aggregate over the whole table; the trace carries the first
+    // selected algorithm's run only — one Gantt per file.
+    const obs::Observation observation{obs.metrics_ptr(),
+                                       first ? obs.trace_ptr() : nullptr};
+    first = false;
+    const api::StreamOutcome result = api::run_stream(platform, info.name, workload, seed,
+                                                      api::registry(), /*attach_reference=*/true,
+                                                      observation);
     Table& row = table.row();
     row.cell(result.algorithm)
         .cell(result.tasks)
@@ -331,6 +409,7 @@ int run_stream_mode(const mst::Args& args) {
     }
   }
   table.print(std::cout);
+  obs.write();
   return 0;
 }
 
@@ -479,7 +558,15 @@ int run_sweep(const mst::Args& args) {
   if (cap < 1) throw std::invalid_argument("--cap must be >= 1");
   run.cap = static_cast<std::size_t>(cap);
 
+  ObsSinks obs(args);
+  run.metrics = obs.metrics_ptr();
+
   const std::vector<scenario::CellOutcome> outcomes = scenario::run_sweep(spec, run);
+
+  if (obs.trace.has_value()) scenario::trace_outcomes(outcomes, *obs.trace);
+  // Wall-time-class metrics follow the --timing convention, exactly like
+  // the wall_ms report column: the default metrics file is deterministic.
+  obs.write(/*include_wall_time=*/args.has("timing"));
 
   scenario::ReportOptions report;
   report.timing = args.has("timing");

@@ -618,6 +618,7 @@ void rule_shared_mutable_state(const std::string& file, const Stripped& stripped
 /// the README diagram is generated from the same order.
 const std::vector<std::pair<const char*, std::vector<const char*>>> kLayerDeps = {
     {"common", {}},
+    {"obs", {"common"}},
     {"platform", {"common"}},
     {"workload", {"common"}},
     {"schedule", {"common", "platform", "workload"}},
@@ -625,15 +626,15 @@ const std::vector<std::pair<const char*, std::vector<const char*>>> kLayerDeps =
     {"baselines", {"common", "platform", "workload", "schedule", "core"}},
     {"heuristics", {"common", "platform", "workload", "schedule", "core", "baselines"}},
     {"sim",
-     {"common", "platform", "workload", "schedule", "core", "baselines", "heuristics"}},
+     {"common", "obs", "platform", "workload", "schedule", "core", "baselines", "heuristics"}},
     {"analysis",
      {"common", "platform", "workload", "schedule", "core", "baselines", "heuristics", "sim"}},
     {"api",
-     {"common", "platform", "workload", "schedule", "core", "baselines", "heuristics", "sim",
-      "analysis"}},
+     {"common", "obs", "platform", "workload", "schedule", "core", "baselines", "heuristics",
+      "sim", "analysis"}},
     {"scenario",
-     {"common", "platform", "workload", "schedule", "core", "baselines", "heuristics", "sim",
-      "analysis", "api"}},
+     {"common", "obs", "platform", "workload", "schedule", "core", "baselines", "heuristics",
+      "sim", "analysis", "api"}},
 };
 
 /// Module of a file under the scanned root, or "" when the file is not
@@ -691,8 +692,8 @@ void check_layering(const std::vector<FileRecord>& records, std::vector<Diagnost
       if (allowed) continue;
       std::string message = known
           ? "module '" + from + "' may not include '" + to +
-                "' (layer order: common -> platform -> workload -> schedule -> core -> "
-                "baselines -> heuristics -> sim -> analysis -> api -> scenario)"
+                "' (layer order: common -> obs -> platform -> workload -> schedule -> "
+                "core -> baselines -> heuristics -> sim -> analysis -> api -> scenario)"
           : "module '" + from + "' is not in the layer table; add it to kLayerDeps in "
             "tools/mstlint/lint.cpp";
       out.push_back({record.path, include.line, "layering", std::move(message)});
