@@ -6,12 +6,16 @@
 // minimum ns/op across repetitions — the least-noise estimate.  `--json`
 // emits one {bench, n, ns_per_op} record per row; the committed
 // bench/BENCH_*.json files hold the baselines future runs are compared
-// against.  `n` is the swept size parameter (task count, processor count,
-// leg count — whatever the subject varies).
+// against — `--compare BENCH_x.json` prints per-bench ratios against one
+// and exits nonzero when any row regresses past the threshold (CI runs it
+// as an advisory step).  `n` is the swept size parameter (task count,
+// processor count, leg count — whatever the subject varies).
 
 #include <chrono>
 #include <cstddef>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -77,16 +81,76 @@ inline void print_table(const std::vector<Row>& rows) {
   }
 }
 
-/// The shared main(): parses the single `--json` flag, runs the subjects,
-/// prints.  `name` labels the usage line.
+/// Parses a committed BENCH_*.json baseline (the exact `print_json`
+/// format, one record per line).  Returns false on unreadable file or no
+/// parsable rows.
+inline bool read_baseline(const std::string& path, std::vector<Row>& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  char name[128];
+  while (std::getline(in, line)) {
+    Row row;
+    if (std::sscanf(line.c_str(), " {\"bench\": \"%127[^\"]\", \"n\": %zu, \"ns_per_op\": %lf",
+                    name, &row.n, &row.ns_per_op) == 3) {
+      row.bench = name;
+      out.push_back(row);
+    }
+  }
+  return !out.empty();
+}
+
+/// Prints per-bench current/baseline ratios, matched by (bench, n).  Rows
+/// with no baseline counterpart are reported as new.  Returns 1 when any
+/// matched row regressed past `threshold`, else 0 — CI runs this as an
+/// advisory (non-blocking) step, so a noisy runner flags loudly without
+/// failing the build.
+inline int compare_rows(const std::vector<Row>& rows, const std::vector<Row>& baseline,
+                        std::ostream& os, double threshold = 1.5) {
+  int regressions = 0;
+  for (const Row& row : rows) {
+    const Row* base = nullptr;
+    for (const Row& candidate : baseline) {
+      if (candidate.bench == row.bench && candidate.n == row.n) {
+        base = &candidate;
+        break;
+      }
+    }
+    if (base == nullptr) {
+      os << row.bench << " n=" << row.n << " ns/op=" << mst::format_double(row.ns_per_op)
+         << " (no baseline)\n";
+      continue;
+    }
+    const double ratio = base->ns_per_op > 0.0 ? row.ns_per_op / base->ns_per_op : 0.0;
+    const bool regressed = ratio > threshold;
+    if (regressed) ++regressions;
+    os << row.bench << " n=" << row.n << " ns/op=" << mst::format_double(row.ns_per_op)
+       << " baseline=" << mst::format_double(base->ns_per_op)
+       << " ratio=" << mst::format_double(ratio) << (regressed ? "  <-- REGRESSION" : "")
+       << "\n";
+  }
+  if (regressions > 0) {
+    os << regressions << " row(s) regressed past " << mst::format_double(threshold)
+       << "x baseline\n";
+  }
+  return regressions > 0 ? 1 : 0;
+}
+
+/// The shared main(): parses `--json` and `--compare <baseline.json>`,
+/// runs the subjects, prints.  With `--compare`, the ratio table goes to
+/// stderr (stdout stays valid JSON under `--json`) and the exit code
+/// reflects the comparison.  `name` labels the usage line.
 inline int bench_main(int argc, char** argv, const char* name,
                       const std::function<std::vector<Row>()>& run_all) {
   bool json = false;
+  std::string compare_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--compare") == 0 && i + 1 < argc) {
+      compare_path = argv[++i];
     } else {
-      std::cerr << "usage: " << name << " [--json]\n";
+      std::cerr << "usage: " << name << " [--json] [--compare BENCH_baseline.json]\n";
       return 2;
     }
   }
@@ -95,6 +159,14 @@ inline int bench_main(int argc, char** argv, const char* name,
     print_json(rows);
   } else {
     print_table(rows);
+  }
+  if (!compare_path.empty()) {
+    std::vector<Row> baseline;
+    if (!read_baseline(compare_path, baseline)) {
+      std::cerr << name << ": cannot read baseline " << compare_path << "\n";
+      return 2;
+    }
+    return compare_rows(rows, baseline, std::cerr);
   }
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "mst/api/registry.hpp"
 
 #include <algorithm>
+
+#include "mst/api/solve_scratch.hpp"
 #include <cstdio>
 #include <limits>
 #include <sstream>
@@ -330,7 +332,12 @@ class FunctionScheduler final : public Scheduler {
     require_supported(name_, supports_, workload.features());
     SolveResult result = solve_fn_(platform, workload, options);
     result.workload = workload;
-    if (!options.materialize) result.schedule = std::monostate{};
+    if (!options.materialize) {
+      // Stripping a pooled payload must return its buffers to the scratch,
+      // not free them — count-only sweeps recycle here, every solve.
+      if (options.scratch != nullptr) options.scratch->recycle_schedule(std::move(result.schedule));
+      result.schedule = std::monostate{};
+    }
     return result;
   }
 
@@ -341,7 +348,10 @@ class FunctionScheduler final : public Scheduler {
     }
     if (!within_fn_) return Scheduler::solve_within(platform, deadline, options);
     DecisionResult result = within_fn_(platform, deadline, options);
-    if (!options.materialize) result.schedule = std::monostate{};
+    if (!options.materialize) {
+      if (options.scratch != nullptr) options.scratch->recycle_schedule(std::move(result.schedule));
+      result.schedule = std::monostate{};
+    }
     return result;
   }
 
@@ -590,6 +600,44 @@ DecisionResult decision_from_schedule(const char* algorithm, PlatformKind kind, 
                        optimal && decision_maximal(tasks, cap, pool), std::move(payload));
 }
 
+/// `decision_from_schedule` for a pooled schedule: moves the pool into the
+/// payload only when nonempty, so an empty window never discards the pool's
+/// warm buffers.
+template <typename Schedule>
+DecisionResult decision_from_pooled(const char* algorithm, PlatformKind kind, Time deadline,
+                                    bool optimal, std::size_t cap, const Workload* pool,
+                                    Schedule& schedule) {
+  const std::size_t tasks = schedule.num_tasks();
+  const Time makespan = schedule.makespan();
+  AnySchedule payload;
+  if (tasks > 0) payload = std::move(schedule);
+  return make_decision(algorithm, kind, deadline, tasks, makespan,
+                       optimal && decision_maximal(tasks, cap, pool), std::move(payload));
+}
+
+// Count-path scratch: the caller's SolveScratch when one was threaded
+// through the options, else a per-thread fallback.  `thread_local` is the
+// fallback's whole thread-safety story — each pool worker owns its scratch
+// outright, so the handoff into count_within needs no lock (and the
+// shared-mutable-state lint exempts it).
+ChainCountScratch& chain_count_scratch(const SolveOptions& options) {
+  if (options.scratch != nullptr) return options.scratch->chain;
+  static thread_local ChainCountScratch fallback;
+  return fallback;
+}
+
+ForkCountScratch& fork_count_scratch(const SolveOptions& options) {
+  if (options.scratch != nullptr) return options.scratch->fork;
+  static thread_local ForkCountScratch fallback;
+  return fallback;
+}
+
+SpiderCountScratch& spider_count_scratch(const SolveOptions& options) {
+  if (options.scratch != nullptr) return options.scratch->spider.count;
+  static thread_local SpiderCountScratch fallback;
+  return fallback;
+}
+
 /// Decision form of the exhaustive oracles: exact count from the monotone
 /// makespan staircase, optionally materialized as the optimal schedule of
 /// that count (its makespan fits the window by definition of the count).
@@ -714,9 +762,19 @@ void register_chain_algorithms(Registry& r) {
   const PlatformKind k = PlatformKind::kChain;
   r.add({k, "optimal", "backward construction, Theorem 1 (O(n*p^2))", /*optimal=*/true,
          /*exponential=*/false, kReleaseOnly},
-        [](const Platform& p, const Workload& w, const SolveOptions&) {
+        [](const Platform& p, const Workload& w, const SolveOptions& opts) {
           require_tasks(w);
           const Chain& chain = expect_chain(p, "optimal");
+          if (opts.scratch != nullptr && !w.has_release_dates()) {
+            // Pooled materialization: rebuild the scratch's chain pool in
+            // place (bit-identical to the value-returning path).
+            ChainSchedule& pooled = opts.scratch->chain_pool;
+            ChainScheduler::schedule_into(chain, w.count(), opts.scratch->chain, pooled);
+            const Time lb = chain_makespan_lower_bound(chain, w.count());
+            const Time makespan = pooled.makespan();
+            return make_result("optimal", PlatformKind::kChain, w.count(), makespan, lb, true,
+                               std::move(pooled));
+          }
           // Identical workloads take the historical path inside the core
           // scheduler; release dates anchor the backward construction at
           // the minimal feasible horizon instead.
@@ -728,15 +786,12 @@ void register_chain_algorithms(Registry& r) {
           const Workload* pool = pool_of(opts);
           const std::size_t cap = decision_cap(opts, pool);
           if (!opts.materialize) {
-            // Genuinely allocation-free counting for sweeps: per-thread
-            // warm scratch, no placement vectors ever built.  A nonempty
-            // backward construction always ends exactly at the horizon, so
-            // the completion time is `deadline` itself (release dates
-            // included — the horizon anchor is unchanged).  `thread_local`
-            // is the whole thread-safety story: each pool worker owns its
-            // scratch outright, so the handoff into count_within needs no
-            // lock (and the shared-mutable-state lint exempts it).
-            static thread_local ChainCountScratch scratch;
+            // Genuinely allocation-free counting for sweeps: warm scratch
+            // (caller-provided or per-thread), no placement vectors ever
+            // built.  A nonempty backward construction always ends exactly
+            // at the horizon, so the completion time is `deadline` itself
+            // (release dates included — the horizon anchor is unchanged).
+            ChainCountScratch& scratch = chain_count_scratch(opts);
             const std::size_t tasks =
                 pool != nullptr && pool->has_release_dates()
                     ? ChainScheduler::count_within(chain, deadline, *pool, decision_cap(opts),
@@ -749,6 +804,13 @@ void register_chain_algorithms(Registry& r) {
             return decision_from_schedule(
                 "optimal", k, deadline, /*optimal=*/true, cap, pool,
                 ChainScheduler::schedule_within(chain, deadline, *pool, decision_cap(opts)));
+          }
+          if (opts.scratch != nullptr) {
+            ChainSchedule& pooled = opts.scratch->chain_pool;
+            ChainScheduler::schedule_within_into(chain, deadline, cap, opts.scratch->chain,
+                                                 pooled);
+            return decision_from_pooled("optimal", k, deadline, /*optimal=*/true, cap, pool,
+                                        pooled);
           }
           return decision_from_schedule(
               "optimal", k, deadline, /*optimal=*/true, cap, pool,
@@ -804,9 +866,16 @@ void register_fork_algorithms(Registry& r) {
   const PlatformKind k = PlatformKind::kFork;
   r.add({k, "optimal", "Moore-Hodgson virtual-node selection, Fig 6", /*optimal=*/true,
          /*exponential=*/false, kReleaseOnly},
-        [k](const Platform& p, const Workload& w, const SolveOptions&) {
+        [k](const Platform& p, const Workload& w, const SolveOptions& opts) {
           require_tasks(w);
           const Fork& fork = expect_fork(p, "optimal");
+          if (opts.scratch != nullptr && !w.has_release_dates()) {
+            ForkSchedule& pooled = opts.scratch->fork_pool;
+            ForkScheduler::schedule_into(fork, w.count(), opts.scratch->fork, pooled);
+            const Time lb = fork_makespan_lower_bound(fork, w.count(), opts.scratch->bound);
+            const Time makespan = pooled.makespan();
+            return make_result("optimal", k, w.count(), makespan, lb, true, std::move(pooled));
+          }
           ForkSchedule schedule = ForkScheduler::schedule(fork, w);
           const Time lb = spider_makespan_lower_bound(Spider::from_fork(fork), w.count());
           const Time makespan = schedule.makespan();
@@ -831,12 +900,19 @@ void register_fork_algorithms(Registry& r) {
           if (!opts.materialize) {
             // Allocation-free count + makespan: the whole selection /
             // normalization / EDD sequencing pipeline replayed in warm
-            // per-thread scratch, no task vectors built.
-            static thread_local ForkCountScratch scratch;
+            // scratch (caller-provided or per-thread), no task vectors
+            // built.
+            ForkCountScratch& scratch = fork_count_scratch(opts);
             const auto [tasks, makespan] =
                 ForkScheduler::makespan_within(fork, deadline, cap, scratch);
             return make_decision("optimal", k, deadline, tasks, makespan,
                                  /*optimal=*/decision_maximal(tasks, cap, pool), {});
+          }
+          if (opts.scratch != nullptr) {
+            ForkSchedule& pooled = opts.scratch->fork_pool;
+            ForkScheduler::schedule_within_into(fork, deadline, cap, opts.scratch->fork, pooled);
+            return decision_from_pooled("optimal", k, deadline, /*optimal=*/true, cap, pool,
+                                        pooled);
           }
           return decision_from_schedule(
               "optimal", k, deadline, /*optimal=*/true, cap, pool,
@@ -909,9 +985,16 @@ void register_spider_algorithms(Registry& r) {
   const PlatformKind k = PlatformKind::kSpider;
   r.add({k, "optimal", "per-leg decision form + Moore-Hodgson, Theorem 3", /*optimal=*/true,
          /*exponential=*/false, kReleaseOnly},
-        [k](const Platform& p, const Workload& w, const SolveOptions&) {
+        [k](const Platform& p, const Workload& w, const SolveOptions& opts) {
           require_tasks(w);
           const Spider& spider = expect_spider(p, "optimal");
+          if (opts.scratch != nullptr && !w.has_release_dates()) {
+            SpiderSchedule& pooled = opts.scratch->spider_pool;
+            SpiderScheduler::schedule_into(spider, w.count(), opts.scratch->spider, pooled);
+            const Time lb = spider_makespan_lower_bound(spider, w.count(), opts.scratch->bound);
+            const Time makespan = pooled.makespan();
+            return make_result("optimal", k, w.count(), makespan, lb, true, std::move(pooled));
+          }
           return spider_result("optimal", k, SpiderScheduler::schedule(spider, w), w.count(),
                                true);
         },
@@ -925,7 +1008,7 @@ void register_spider_algorithms(Registry& r) {
             // selection, positional-release DP when the pool has release
             // dates); any kept leg's latest task ends at the horizon, so a
             // nonempty count completes exactly at `deadline`.
-            static thread_local SpiderCountScratch scratch;
+            SpiderCountScratch& scratch = spider_count_scratch(opts);
             const std::size_t tasks =
                 pool != nullptr && pool->has_release_dates()
                     ? SpiderScheduler::count_within(spider, deadline, *pool,
@@ -938,6 +1021,13 @@ void register_spider_algorithms(Registry& r) {
             return decision_from_schedule(
                 "optimal", k, deadline, /*optimal=*/true, cap, pool,
                 SpiderScheduler::schedule_within(spider, deadline, *pool, decision_cap(opts)));
+          }
+          if (opts.scratch != nullptr) {
+            SpiderSchedule& pooled = opts.scratch->spider_pool;
+            SpiderScheduler::schedule_within_into(spider, deadline, cap, opts.scratch->spider,
+                                                  pooled);
+            return decision_from_pooled("optimal", k, deadline, /*optimal=*/true, cap, pool,
+                                        pooled);
           }
           return decision_from_schedule(
               "optimal", k, deadline, /*optimal=*/true, cap, pool,
@@ -986,33 +1076,70 @@ void register_spider_algorithms(Registry& r) {
 
 void register_tree_algorithms(Registry& r) {
   const PlatformKind k = PlatformKind::kTree;
+  // The three offline heuristics take the full SolveFn form (identical
+  // workloads only, as before) so a caller-provided SolveScratch can pool
+  // the dispatch plan and the pipeline working sets; with warm scratch
+  // their per-solve allocation count is independent of `n`.
   r.add({k, "spider-cover", "optimal plan on the best-rate spider cover (section 8)",
          /*optimal=*/false, /*exponential=*/false, WorkloadFeatures{}},
-        [](const Platform& p, std::size_t n) {
-          require_tasks(n);
+        [](const Platform& p, const Workload& w, const SolveOptions& opts) {
+          require_tasks(w);
           const Tree& tree = expect_tree(p, "spider-cover");
+          const std::size_t n = w.count();
+          if (opts.scratch != nullptr) {
+            TreeDispatch& pooled = opts.scratch->tree_pool;
+            Time makespan = 0;
+            schedule_tree_via_cover_into(tree, n, opts.scratch->tree_cover, pooled.dests,
+                                         makespan);
+            pooled.tree = tree;
+            return make_result("spider-cover", PlatformKind::kTree, n, makespan,
+                               /*lower_bound=*/0, /*optimal=*/false, std::move(pooled));
+          }
           TreeScheduleResult plan = schedule_tree_via_cover(tree, n);
           return tree_result("spider-cover", tree, std::move(plan.destinations), plan.makespan,
                              n);
-        });
+        },
+        nullptr);
   r.add({k, "forward-greedy", "earliest-completion-time dispatch on the full tree",
          /*optimal=*/false, /*exponential=*/false, WorkloadFeatures{}},
-        [](const Platform& p, std::size_t n) {
-          require_tasks(n);
+        [](const Platform& p, const Workload& w, const SolveOptions& opts) {
+          require_tasks(w);
           const Tree& tree = expect_tree(p, "forward-greedy");
+          const std::size_t n = w.count();
+          if (opts.scratch != nullptr) {
+            TreeDispatch& pooled = opts.scratch->tree_pool;
+            TreeAsapState state(tree);  // tree-shaped, so n-independent
+            const Time makespan = forward_greedy_tree_into(n, state, pooled.dests);
+            pooled.tree = tree;
+            return make_result("forward-greedy", PlatformKind::kTree, n, makespan,
+                               /*lower_bound=*/0, /*optimal=*/false, std::move(pooled));
+          }
           std::vector<NodeId> dests = forward_greedy_tree(tree, n);
           const Time makespan = asap_tree_makespan(tree, dests);
           return tree_result("forward-greedy", tree, std::move(dests), makespan, n);
-        });
+        },
+        nullptr);
   r.add({k, "local-search", "greedy start + reassign/swap descent", /*optimal=*/false,
          /*exponential=*/false, WorkloadFeatures{}},
-        [](const Platform& p, std::size_t n) {
-          require_tasks(n);
+        [](const Platform& p, const Workload& w, const SolveOptions& opts) {
+          require_tasks(w);
           const Tree& tree = expect_tree(p, "local-search");
+          const std::size_t n = w.count();
+          if (opts.scratch != nullptr) {
+            TreeDispatch& pooled = opts.scratch->tree_pool;
+            TreeAsapState state(tree);
+            forward_greedy_tree_into(n, state, pooled.dests);
+            LocalSearchResult improved = improve_tree_dispatch(tree, std::move(pooled.dests));
+            pooled.dests = std::move(improved.dests);
+            pooled.tree = tree;
+            return make_result("local-search", PlatformKind::kTree, n, improved.makespan,
+                               /*lower_bound=*/0, /*optimal=*/false, std::move(pooled));
+          }
           LocalSearchResult improved = local_search_tree(tree, n);
           return tree_result("local-search", tree, std::move(improved.dests), improved.makespan,
                              n);
-        });
+        },
+        nullptr);
   // The online policies run on the discrete-event simulator, which executes
   // per-task sizes and release dates natively — the arrival-process axis of
   // the scenario engine lands here.  All four also adapt to the

@@ -101,6 +101,8 @@ struct TreeDispatch {
 using AnySchedule =
     std::variant<std::monostate, ChainSchedule, ForkSchedule, SpiderSchedule, TreeDispatch>;
 
+struct SolveScratch;  // solve_scratch.hpp: borrowed cross-solve buffers
+
 /// Per-call knobs, carried by every registry solve.  Defaults reproduce the
 /// historical behaviour, so `solve(platform, n)` call sites never change.
 struct SolveOptions {
@@ -127,6 +129,15 @@ struct SolveOptions {
   /// is deterministic-class (pure function of the inputs).  The caller owns
   /// the registry and keeps it alive for the call.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional, borrowed cross-solve scratch (`solve_scratch.hpp`).  When
+  /// set, the built-in exact solvers materialize through warm pooled
+  /// buffers instead of per-thread `thread_local` fallbacks, and repeated
+  /// solves become allocation-free once the pools are warm — recycle each
+  /// consumed result back via `SolveScratch::recycle` to close the loop.
+  /// Results are bit-identical with and without scratch.  Not thread-safe:
+  /// one scratch serves one thread at a time; the caller owns it and keeps
+  /// it alive for the call.
+  SolveScratch* scratch = nullptr;
 };
 
 /// Uniform outcome of `Scheduler::solve`: the schedule plus the metrics the

@@ -20,8 +20,9 @@ double inv(Time t) { return t > 0 ? 1.0 / static_cast<double>(t) : kInf; }
 /// Greedy one-port allocation: children offering rates `offers[i]` at
 /// per-task port cost `costs[i]`; the port has one unit of time per time
 /// unit.  Filling cheapest-cost first maximizes the total accepted rate
-/// (the bandwidth-centric argument of [2]).
-double one_port_fill(std::vector<std::pair<Time, double>> cost_offer) {
+/// (the bandwidth-centric argument of [2]).  Sorts in place so warm scratch
+/// callers stay allocation-free.
+double one_port_fill(std::vector<std::pair<Time, double>>& cost_offer) {
   std::sort(cost_offer.begin(), cost_offer.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   double budget = 1.0;
@@ -37,6 +38,10 @@ double one_port_fill(std::vector<std::pair<Time, double>> cost_offer) {
     budget -= take * static_cast<double>(cost);
   }
   return rate;
+}
+
+double one_port_fill(std::vector<std::pair<Time, double>>&& cost_offer) {
+  return one_port_fill(cost_offer);
 }
 
 /// Ceiling of n/rate as a Time, robust to the fp representation.
@@ -58,13 +63,22 @@ double chain_steady_state_rate(const Chain& chain) {
   return lambda;
 }
 
-double spider_steady_state_rate(const Spider& spider) {
-  std::vector<std::pair<Time, double>> cost_offer;
-  cost_offer.reserve(spider.num_legs());
+namespace {
+
+double spider_steady_state_rate(const Spider& spider, OnePortScratch& scratch) {
+  scratch.clear();
   for (const Chain& leg : spider.legs()) {
-    cost_offer.emplace_back(leg.comm(0), chain_steady_state_rate(leg));
+    scratch.emplace_back(leg.comm(0), chain_steady_state_rate(leg));
   }
-  return one_port_fill(std::move(cost_offer));
+  return one_port_fill(scratch);
+}
+
+}  // namespace
+
+double spider_steady_state_rate(const Spider& spider) {
+  OnePortScratch scratch;
+  scratch.reserve(spider.num_legs());
+  return spider_steady_state_rate(spider, scratch);
 }
 
 namespace {
@@ -104,9 +118,9 @@ Time chain_makespan_lower_bound(const Chain& chain, std::size_t n) {
   return std::max(lb, single);
 }
 
-Time spider_makespan_lower_bound(const Spider& spider, std::size_t n) {
+Time spider_makespan_lower_bound(const Spider& spider, std::size_t n, OnePortScratch& scratch) {
   MST_REQUIRE(n >= 1, "need at least one task");
-  Time lb = rate_bound(n, spider_steady_state_rate(spider));
+  Time lb = rate_bound(n, spider_steady_state_rate(spider, scratch));
   // Master-port busy time: every task occupies the port for at least the
   // cheapest first link; the last-emitted task still needs the cheapest
   // continuation.
@@ -119,6 +133,36 @@ Time spider_makespan_lower_bound(const Spider& spider, std::size_t n) {
       tail = std::min(tail, leg.path_latency(q) - leg.comm(0) + leg.work(q));
       single = std::min(single, leg.path_latency(q) + leg.work(q));
     }
+  }
+  lb = std::max(lb, static_cast<Time>(n) * min_c0 + tail);
+  return std::max(lb, single);
+}
+
+Time spider_makespan_lower_bound(const Spider& spider, std::size_t n) {
+  OnePortScratch scratch;
+  scratch.reserve(spider.num_legs());
+  return spider_makespan_lower_bound(spider, n, scratch);
+}
+
+Time fork_makespan_lower_bound(const Fork& fork, std::size_t n, OnePortScratch& scratch) {
+  MST_REQUIRE(n >= 1, "need at least one task");
+  // A fork is a spider of single-processor legs: leg rate
+  // `min(1/c_i, 1/w_i)`, first-link cost `c_i`, path latency `c_i`.  The
+  // terms below mirror the spider bound on `Spider::from_fork(fork)`
+  // term-for-term (same iteration order, same arithmetic), so the result is
+  // bit-identical — without building the spider.
+  scratch.clear();
+  for (const Processor& slave : fork.slaves()) {
+    scratch.emplace_back(slave.comm, std::min(inv(slave.comm), inv(slave.work)));
+  }
+  Time lb = rate_bound(n, one_port_fill(scratch));
+  Time min_c0 = kTimeInfinity;
+  Time tail = kTimeInfinity;
+  Time single = kTimeInfinity;
+  for (const Processor& slave : fork.slaves()) {
+    min_c0 = std::min(min_c0, slave.comm);
+    tail = std::min(tail, slave.work);
+    single = std::min(single, slave.comm + slave.work);
   }
   lb = std::max(lb, static_cast<Time>(n) * min_c0 + tail);
   return std::max(lb, single);

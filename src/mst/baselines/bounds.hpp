@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
+#include <vector>
 
 #include "mst/common/time.hpp"
 #include "mst/platform/chain.hpp"
+#include "mst/platform/fork.hpp"
 #include "mst/platform/spider.hpp"
 #include "mst/platform/tree.hpp"
 
@@ -35,9 +38,21 @@ double spider_steady_state_rate(const Spider& spider);
 /// which forwards but does not compute).
 double tree_steady_state_rate(const Tree& tree);
 
+/// Reusable buffer for the one-port fill of the spider/fork bounds; keep
+/// one per thread and the bound computations below allocate nothing.
+using OnePortScratch = std::vector<std::pair<Time, double>>;
+
 /// Makespan lower bounds: `max(path+work floor, ceil(n/rate-ish))` — every
 /// term is a valid bound, the max is reported.
 Time chain_makespan_lower_bound(const Chain& chain, std::size_t n);
 Time spider_makespan_lower_bound(const Spider& spider, std::size_t n);
+
+/// Scratch-reusing twin (identical value; warm scratch ⇒ no allocation).
+Time spider_makespan_lower_bound(const Spider& spider, std::size_t n, OnePortScratch& scratch);
+
+/// Fork view of the spider bound, computed without materializing the
+/// equivalent spider: equals
+/// `spider_makespan_lower_bound(Spider::from_fork(fork), n)`.
+Time fork_makespan_lower_bound(const Fork& fork, std::size_t n, OnePortScratch& scratch);
 
 }  // namespace mst

@@ -7,16 +7,33 @@
 namespace mst {
 
 TreeAsapState::TreeAsapState(const Tree& tree)
-    : tree_(&tree), port_free_(tree.size(), 0), proc_free_(tree.size(), 0) {}
+    : tree_(&tree), port_free_(tree.size(), 0), proc_free_(tree.size(), 0) {
+  // Flatten every root-excluded root→v path into one table so the hot
+  // peek/commit loops below walk spans instead of materializing vectors.
+  path_offset_.reserve(tree.size() + 1);
+  path_offset_.push_back(0);
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (v != 0) {
+      for (NodeId hop : tree.path_from_root(v)) path_nodes_.push_back(hop);
+    }
+    path_offset_.push_back(path_nodes_.size());
+  }
+}
 
+void TreeAsapState::reset() {
+  std::fill(port_free_.begin(), port_free_.end(), 0);
+  std::fill(proc_free_.begin(), proc_free_.end(), 0);
+}
+
+// mstlint: zero-alloc
 Time TreeAsapState::peek_completion(NodeId dest, Time size, Time release) const {
   MST_REQUIRE(dest != 0 && dest < tree_->size(), "destination must be a slave node");
   Time ready = release;
   NodeId prev = 0;
-  for (NodeId hop : tree_->path_from_root(dest)) {
+  for (const NodeId* hop = path_begin(dest); hop != path_end(dest); ++hop) {
     const Time emit = std::max(ready, port_free_[prev]);
-    ready = emit + size * tree_->proc(hop).comm;
-    prev = hop;
+    ready = emit + size * tree_->proc(*hop).comm;
+    prev = *hop;
   }
   return std::max(ready, proc_free_[dest]) + size * tree_->proc(dest).work;
 }
@@ -25,28 +42,43 @@ Time TreeAsapState::commit(NodeId dest, Time size, Time release) {
   MST_REQUIRE(dest != 0 && dest < tree_->size(), "destination must be a slave node");
   Time ready = release;
   NodeId prev = 0;
-  for (NodeId hop : tree_->path_from_root(dest)) {
+  for (const NodeId* hop = path_begin(dest); hop != path_end(dest); ++hop) {
     const Time emit = std::max(ready, port_free_[prev]);
-    ready = emit + size * tree_->proc(hop).comm;
+    ready = emit + size * tree_->proc(*hop).comm;
     port_free_[prev] = ready;
-    prev = hop;
+    prev = *hop;
   }
   proc_free_[dest] = std::max(ready, proc_free_[dest]) + size * tree_->proc(dest).work;
   return proc_free_[dest];
 }
 
-Time asap_tree_makespan(const Tree& tree, const std::vector<NodeId>& dests) {
-  TreeAsapState state(tree);
+Time asap_tree_makespan(const std::vector<NodeId>& dests, TreeAsapState& state) {
+  state.reset();
   Time makespan = 0;
   for (NodeId dest : dests) makespan = std::max(makespan, state.commit(dest));
   return makespan;
 }
+// mstlint: zero-alloc-end
+
+Time asap_tree_makespan(const Tree& tree, const std::vector<NodeId>& dests) {
+  TreeAsapState state(tree);
+  return asap_tree_makespan(dests, state);
+}
 
 std::vector<NodeId> forward_greedy_tree(const Tree& tree, std::size_t n) {
-  MST_REQUIRE(tree.num_slaves() >= 1, "tree has no slaves");
   TreeAsapState state(tree);
   std::vector<NodeId> dests;
-  dests.reserve(n);
+  forward_greedy_tree_into(n, state, dests);
+  return dests;
+}
+
+// mstlint: zero-alloc
+Time forward_greedy_tree_into(std::size_t n, TreeAsapState& state, std::vector<NodeId>& dests) {
+  const Tree& tree = state.tree();
+  MST_REQUIRE(tree.num_slaves() >= 1, "tree has no slaves");
+  state.reset();
+  dests.clear();
+  Time makespan = 0;
   for (std::size_t i = 0; i < n; ++i) {
     NodeId best = 1;
     Time best_completion = kTimeInfinity;
@@ -57,11 +89,12 @@ std::vector<NodeId> forward_greedy_tree(const Tree& tree, std::size_t n) {
         best = v;
       }
     }
-    state.commit(best);
+    makespan = std::max(makespan, state.commit(best));
     dests.push_back(best);
   }
-  return dests;
+  return makespan;
 }
+// mstlint: zero-alloc-end
 
 Time forward_greedy_tree_makespan(const Tree& tree, std::size_t n) {
   return asap_tree_makespan(tree, forward_greedy_tree(tree, n));
@@ -88,13 +121,15 @@ class TreeSearch {
     const Tree& tree = state_.tree();
     for (NodeId dest = 1; dest < tree.size(); ++dest) {
       // Save the touched state slots (ports along the path + the cpu).
-      const std::vector<NodeId> path = tree.path_from_root(dest);
+      const NodeId* const path = state_.path_begin(dest);
+      const std::size_t path_len =
+          static_cast<std::size_t>(state_.path_end(dest) - path);
       std::vector<Time> saved_ports;
-      saved_ports.reserve(path.size());
+      saved_ports.reserve(path_len);
       NodeId prev = 0;
-      for (NodeId hop : path) {
+      for (std::size_t i = 0; i < path_len; ++i) {
         saved_ports.push_back(state_.port_free_[prev]);
-        prev = hop;
+        prev = path[i];
       }
       const Time saved_proc = state_.proc_free_[dest];
 
@@ -102,7 +137,7 @@ class TreeSearch {
       dfs(placed + 1, std::max(current_makespan, end));
 
       prev = 0;
-      for (std::size_t i = 0; i < path.size(); ++i) {
+      for (std::size_t i = 0; i < path_len; ++i) {
         state_.port_free_[prev] = saved_ports[i];
         prev = path[i];
       }

@@ -19,7 +19,10 @@
 namespace mst {
 
 /// Incremental ASAP state over a tree: per node, when its out-port and its
-/// processor become free.
+/// processor become free.  The root→node paths are flattened into one table
+/// at construction, so `peek_completion` and `commit` never allocate — the
+/// local-search descent evaluates thousands of candidate sequences per solve
+/// through one state, `reset()`-ing between replays.
 class TreeAsapState {
  public:
   explicit TreeAsapState(const Tree& tree);
@@ -33,23 +36,46 @@ class TreeAsapState {
   /// Appends a task to `dest`; returns its completion time.
   Time commit(NodeId dest, Time size = 1, Time release = 0);
 
+  /// Forget every committed task (all ports and processors free at 0); the
+  /// path table is tree-shaped and survives.  Allocation-free.
+  void reset();
+
   [[nodiscard]] const Tree& tree() const { return *tree_; }
 
  private:
   friend class TreeSearch;  // exhaustive search needs save/restore access
 
+  /// The root-excluded root→`v` path, as a view into the flat table.
+  [[nodiscard]] const NodeId* path_begin(NodeId v) const {
+    return path_nodes_.data() + path_offset_[v];
+  }
+  [[nodiscard]] const NodeId* path_end(NodeId v) const {
+    return path_nodes_.data() + path_offset_[v + 1];
+  }
+
   const Tree* tree_;
   std::vector<Time> port_free_;
   std::vector<Time> proc_free_;
+  std::vector<std::size_t> path_offset_;  ///< size() + 1 entries
+  std::vector<NodeId> path_nodes_;        ///< concatenated root-excluded paths
 };
 
 /// Makespan of dispatching the given destination sequence ASAP.
 Time asap_tree_makespan(const Tree& tree, const std::vector<NodeId>& dests);
 
+/// Scratch-reusing variant: resets `state` and replays `dests` through it.
+/// Identical result; zero allocations on a constructed state.
+Time asap_tree_makespan(const std::vector<NodeId>& dests, TreeAsapState& state);
+
 /// Earliest-completion-time forward greedy on a tree; returns the chosen
 /// destination sequence (ties toward the smaller node id).
 std::vector<NodeId> forward_greedy_tree(const Tree& tree, std::size_t n);
 Time forward_greedy_tree_makespan(const Tree& tree, std::size_t n);
+
+/// Scratch-reusing greedy: resets `state`, rebuilds the sequence into
+/// `dests` (capacity reused) and returns the makespan alongside.  The
+/// chosen sequence is identical to `forward_greedy_tree`.
+Time forward_greedy_tree_into(std::size_t n, TreeAsapState& state, std::vector<NodeId>& dests);
 
 /// Exhaustive exact optimum on a tree (branch & bound over destination
 /// sequences, exponential — small instances only).  This is the ground

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+/// \file arena.hpp
+/// Monotonic scratch arena with a typed span allocator.
+///
+/// The zero-alloc club (counting kernels, simulator loop, materialized
+/// solves) mostly runs on *typed* scratch structs whose vectors stay warm
+/// between calls.  Some call sites, though, need a bag of short-lived
+/// buffers whose count is data-dependent — e.g. the tree cover collecting
+/// one node path per leaf.  Materializing each as its own `std::vector`
+/// churns the heap every call; the arena replaces that with bump-pointer
+/// spans carved out of one reusable block.
+///
+/// Contract (grow-once, reset-per-use):
+///  * `make_span<T>(count)` bump-allocates; when the active block is full a
+///    geometrically larger one is appended, so existing spans stay valid
+///    until `reset()`.
+///  * `reset()` rewinds.  If the previous cycle spilled into extra blocks
+///    they are coalesced into a single block sized for the observed peak —
+///    after the first post-peak reset, every later cycle of the same (or
+///    smaller) footprint performs zero heap allocations.
+///  * Spans are never destructed (monotonic), so `T` must be trivially
+///    destructible.
+
+namespace mst {
+
+/// A borrowed, arena-owned array.  Valid until the owning arena's `reset()`.
+template <typename T>
+struct Span {
+  T* data = nullptr;
+  std::size_t size = 0;
+
+  [[nodiscard]] T* begin() const { return data; }
+  [[nodiscard]] T* end() const { return data + size; }
+  [[nodiscard]] bool empty() const { return size == 0; }
+  T& operator[](std::size_t i) const { return data[i]; }
+};
+
+class Arena {
+ public:
+  Arena() = default;
+
+  /// Value-initialized array of `count` `T`s, aligned for any scalar type.
+  template <typename T>
+  Span<T> make_span(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena spans are never destructed (monotonic reset)");
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    if (count == 0) return {};
+    T* data = static_cast<T*>(allocate(count * sizeof(T)));
+    for (std::size_t i = 0; i < count; ++i) ::new (static_cast<void*>(data + i)) T();
+    return {data, count};
+  }
+
+  /// Rewind all spans; coalesce multi-block cycles into one peak-sized block.
+  void reset() {
+    if (blocks_.size() > 1) {
+      // Grow-once: one block sized for everything the last cycles needed, so
+      // the next cycle bump-allocates without ever spilling again.
+      const std::size_t total = capacity();
+      blocks_.clear();
+      blocks_.push_back(Block{std::make_unique<std::byte[]>(total), total});
+    }
+    active_ = 0;
+    offset_ = 0;
+    used_ = 0;
+  }
+
+  /// Bytes handed out since the last `reset()` (alignment padding included).
+  [[nodiscard]] std::size_t used() const { return used_; }
+
+  /// Total bytes owned across all blocks.
+  [[nodiscard]] std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> bytes;
+    std::size_t size = 0;
+  };
+
+  static constexpr std::size_t kMinBlock = 1024;
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  void* allocate(std::size_t bytes) {
+    bytes = (bytes + kAlign - 1) / kAlign * kAlign;
+    while (active_ < blocks_.size() && offset_ + bytes > blocks_[active_].size) {
+      ++active_;
+      offset_ = 0;
+    }
+    if (active_ == blocks_.size()) {
+      const std::size_t grown = std::max({kMinBlock, bytes, 2 * capacity()});
+      blocks_.push_back(Block{std::make_unique<std::byte[]>(grown), grown});
+      offset_ = 0;
+    }
+    void* out = blocks_[active_].bytes.get() + offset_;
+    offset_ += bytes;
+    used_ += bytes;
+    return out;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  ///< index of the block being bumped
+  std::size_t offset_ = 0;  ///< bump offset within the active block
+  std::size_t used_ = 0;
+};
+
+}  // namespace mst

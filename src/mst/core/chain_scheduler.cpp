@@ -152,6 +152,61 @@ std::size_t count_backward(const Chain& chain, Time t_lim, std::size_t cap,
 }
 // mstlint: zero-alloc-end
 
+/// Materializing twin of `count_backward` / `build_backward`: the identical
+/// hull/occupancy arithmetic in the reusable scratch buffers, committing each
+/// task into a recycled slot of `out.tasks` (the emission vectors keep their
+/// warm capacity across rebuilds).  Statically allocation-checked; the
+/// dynamic twin is tests/test_zero_alloc.cpp.
+// mstlint: zero-alloc
+void build_backward_into(const Chain& chain, Time horizon, std::size_t max_tasks,
+                         bool stop_on_negative, ChainCountScratch& scratch, ChainSchedule& out) {
+  const std::size_t p = chain.size();
+  scratch.hull.assign(p, horizon);
+  scratch.occupancy.assign(p, horizon);
+  scratch.candidate.resize(p);
+  scratch.best.resize(p);
+  Time* const hull = scratch.hull.data();
+  Time* const occupancy = scratch.occupancy.data();
+  Time* const candidate = scratch.candidate.data();
+  Time* const best = scratch.best.data();
+
+  out.chain = chain;  // copy-assign reuses the processor buffer when warm
+  std::size_t used = 0;
+  while (used < max_tasks) {
+    std::size_t best_len = 0;
+    for (std::size_t k1 = p; k1 >= 1; --k1) {
+      const std::size_t k = k1 - 1;
+      candidate[k] = std::min(occupancy[k] - chain.work(k) - chain.comm(k),
+                              hull[k] - chain.comm(k));
+      for (std::size_t j1 = k; j1 >= 1; --j1) {
+        const std::size_t j = j1 - 1;
+        candidate[j] = std::min(candidate[j + 1] - chain.comm(j), hull[j] - chain.comm(j));
+      }
+      if (best_len == 0 || precedes(best, best_len, candidate, k + 1)) {
+        std::copy(candidate, candidate + k + 1, best);
+        best_len = k + 1;
+      }
+    }
+    MST_ASSERT(best_len >= 1);
+
+    if (stop_on_negative && best[0] < 0) break;
+
+    const std::size_t dest = best_len - 1;
+    const Time start = occupancy[dest] - chain.work(dest);
+    occupancy[dest] = start;
+    for (std::size_t k = 0; k <= dest; ++k) hull[k] = best[k];
+    if (used == out.tasks.size()) out.tasks.emplace_back();
+    ChainTask& task = out.tasks[used];
+    task.proc = dest;
+    task.start = start;
+    task.emissions.assign(best, best + best_len);
+    ++used;
+  }
+  out.tasks.resize(used);
+  std::reverse(out.tasks.begin(), out.tasks.end());
+}
+// mstlint: zero-alloc-end
+
 }  // namespace
 
 std::size_t ChainScheduler::count_within(const Chain& chain, Time t_lim, std::size_t cap,
@@ -249,6 +304,23 @@ ChainSchedule ChainScheduler::schedule(const Chain& chain, const Workload& workl
   MST_ASSERT(result.tasks.size() == n);
   // No -C^1_1 shift: release dates are absolute, the window is the schedule.
   return result;
+}
+
+void ChainScheduler::schedule_into(const Chain& chain, std::size_t n,
+                                   ChainCountScratch& scratch, ChainSchedule& out) {
+  MST_REQUIRE(n >= 1, "schedule needs at least one task");
+  const Time horizon = chain.t_infinity(n);
+  build_backward_into(chain, horizon, n, /*stop_on_negative=*/false, scratch, out);
+  MST_ASSERT(out.tasks.size() == n);
+  const Time first_emission = out.tasks.front().emissions.front();
+  MST_ASSERT(first_emission >= 0);
+  out.shift(-first_emission);
+}
+
+void ChainScheduler::schedule_within_into(const Chain& chain, Time t_lim, std::size_t max_tasks,
+                                          ChainCountScratch& scratch, ChainSchedule& out) {
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  build_backward_into(chain, t_lim, max_tasks, /*stop_on_negative=*/true, scratch, out);
 }
 
 }  // namespace mst

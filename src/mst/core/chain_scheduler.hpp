@@ -126,6 +126,21 @@ class ChainScheduler {
   /// regardless of sign (makespan form, shifted by the caller).
   static ChainSchedule build_backward(const Chain& chain, Time horizon, std::size_t max_tasks,
                                       bool stop_on_negative);
+
+  // -------------------------------------------------------------------------
+  // Scratch-reusing materialization.  `_into` variants rebuild `out` in place
+  // — task slots, their communication vectors and the chain copy all reuse
+  // warm capacity — and produce bit-identical results to the value-returning
+  // forms above (pinned by tests/test_zero_alloc.cpp).  After one warm-up
+  // call at a given (p, n), repeated solves perform zero heap allocations.
+
+  /// In-place twin of `schedule(chain, n)`.
+  static void schedule_into(const Chain& chain, std::size_t n, ChainCountScratch& scratch,
+                            ChainSchedule& out);
+
+  /// In-place twin of `schedule_within(chain, t_lim, max_tasks)`.
+  static void schedule_within_into(const Chain& chain, Time t_lim, std::size_t max_tasks,
+                                   ChainCountScratch& scratch, ChainSchedule& out);
 };
 
 }  // namespace mst

@@ -335,6 +335,127 @@ Time ForkScheduler::makespan(const Fork& fork, std::size_t n) {
   return schedule(fork, n).makespan();
 }
 
+// Scratch-reusing materialization.  Steps (1)–(3) are the `makespan_within`
+// pipeline verbatim (same selection, same trim); step (4) rebuilds
+// `out.tasks` in place — `ForkTask` is trivially destructible, so
+// clear()+push_back never touches the heap within warm capacity.  Equality
+// with `schedule_within` holds because `realize`'s pending list is the same
+// (deadline, slave) multiset as `scratch.seq` — per slave the ranks
+// `0..counts-1` with deadline `t_lim - exec` — sorted by the same key, and
+// exec values are distinct per slave (work > 0), so the order is total.
+// mstlint: zero-alloc
+void ForkScheduler::schedule_within_into(const Fork& fork, Time t_lim, std::size_t cap,
+                                         ForkCountScratch& scratch, ForkSchedule& out) {
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  // (1) Node instance with an id → slave map.
+  scratch.jobs.clear();
+  scratch.slave_of.clear();
+  for (std::size_t i = 0; i < fork.size(); ++i) {
+    const Processor& slave = fork.slave(i);
+    const Time m = std::max(slave.comm, slave.work);
+    for (std::size_t q = 0; q < cap; ++q) {
+      const Time exec = slave.work + static_cast<Time>(q) * m;
+      if (exec + slave.comm > t_lim) break;
+      scratch.jobs.push_back(DeadlineJob{slave.comm, t_lim - exec, scratch.jobs.size()});
+      scratch.slave_of.push_back(i);
+    }
+  }
+
+  // (2) Moore–Hodgson with identities, mirroring `moore_hodgson` exactly.
+  std::sort(scratch.jobs.begin(), scratch.jobs.end(),
+            [](const DeadlineJob& a, const DeadlineJob& b) {
+              if (a.deadline != b.deadline) return a.deadline < b.deadline;
+              if (a.proc_time != b.proc_time) return a.proc_time < b.proc_time;
+              return a.id < b.id;
+            });
+  scratch.sel_heap.clear();
+  Time total = 0;
+  for (const DeadlineJob& job : scratch.jobs) {
+    scratch.sel_heap.emplace_back(job.proc_time, job.id);
+    std::push_heap(scratch.sel_heap.begin(), scratch.sel_heap.end());
+    total += job.proc_time;
+    if (total > job.deadline) {
+      std::pop_heap(scratch.sel_heap.begin(), scratch.sel_heap.end());
+      total -= scratch.sel_heap.back().first;
+      scratch.sel_heap.pop_back();
+    }
+  }
+
+  // (3) Per-slave counts and the global-cap trim of `schedule_within`.
+  scratch.counts.assign(fork.size(), 0);
+  for (const auto& [comm, id] : scratch.sel_heap) ++scratch.counts[scratch.slave_of[id]];
+  std::size_t selected = scratch.sel_heap.size();
+  while (selected > cap) {
+    std::size_t worst = fork.size();
+    Time worst_exec = -1;
+    for (std::size_t i = 0; i < fork.size(); ++i) {
+      if (scratch.counts[i] == 0) continue;
+      const Time exec =
+          fork.slave(i).work + static_cast<Time>(scratch.counts[i] - 1) * fork.cadence(i);
+      if (exec > worst_exec) {
+        worst_exec = exec;
+        worst = i;
+      }
+    }
+    MST_ASSERT(worst < fork.size());
+    --scratch.counts[worst];
+    --selected;
+  }
+
+  // (4) The EDD port sequencing of `realize`, materialized in place.
+  scratch.seq.clear();
+  for (std::size_t i = 0; i < fork.size(); ++i) {
+    const Processor& slave = fork.slave(i);
+    const Time m = std::max(slave.comm, slave.work);
+    for (std::size_t q = 0; q < scratch.counts[i]; ++q) {
+      scratch.seq.emplace_back(t_lim - (slave.work + static_cast<Time>(q) * m), i);
+    }
+  }
+  std::sort(scratch.seq.begin(), scratch.seq.end());
+  out.fork = fork;  // copy-assign reuses the slave buffer when warm
+  out.tasks.clear();
+  scratch.slave_free.assign(fork.size(), 0);
+  Time port = 0;
+  for (const auto& [deadline, slave_index] : scratch.seq) {
+    const Processor& slave = fork.slave(slave_index);
+    const Time emission = port;
+    port += slave.comm;
+    MST_ASSERT(port <= deadline);
+    const Time arrival = emission + slave.comm;
+    const Time start = std::max(arrival, scratch.slave_free[slave_index]);
+    scratch.slave_free[slave_index] = start + slave.work;
+    MST_ASSERT(scratch.slave_free[slave_index] <= t_lim);
+    out.tasks.push_back(ForkTask{slave_index, emission, start});
+  }
+  MST_ASSERT(out.tasks.size() == selected);
+}
+// mstlint: zero-alloc-end
+
+void ForkScheduler::schedule_into(const Fork& fork, std::size_t n, ForkCountScratch& scratch,
+                                  ForkSchedule& out) {
+  MST_REQUIRE(n >= 1, "schedule needs at least one task");
+  // Upper bound: all n tasks on the single best slave.
+  Time hi = kTimeInfinity;
+  for (std::size_t i = 0; i < fork.size(); ++i) {
+    const Processor& s = fork.slave(i);
+    const Time t = s.comm + static_cast<Time>(n - 1) * fork.cadence(i) + s.work;
+    hi = std::min(hi, t);
+  }
+  Time lo = 0;
+  // Same monotone predicate as `schedule(fork, n)`, probed through the one
+  // warm scratch instead of a fresh `max_tasks` scratch per probe.
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (count_within(fork, mid, n, scratch) >= n) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  schedule_within_into(fork, lo, n, scratch, out);
+  MST_ASSERT(out.tasks.size() == n);
+}
+
 namespace {
 
 /// Shared engine for the §6 greedy: returns the per-slave counts it

@@ -100,6 +100,21 @@ class ForkScheduler {
   /// Materializes the greedy selection as an actual schedule (same EDD
   /// sequencing as the optimal path; counts come from the greedy).
   static ForkSchedule greedy_schedule_within(const Fork& fork, Time t_lim, std::size_t cap);
+
+  // -------------------------------------------------------------------------
+  // Scratch-reusing materialization: bit-identical to the value-returning
+  // forms (pinned by tests/test_zero_alloc.cpp), rebuilding `out` in place so
+  // repeated solves on warm scratch perform zero heap allocations.
+
+  /// In-place twin of `schedule_within(fork, t_lim, cap)`: the
+  /// `makespan_within` pipeline with step (4) emitting real tasks.
+  static void schedule_within_into(const Fork& fork, Time t_lim, std::size_t cap,
+                                   ForkCountScratch& scratch, ForkSchedule& out);
+
+  /// In-place twin of `schedule(fork, n)`; the binary search reuses the same
+  /// scratch for every probe instead of building one per `max_tasks` call.
+  static void schedule_into(const Fork& fork, std::size_t n, ForkCountScratch& scratch,
+                            ForkSchedule& out);
 };
 
 }  // namespace mst

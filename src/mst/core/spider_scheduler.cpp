@@ -291,4 +291,132 @@ Time SpiderScheduler::makespan(const Spider& spider, std::size_t n) {
   return schedule(spider, n).makespan();
 }
 
+// Scratch-reusing materialization.  Equality with `schedule_within` rests on
+// three invariants, all pinned by tests/test_zero_alloc.cpp:
+//  * the per-leg `_into` builds equal `ChainScheduler::schedule_within`;
+//  * node ids are assigned in the exact `transform`/`expand_leg` order
+//    (leg-major, ascending first emission), so the Moore–Hodgson mirror —
+//    EDD by (deadline, proc_time, id), eviction of the max (proc_time, id) —
+//    selects the identical set;
+//  * `scratch.chosen` tuples sort by (deadline, leg, task_index), the legacy
+//    `Chosen` comparator verbatim.
+// mstlint: zero-alloc
+void SpiderScheduler::schedule_within_into(const Spider& spider, Time t_lim, std::size_t cap,
+                                           SpiderSolveScratch& scratch, SpiderSchedule& out) {
+  MST_REQUIRE(t_lim >= 0, "time limit must be non-negative");
+  const std::size_t num_legs = spider.num_legs();
+
+  // Steps (1)–(2): per-leg decision schedules into pooled slots, virtual
+  // nodes enumerated on the fly in `transform` order.
+  if (scratch.legs.size() < num_legs) scratch.legs.resize(num_legs);
+  scratch.jobs.clear();
+  scratch.leg_of.clear();
+  for (std::size_t l = 0; l < num_legs; ++l) {
+    ChainScheduler::schedule_within_into(spider.leg(l), t_lim, cap, scratch.count.chain,
+                                         scratch.legs[l]);
+    const Time c1 = spider.leg(l).comm(0);
+    for (const ChainTask& t : scratch.legs[l].tasks) {
+      // expand_leg: proc_time = c_1, deadline = C¹ + c_1, ids in node order.
+      scratch.jobs.push_back(DeadlineJob{c1, t.emissions.front() + c1, scratch.jobs.size()});
+      scratch.leg_of.push_back(l);
+    }
+  }
+
+  // Step (3): Moore–Hodgson with identities, mirroring `moore_hodgson`.
+  std::sort(scratch.jobs.begin(), scratch.jobs.end(),
+            [](const DeadlineJob& a, const DeadlineJob& b) {
+              if (a.deadline != b.deadline) return a.deadline < b.deadline;
+              if (a.proc_time != b.proc_time) return a.proc_time < b.proc_time;
+              return a.id < b.id;
+            });
+  scratch.sel_heap.clear();
+  Time total_time = 0;
+  for (const DeadlineJob& job : scratch.jobs) {
+    scratch.sel_heap.emplace_back(job.proc_time, job.id);
+    std::push_heap(scratch.sel_heap.begin(), scratch.sel_heap.end());
+    total_time += job.proc_time;
+    if (total_time > job.deadline) {
+      std::pop_heap(scratch.sel_heap.begin(), scratch.sel_heap.end());
+      total_time -= scratch.sel_heap.back().first;
+      scratch.sel_heap.pop_back();
+    }
+  }
+
+  // Per-leg counts and the global-cap trim of `schedule_within`.
+  scratch.counts.assign(num_legs, 0);
+  for (const auto& [comm, id] : scratch.sel_heap) ++scratch.counts[scratch.leg_of[id]];
+  std::size_t total = scratch.sel_heap.size();
+  while (total > cap) {
+    std::size_t worst_leg = num_legs;
+    Time worst_exec = -1;
+    for (std::size_t l = 0; l < num_legs; ++l) {
+      if (scratch.counts[l] == 0) continue;
+      const std::size_t m = scratch.legs[l].tasks.size();
+      const ChainTask& t = scratch.legs[l].tasks[m - scratch.counts[l]];  // earliest kept task
+      const Time exec = t_lim - t.emissions.front() - spider.leg(l).comm(0);
+      if (exec > worst_exec) {
+        worst_exec = exec;
+        worst_leg = l;
+      }
+    }
+    MST_ASSERT(worst_leg < num_legs);
+    --scratch.counts[worst_leg];
+    --total;
+  }
+
+  // Step (4): gather the suffix tasks, re-sequence EDD from time 0, rebuild
+  // `out.tasks` in recycled slots.
+  scratch.chosen.clear();
+  for (std::size_t l = 0; l < num_legs; ++l) {
+    const ChainSchedule& ls = scratch.legs[l];
+    const std::size_t m = ls.tasks.size();
+    const Time c1 = spider.leg(l).comm(0);
+    for (std::size_t j = m - scratch.counts[l]; j < m; ++j) {
+      scratch.chosen.emplace_back(ls.tasks[j].emissions.front() + c1, l, j);
+    }
+  }
+  std::sort(scratch.chosen.begin(), scratch.chosen.end());
+
+  out.spider = spider;  // copy-assign reuses the nested leg buffers when warm
+  std::size_t used = 0;
+  Time port = 0;
+  for (const auto& [deadline, leg, task_index] : scratch.chosen) {
+    const ChainTask& src = scratch.legs[leg].tasks[task_index];
+    const Time c1 = spider.leg(leg).comm(0);
+    const Time emission = port;
+    port += c1;
+    MST_ASSERT(port <= deadline);
+    if (used == out.tasks.size()) out.tasks.emplace_back();
+    SpiderTask& task = out.tasks[used];
+    task.leg = leg;
+    task.proc = src.proc;
+    task.start = src.start;
+    task.emissions.assign(src.emissions.begin(), src.emissions.end());
+    task.emissions.front() = emission;
+    ++used;
+  }
+  out.tasks.resize(used);
+}
+// mstlint: zero-alloc-end
+
+void SpiderScheduler::schedule_into(const Spider& spider, std::size_t n,
+                                    SpiderSolveScratch& scratch, SpiderSchedule& out) {
+  MST_REQUIRE(n >= 1, "schedule needs at least one task");
+  Time hi = kTimeInfinity;
+  for (const Chain& leg : spider.legs()) hi = std::min(hi, leg.t_infinity(n));
+  Time lo = 0;
+  // Same monotone predicate as `schedule(spider, n)`, on the shared scratch.
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (count_within(spider, mid, n, scratch.count) >= n) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  schedule_within_into(spider, lo, n, scratch, out);
+  MST_ASSERT(out.tasks.size() == n);
+  out.normalize();
+}
+
 }  // namespace mst

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "mst/core/chain_scheduler.hpp"
@@ -54,6 +56,21 @@ struct SpiderCountScratch {
   std::vector<Time> dp;             ///< positional-release selection DP row
 };
 
+/// Reusable buffers for the scratch-reusing materializing path
+/// (`schedule_into` / `schedule_within_into`).  Extends the counting scratch
+/// with pooled per-leg decision schedules and the step (3)–(4) working sets.
+struct SpiderSolveScratch {
+  SpiderCountScratch count;          ///< binary-search probes + leg builds
+  std::vector<ChainSchedule> legs;   ///< pooled leg decision schedules
+  std::vector<DeadlineJob> jobs;     ///< node instance in `transform` order
+  std::vector<std::pair<Time, std::size_t>> sel_heap;  ///< (comm, id) eviction heap
+  std::vector<std::size_t> leg_of;   ///< node id → leg index
+  std::vector<std::size_t> counts;   ///< kept suffix length per leg
+  /// Step (4) sequencing: (deadline, leg, task_index) — the tuple order is
+  /// exactly the legacy `Chosen` comparator.
+  std::vector<std::tuple<Time, std::size_t, std::size_t>> chosen;
+};
+
 class SpiderScheduler {
  public:
   /// Steps (1)-(2): per-leg schedules and the fork-graph instance (Fig 7).
@@ -101,6 +118,23 @@ class SpiderScheduler {
   /// release-aware count; the result keeps absolute times (no
   /// normalization — release dates pin the origin).
   static SpiderSchedule schedule(const Spider& spider, const Workload& workload);
+
+  // -------------------------------------------------------------------------
+  // Scratch-reusing materialization: bit-identical to the value-returning
+  // forms (pinned by tests/test_zero_alloc.cpp), rebuilding `out` in place so
+  // repeated solves on warm scratch perform zero heap allocations.
+
+  /// In-place twin of `schedule_within(spider, t_lim, cap)`: per-leg builds
+  /// through the chain `_into` path into pooled leg slots, virtual nodes
+  /// enumerated in the exact `transform` order (leg-major, ascending first
+  /// emission — node ids must match for Moore–Hodgson tie-breaking), then
+  /// the identical selection / trim / EDD re-sequencing.
+  static void schedule_within_into(const Spider& spider, Time t_lim, std::size_t cap,
+                                   SpiderSolveScratch& scratch, SpiderSchedule& out);
+
+  /// In-place twin of `schedule(spider, n)` (binary search + normalize).
+  static void schedule_into(const Spider& spider, std::size_t n, SpiderSolveScratch& scratch,
+                            SpiderSchedule& out);
 };
 
 }  // namespace mst

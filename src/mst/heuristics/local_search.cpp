@@ -16,7 +16,12 @@ LocalSearchResult improve_tree_dispatch(const Tree& tree, std::vector<NodeId> in
 
   LocalSearchResult result;
   result.dests = std::move(initial);
-  result.makespan = result.dests.empty() ? 0 : asap_tree_makespan(tree, result.dests);
+
+  // One ASAP state serves every candidate evaluation: the descent below
+  // replays thousands of sequences, and rebuilding the state's path table
+  // per evaluation used to dominate the pass cost.
+  TreeAsapState state(tree);
+  result.makespan = result.dests.empty() ? 0 : asap_tree_makespan(result.dests, state);
 
   const std::size_t n = result.dests.size();
   bool improved = true;
@@ -30,7 +35,7 @@ LocalSearchResult improve_tree_dispatch(const Tree& tree, std::vector<NodeId> in
       for (NodeId v = 1; v < tree.size(); ++v) {
         if (v == original) continue;
         result.dests[i] = v;
-        const Time makespan = asap_tree_makespan(tree, result.dests);
+        const Time makespan = asap_tree_makespan(result.dests, state);
         if (makespan < result.makespan) {
           result.makespan = makespan;
           ++result.moves;
@@ -46,7 +51,7 @@ LocalSearchResult improve_tree_dispatch(const Tree& tree, std::vector<NodeId> in
       for (std::size_t j = i + 1; j < n; ++j) {
         if (result.dests[i] == result.dests[j]) continue;
         std::swap(result.dests[i], result.dests[j]);
-        const Time makespan = asap_tree_makespan(tree, result.dests);
+        const Time makespan = asap_tree_makespan(result.dests, state);
         if (makespan < result.makespan) {
           result.makespan = makespan;
           ++result.moves;

@@ -9,35 +9,41 @@ namespace mst {
 
 namespace {
 
-/// Collects every root-child-to-leaf path under `v` (paths include `v`).
-void collect_paths(const Tree& tree, NodeId v, std::vector<NodeId>& prefix,
-                   std::vector<std::vector<NodeId>>& out) {
+/// Collects every root-child-to-leaf path under `v` (paths include `v`) as
+/// arena spans — one exact-size block per leaf, no per-path vector.
+void collect_paths(const Tree& tree, NodeId v, std::vector<NodeId>& prefix, Arena& arena,
+                   std::vector<Span<NodeId>>& out) {
   prefix.push_back(v);
   if (tree.children(v).empty()) {
-    out.push_back(prefix);
+    Span<NodeId> path = arena.make_span<NodeId>(prefix.size());
+    std::copy(prefix.begin(), prefix.end(), path.begin());
+    out.push_back(path);
   } else {
-    for (NodeId child : tree.children(v)) collect_paths(tree, child, prefix, out);
+    for (NodeId child : tree.children(v)) collect_paths(tree, child, prefix, arena, out);
   }
   prefix.pop_back();
 }
 
-Chain chain_of_path(const Tree& tree, const std::vector<NodeId>& path) {
+Chain chain_of_path(const Tree& tree, Span<NodeId> path) {
   std::vector<Processor> procs;
-  procs.reserve(path.size());
+  procs.reserve(path.size);
   for (NodeId v : path) procs.push_back(tree.proc(v));
   return Chain(std::move(procs));
 }
 
 }  // namespace
 
-SpiderCover cover_tree_with_spider(const Tree& tree) {
+SpiderCover cover_tree_with_spider(const Tree& tree, Arena& arena) {
   MST_REQUIRE(tree.num_slaves() >= 1, "tree has no slaves");
+  arena.reset();
   SpiderCover cover;
   std::vector<Chain> legs;
+  std::vector<NodeId> prefix;
+  std::vector<Span<NodeId>> paths;
   for (NodeId head : tree.children(0)) {
-    std::vector<std::vector<NodeId>> paths;
-    std::vector<NodeId> prefix;
-    collect_paths(tree, head, prefix, paths);
+    paths.clear();
+    prefix.clear();
+    collect_paths(tree, head, prefix, arena, paths);
     MST_ASSERT(!paths.empty());
 
     double best_rate = -1.0;
@@ -50,10 +56,15 @@ SpiderCover cover_tree_with_spider(const Tree& tree) {
       }
     }
     legs.push_back(chain_of_path(tree, paths[best]));
-    cover.node_of.push_back(paths[best]);
+    cover.node_of.emplace_back(paths[best].begin(), paths[best].end());
   }
   cover.spider = Spider(std::move(legs));
   return cover;
+}
+
+SpiderCover cover_tree_with_spider(const Tree& tree) {
+  Arena arena;
+  return cover_tree_with_spider(tree, arena);
 }
 
 }  // namespace mst

@@ -9,26 +9,34 @@
 
 namespace mst {
 
-TreeScheduleResult schedule_tree_via_cover(const Tree& tree, std::size_t n) {
+void schedule_tree_via_cover_into(const Tree& tree, std::size_t n, TreeCoverScratch& scratch,
+                                  std::vector<NodeId>& destinations, Time& makespan) {
   MST_REQUIRE(n >= 1, "need at least one task");
-  const SpiderCover cover = cover_tree_with_spider(tree);
-  SpiderSchedule plan = SpiderScheduler::schedule(cover.spider, n);
+  const SpiderCover cover = cover_tree_with_spider(tree, scratch.arena);
+  SpiderScheduler::schedule_into(cover.spider, n, scratch.spider, scratch.plan);
+  const SpiderSchedule& plan = scratch.plan;
 
   // Destination sequence in master-emission order (the planner already
   // keeps tasks sorted by first emission).
-  TreeScheduleResult result;
-  result.makespan = plan.makespan();
-  result.destinations.reserve(n);
-  std::vector<std::size_t> order(plan.tasks.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&plan](std::size_t a, std::size_t b) {
-    return plan.tasks[a].emissions.front() < plan.tasks[b].emissions.front();
-  });
-  for (std::size_t idx : order) {
+  makespan = plan.makespan();
+  destinations.clear();
+  scratch.order.resize(plan.tasks.size());
+  for (std::size_t i = 0; i < scratch.order.size(); ++i) scratch.order[i] = i;
+  std::sort(scratch.order.begin(), scratch.order.end(),
+            [&plan](std::size_t a, std::size_t b) {
+              return plan.tasks[a].emissions.front() < plan.tasks[b].emissions.front();
+            });
+  for (std::size_t idx : scratch.order) {
     const SpiderTask& t = plan.tasks[idx];
-    result.destinations.push_back(cover.node_of[t.leg][t.proc]);
+    destinations.push_back(cover.node_of[t.leg][t.proc]);
   }
+}
 
+TreeScheduleResult schedule_tree_via_cover(const Tree& tree, std::size_t n) {
+  TreeCoverScratch scratch;
+  TreeScheduleResult result;
+  result.destinations.reserve(n);
+  schedule_tree_via_cover_into(tree, n, scratch, result.destinations, result.makespan);
   return result;
 }
 

@@ -3,8 +3,11 @@
 #include <cstddef>
 #include <vector>
 
+#include "mst/common/arena.hpp"
 #include "mst/common/time.hpp"
+#include "mst/core/spider_scheduler.hpp"
 #include "mst/platform/tree.hpp"
+#include "mst/schedule/spider_schedule.hpp"
 
 /// \file tree_schedule.hpp
 /// Scheduling on general trees (the paper's open problem) via the spider
@@ -24,7 +27,23 @@ struct TreeScheduleResult {
   std::vector<NodeId> destinations;
 };
 
+/// Reusable buffers for `schedule_tree_via_cover_into`: the leaf-path
+/// arena, the covering-spider solve scratch, and the pooled plan/order
+/// working sets.  With warm buffers the per-solve allocation count is
+/// independent of the task count `n` (only tree-shaped temporaries remain).
+struct TreeCoverScratch {
+  Arena arena;                      ///< leaf-path collection of the cover
+  SpiderSolveScratch spider;        ///< covering-spider materialization
+  SpiderSchedule plan;              ///< pooled spider plan
+  std::vector<std::size_t> order;   ///< emission-order index sort
+};
+
 /// Schedule `n` tasks on `tree` through the spider cover.
 TreeScheduleResult schedule_tree_via_cover(const Tree& tree, std::size_t n);
+
+/// Scratch-reusing twin: identical destinations and makespan, rebuilding
+/// `destinations` in place (capacity reused).
+void schedule_tree_via_cover_into(const Tree& tree, std::size_t n, TreeCoverScratch& scratch,
+                                  std::vector<NodeId>& destinations, Time& makespan);
 
 }  // namespace mst

@@ -5,8 +5,10 @@
 #include <exception>
 #include <optional>
 #include <thread>
+#include <type_traits>
 #include <utility>
 
+#include "mst/api/solve_scratch.hpp"
 #include "mst/api/stream.hpp"
 #include "mst/common/mutex.hpp"
 #include "mst/common/thread_annotations.hpp"
@@ -70,12 +72,34 @@ double ms_since(const std::chrono::steady_clock::time_point& start) {
       .count();
 }
 
+/// The one timing loop all three cell modes share: runs `solve` `reps`
+/// times, keeps the smallest wall time in `wall_ms`, and returns the last
+/// result.  When the result type is recyclable (solve/decision results) and
+/// a scratch is present, each overwritten rep hands its payload back first,
+/// so the rep loop itself runs on warm pools.
+template <typename Solve>
+auto best_of_reps(int reps, api::SolveScratch* scratch, double& wall_ms, Solve&& solve) {
+  using Result = std::invoke_result_t<Solve&>;
+  Result result;
+  for (int rep = 0; rep < reps; ++rep) {
+    if constexpr (requires(api::SolveScratch& s) { s.recycle(std::move(result)); }) {
+      if (rep > 0 && scratch != nullptr) scratch->recycle(std::move(result));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    result = solve();
+    const double ms = ms_since(start);
+    if (rep == 0 || ms < wall_ms) wall_ms = ms;
+  }
+  return result;
+}
+
 void run_one(const Cell& cell, const RunOptions& options, const api::Registry& registry,
-             CellOutcome& out) {
+             api::SolveScratch* scratch, CellOutcome& out) {
   api::SolveOptions solve_options;
   solve_options.materialize = options.materialize;
   solve_options.seed = cell.seed;
   solve_options.cap = options.cap;
+  solve_options.scratch = scratch;
   // Decision-form cells of the workload axis select from a finite pool.
   if (cell.mode == CellMode::kWithin) solve_options.workload = cell.workload;
 
@@ -104,17 +128,13 @@ void run_one(const Cell& cell, const RunOptions& options, const api::Registry& r
       // stream `n` tasks all released at 0 (the equivalence baseline).
       const Workload workload =
           cell.workload != nullptr ? *cell.workload : Workload::identical(cell.n);
-      api::StreamOutcome result;
-      for (int rep = 0; rep < reps; ++rep) {
-        const auto start = std::chrono::steady_clock::now();
-        // Reference-free inside the timed loop: wall_ms measures the
-        // streamed run alone, not the offline regret baseline.
-        result = api::run_stream(*cell.platform, cell.algorithm, workload, cell.seed, registry,
-                                 /*attach_reference=*/false,
-                                 obs::Observation{solve_options.metrics, nullptr});
-        const double ms = ms_since(start);
-        if (rep == 0 || ms < out.wall_ms) out.wall_ms = ms;
-      }
+      // Reference-free inside the timed loop: wall_ms measures the
+      // streamed run alone, not the offline regret baseline.
+      api::StreamOutcome result = best_of_reps(reps, scratch, out.wall_ms, [&] {
+        return api::run_stream(*cell.platform, cell.algorithm, workload, cell.seed, registry,
+                               /*attach_reference=*/false,
+                               obs::Observation{solve_options.metrics, nullptr});
+      });
       api::attach_offline_reference(result, *cell.platform, workload, registry,
                                     solve_options.metrics);
       out.tasks = result.tasks;
@@ -127,16 +147,12 @@ void run_one(const Cell& cell, const RunOptions& options, const api::Registry& r
       return;
     }
     if (cell.mode == CellMode::kSolve) {
-      api::SolveResult result;
-      for (int rep = 0; rep < reps; ++rep) {
-        const auto start = std::chrono::steady_clock::now();
-        result = cell.workload != nullptr
-                     ? registry.solve(*cell.platform, cell.algorithm, *cell.workload,
-                                      solve_options)
-                     : registry.solve(*cell.platform, cell.algorithm, cell.n, solve_options);
-        const double ms = ms_since(start);
-        if (rep == 0 || ms < out.wall_ms) out.wall_ms = ms;
-      }
+      api::SolveResult result = best_of_reps(reps, scratch, out.wall_ms, [&] {
+        return cell.workload != nullptr
+                   ? registry.solve(*cell.platform, cell.algorithm, *cell.workload,
+                                    solve_options)
+                   : registry.solve(*cell.platform, cell.algorithm, cell.n, solve_options);
+      });
       out.tasks = result.tasks;
       out.makespan = result.makespan;
       out.lower_bound = result.lower_bound;
@@ -146,15 +162,12 @@ void run_one(const Cell& cell, const RunOptions& options, const api::Registry& r
         const FeasibilityReport report = api::check_feasibility(result);
         if (!report.ok()) out.error = report.summary();
       }
+      if (scratch != nullptr) scratch->recycle(std::move(result));
     } else {
-      api::DecisionResult result;
-      for (int rep = 0; rep < reps; ++rep) {
-        const auto start = std::chrono::steady_clock::now();
-        result = registry.solve_within(*cell.platform, cell.algorithm, cell.deadline,
-                                       solve_options);
-        const double ms = ms_since(start);
-        if (rep == 0 || ms < out.wall_ms) out.wall_ms = ms;
-      }
+      api::DecisionResult result = best_of_reps(reps, scratch, out.wall_ms, [&] {
+        return registry.solve_within(*cell.platform, cell.algorithm, cell.deadline,
+                                     solve_options);
+      });
       out.tasks = result.tasks;
       out.makespan = result.makespan;
       out.optimal = result.optimal;
@@ -163,6 +176,7 @@ void run_one(const Cell& cell, const RunOptions& options, const api::Registry& r
         const FeasibilityReport report = api::check_feasibility(result);
         if (!report.ok()) out.error = report.summary();
       }
+      if (scratch != nullptr) scratch->recycle(std::move(result));
     }
   } catch (const std::exception& e) {
     out.error = e.what();
@@ -177,22 +191,52 @@ std::vector<CellOutcome> run_cells(const std::vector<Cell>& cells, const RunOpti
   std::vector<CellOutcome> results(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) results[i].cell = cells[i];
 
+  // Group cells into same-platform batches, first-occurrence order
+  // (`expand` shares each spec's platform via shared_ptr, so pointer
+  // identity is the grouping key; the linear scan keeps the grouping
+  // deterministic — no unordered containers anywhere in the runner).  A
+  // worker executes a whole batch with one warm SolveScratch, so every cell
+  // after the first reuses the previous solve's buffers.  `batch = false`
+  // reproduces the historical per-cell stealing with no scratch at all.
+  std::vector<std::vector<std::size_t>> batches;
+  if (options.batch) {
+    std::vector<const api::Platform*> seen;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const api::Platform* platform = cells[i].platform.get();
+      std::size_t b = 0;
+      while (b < seen.size() && seen[b] != platform) ++b;
+      if (b == seen.size()) {
+        seen.push_back(platform);
+        batches.emplace_back();
+      }
+      batches[b].push_back(i);
+    }
+  } else {
+    batches.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) batches.push_back({i});
+  }
+
   unsigned threads =
       options.threads == 0 ? std::thread::hardware_concurrency() : options.threads;
   if (threads == 0) threads = 1;
-  if (static_cast<std::size_t>(threads) > cells.size()) {
-    threads = static_cast<unsigned>(cells.size());
+  if (static_cast<std::size_t>(threads) > batches.size()) {
+    threads = static_cast<unsigned>(batches.size());
   }
 
-  // Work stealing by atomic index; slot `i` belongs to cell `i`, so the
-  // result order never depends on scheduling.
+  // Work stealing by atomic batch index; slot `i` belongs to cell `i`, so
+  // the result order never depends on scheduling, and the scratch-reusing
+  // solves are bit-identical to scratch-free ones — output stays identical
+  // at any thread count and in both batch modes.
   std::atomic<std::size_t> next{0};
   ProgressSink progress(options.on_progress, cells.size(), options.metrics);
   progress.start();
   auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1); i < cells.size(); i = next.fetch_add(1)) {
-      run_one(cells[i], options, registry, results[i]);
-      progress.report(!results[i].ok());
+    api::SolveScratch scratch;
+    for (std::size_t b = next.fetch_add(1); b < batches.size(); b = next.fetch_add(1)) {
+      for (std::size_t i : batches[b]) {
+        run_one(cells[i], options, registry, options.batch ? &scratch : nullptr, results[i]);
+        progress.report(!results[i].ok());
+      }
     }
   };
 

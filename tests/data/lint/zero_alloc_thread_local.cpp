@@ -1,0 +1,25 @@
+// Fixture: thread_local declarations relative to zero-alloc regions.  The
+// regions must take their scratch explicitly; a hidden per-thread static is
+// flagged, while the same fallback pattern outside the region is clean.
+#include <vector>
+
+struct Scratch {
+  std::vector<int> values;
+};
+
+// The sanctioned shape: the fallback lives in a helper *outside* any
+// region, and the region receives the scratch as a parameter.
+Scratch& fallback_scratch() {
+  static thread_local Scratch fallback;  // outside the region: clean
+  return fallback;
+}
+
+// mstlint: zero-alloc
+int hot_path(Scratch& scratch) {
+  static thread_local int calls = 0;            // line 19: zero-alloc
+  static thread_local Scratch hidden;           // line 20: zero-alloc
+  ++calls;
+  scratch.values.push_back(calls);              // warm-scratch mutation: clean
+  return calls + static_cast<int>(hidden.values.size());
+}
+// mstlint: zero-alloc-end

@@ -103,6 +103,16 @@ TEST(LintRules, ZeroAllocRegions) {
   EXPECT_EQ(outline(lint_fixture("zero_alloc.cpp")), expected);
 }
 
+TEST(LintRules, ZeroAllocRegionsBanThreadLocal) {
+  // Hidden per-thread statics inside a region are flagged; the sanctioned
+  // fallback helper outside the region stays clean.
+  const Outline expected = {
+      {"zero-alloc", 19},  // thread_local counter
+      {"zero-alloc", 20},  // thread_local scratch object
+  };
+  EXPECT_EQ(outline(lint_fixture("zero_alloc_thread_local.cpp")), expected);
+}
+
 TEST(LintRules, RegistrySupportsFieldCount) {
   const Outline expected = {
       {"registry-supports", 4},

@@ -13,7 +13,10 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <utility>
 
+#include "mst/api/registry.hpp"
+#include "mst/api/solve_scratch.hpp"
 #include "mst/common/rng.hpp"
 #include "mst/obs/metrics.hpp"
 #include "mst/obs/observation.hpp"
@@ -145,6 +148,92 @@ TEST(StreamingZeroAlloc, MetricsAttachedRunAllocatesNothingExtra) {
   for (const obs::MetricSample& sample : samples) {
     if (sample.name == "stream.arrivals") EXPECT_EQ(sample.value, 256 + 2048);
   }
+}
+
+/// Allocations of one *materialized* solve on a warm `api::SolveScratch`:
+/// two warm-up solves size every pool (schedule payloads included — each is
+/// recycled back into the scratch, the consumer half of the contract), then
+/// the third solve runs under the probe.
+long solve_allocations(const api::Platform& platform, const char* algorithm, std::size_t n) {
+  const api::Registry& registry = api::registry();
+  api::SolveScratch scratch;
+  api::SolveOptions options;
+  options.materialize = true;
+  options.scratch = &scratch;
+  for (int warm = 0; warm < 2; ++warm) {
+    scratch.recycle(registry.solve(platform, algorithm, n, options));
+  }
+
+  alloc_probe::Scope probe;
+  api::SolveResult result = registry.solve(platform, algorithm, n, options);
+  const long count = probe.count();
+  EXPECT_EQ(result.tasks, n);
+  scratch.recycle(std::move(result));
+  return count;
+}
+
+TEST(SolveZeroAlloc, MaterializedOptimalSolvesAreAllocationFree) {
+  // The tentpole claim: with a warm scratch, a full schedule-producing
+  // solve on each closed-form platform allocates nothing — the plan is
+  // rebuilt in place inside recycled pool capacity.
+  Rng rng(7);
+  const GeneratorParams params{1, 10, PlatformClass::kUniform};
+  const api::Platform chain(random_chain(rng, 12, params));
+  const api::Platform fork(random_fork(rng, 12, params));
+  const api::Platform spider(random_spider(rng, 6, 3, params));
+  EXPECT_EQ(solve_allocations(chain, "optimal", 300), 0) << "chain";
+  EXPECT_EQ(solve_allocations(fork, "optimal", 300), 0) << "fork";
+  EXPECT_EQ(solve_allocations(spider, "optimal", 300), 0) << "spider";
+}
+
+TEST(SolveZeroAlloc, ScratchSolvesMatchPlainSolvesExactly) {
+  // The scratch paths are alternative *materializations*, not alternative
+  // algorithms: every field of the result — schedule payload included —
+  // must be bit-identical to the scratch-free solve.
+  const api::Registry& registry = api::registry();
+  Rng rng(21);
+  const GeneratorParams params{1, 10, PlatformClass::kUniform};
+  const api::Platform platforms[] = {
+      api::Platform(random_chain(rng, 9, params)),
+      api::Platform(random_fork(rng, 9, params)),
+      api::Platform(random_spider(rng, 5, 4, params)),
+  };
+  api::SolveScratch scratch;
+  for (const api::Platform& platform : platforms) {
+    for (const std::size_t n : {1u, 17u, 256u}) {
+      api::SolveOptions plain_options;
+      plain_options.materialize = true;
+      const api::SolveResult plain = registry.solve(platform, "optimal", n, plain_options);
+
+      api::SolveOptions scratch_options = plain_options;
+      scratch_options.scratch = &scratch;
+      api::SolveResult pooled = registry.solve(platform, "optimal", n, scratch_options);
+
+      EXPECT_EQ(pooled.makespan, plain.makespan);
+      EXPECT_EQ(pooled.lower_bound, plain.lower_bound);
+      EXPECT_EQ(pooled.tasks, plain.tasks);
+      EXPECT_EQ(pooled.schedule == plain.schedule, true);
+      scratch.recycle(std::move(pooled));
+    }
+  }
+}
+
+TEST(SolveZeroAlloc, TreeHeuristicAllocationCountIndependentOfTaskCount) {
+  // Tree-shaped platforms keep per-solve state (`TreeAsapState` caches the
+  // path table of one tree, so it cannot live in the platform-agnostic
+  // scratch); the contract is the streaming one — the allocation count is
+  // per-*tree*, never per-task.
+  Rng rng(33);
+  const api::Platform tree(random_tree(rng, 10, {1, 9, PlatformClass::kUniform}));
+  for (const char* algorithm : {"spider-cover", "forward-greedy"}) {
+    const long small = solve_allocations(tree, algorithm, 256);
+    const long large = solve_allocations(tree, algorithm, 2048);
+    EXPECT_EQ(small, large) << algorithm;
+  }
+  // Local search swaps are O(n^2) re-evaluations — same contract, smaller n.
+  const long small = solve_allocations(tree, "local-search", 24);
+  const long large = solve_allocations(tree, "local-search", 48);
+  EXPECT_EQ(small, large) << "local-search";
 }
 
 }  // namespace

@@ -45,7 +45,11 @@ const std::vector<RuleInfo> kRules = {
      "The counting hot paths and the simulator event loop promise zero "
      "steady-state heap traffic (pinned dynamically by the alloc probe); "
      "naked new/malloc or a local allocating container breaks that promise "
-     "off the probe's radar."},
+     "off the probe's radar.  `thread_local` is banned in the regions too: "
+     "the zero-alloc paths take their scratch explicitly (SolveOptions::"
+     "scratch / *_into parameters), and a hidden per-thread static both "
+     "defeats that discipline and lazily constructs — possibly allocating — "
+     "on each new thread's first touch, invisible to the probe."},
     {"registry-supports",
      "Registry entry whose AlgorithmInfo omits the supports field",
      "An AlgorithmInfo literal that stops before `supports` silently "
@@ -457,6 +461,7 @@ void rule_zero_alloc(const std::string& file, const Stripped& stripped,
   static const std::regex kCAlloc(R"(\b(?:malloc|calloc|realloc|strdup|aligned_alloc)\s*\()");
   static const std::regex kMakeSmart(R"(\bmake_(?:unique|shared)\b)");
   static const std::regex kToString(R"(\bto_string\s*\()");
+  static const std::regex kThreadLocal(R"(\bthread_local\b)");
   static const std::regex kContainer(
       R"(\b(?:std\s*::\s*)?(vector|deque|list|forward_list|map|set|multimap|multiset|string|stringstream|ostringstream|istringstream|function|queue|priority_queue|stack|shared_ptr|unique_ptr)\b)");
 
@@ -476,6 +481,12 @@ void rule_zero_alloc(const std::string& file, const Stripped& stripped,
       if (std::regex_search(code, kToString)) {
         add(out, file, line, "zero-alloc",
             "to_string builds a heap string inside a zero-alloc region");
+      }
+      if (std::regex_search(code, kThreadLocal)) {
+        add(out, file, line, "zero-alloc",
+            "thread_local inside a zero-alloc region: pass scratch explicitly "
+            "(SolveOptions::scratch / an _into parameter) — a hidden per-thread "
+            "static lazily constructs on each new thread, off the probe's radar");
       }
       // Container mentions are fine as references/pointers/nested types;
       // a value declaration or temporary owns an allocation.
