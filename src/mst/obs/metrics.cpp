@@ -125,6 +125,28 @@ std::string MetricsRegistry::to_json(bool include_wall_time) const {
   return out;
 }
 
+void MetricsRegistry::absorb(const MetricSample& sample) {
+  switch (sample.type) {
+    case MetricType::kCounter:
+      counter(sample.name, sample.determinism).add(sample.value);
+      break;
+    case MetricType::kGauge:
+      gauge(sample.name, sample.determinism).record(sample.value);
+      break;
+    case MetricType::kHistogram: {
+      detail::MetricSlot* slot =
+          intern(sample.name, MetricType::kHistogram, sample.determinism);
+      if (slot == nullptr) break;
+      slot->count.fetch_add(sample.count, std::memory_order_relaxed);
+      slot->sum.fetch_add(sample.sum, std::memory_order_relaxed);
+      for (std::size_t b = 0; b < kBucketCount; ++b) {
+        slot->buckets[b].fetch_add(sample.buckets[b], std::memory_order_relaxed);
+      }
+      break;
+    }
+  }
+}
+
 void MetricsRegistry::merge_into(MetricsRegistry& target) const {
   // Walks this registry's snapshot (wall-time metrics included — the filter
   // belongs at serialization time, not merge time) and folds each sample
@@ -132,25 +154,7 @@ void MetricsRegistry::merge_into(MetricsRegistry& target) const {
   // histogram buckets add, gauges take the max.  Concurrent merges from
   // several finished cells therefore commute.
   for (const MetricSample& sample : snapshot(/*include_wall_time=*/true)) {
-    switch (sample.type) {
-      case MetricType::kCounter:
-        target.counter(sample.name, sample.determinism).add(sample.value);
-        break;
-      case MetricType::kGauge:
-        target.gauge(sample.name, sample.determinism).record(sample.value);
-        break;
-      case MetricType::kHistogram: {
-        detail::MetricSlot* slot =
-            target.intern(sample.name, MetricType::kHistogram, sample.determinism);
-        if (slot == nullptr) break;
-        slot->count.fetch_add(sample.count, std::memory_order_relaxed);
-        slot->sum.fetch_add(sample.sum, std::memory_order_relaxed);
-        for (std::size_t b = 0; b < kBucketCount; ++b) {
-          slot->buckets[b].fetch_add(sample.buckets[b], std::memory_order_relaxed);
-        }
-        break;
-      }
-    }
+    target.absorb(sample);
   }
 }
 

@@ -215,6 +215,14 @@ class MetricsRegistry {
   /// totals in any order.
   void merge_into(MetricsRegistry& target) const;
 
+  /// Folds one externally-captured sample into this registry with the
+  /// metric's own commutative combine (register-as-needed; counters and
+  /// histogram buckets add, gauges max).  This is how a resumed sweep
+  /// re-aggregates the per-cell snapshots replayed from a journal: the
+  /// totals come out identical to the uninterrupted run's, in any replay
+  /// order.
+  void absorb(const MetricSample& sample);
+
  private:
   [[nodiscard]] detail::MetricSlot* intern(std::string_view name, MetricType type,
                                            DeterminismClass determinism);

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mst/common/mutex.hpp"
+#include "mst/common/thread_annotations.hpp"
+#include "mst/scenario/runner.hpp"
+
+/// \file journal.hpp
+/// Crash-safe per-shard cell journals for distributed, resumable sweeps.
+///
+/// A million-cell sweep that dies at cell 900k should not start over from
+/// zero.  Cells are self-contained and byte-identical at any thread count,
+/// so the unit of durability is one completed cell: the runner appends one
+/// checksummed, fsync'd record per finished cell to its shard's journal,
+/// and a restarted run replays the journal, skips every completed cell and
+/// recomputes nothing.  A crash can tear at most the final record (appends
+/// are sequential and each one is fsync'd before the next begins); replay
+/// detects the torn tail by frame length / CRC and truncates the file back
+/// to the last valid record.
+///
+/// File format (text-framed, binary-safe payloads):
+///
+///     mstjournal 1 <shard> <shards> <cells> <fingerprint>\n
+///     rec <payload-bytes> <crc32>\n
+///     <payload>\n
+///     rec ...
+///
+/// The header binds the file to one run: shard position, grid size, and a
+/// fingerprint folded over every cell's key fields (seeds, algorithm, mode,
+/// work point), so a journal can never silently resume a *different* sweep.
+/// The payload serializes the cell's key plus the full `CellOutcome` —
+/// including the per-cell metric snapshot — with `%.17g` doubles, so a
+/// decoded record reproduces the reporters' bytes exactly.
+///
+/// Reassembly: `merge_journals` reads every shard file of a directory,
+/// checks the shards agree (same shard count, cell count, fingerprint) and
+/// jointly cover every cell index exactly once, and returns the outcomes in
+/// canonical grid order — `to_csv`/`to_json` over the merged vector is
+/// byte-identical to the single-process unsharded run.
+
+namespace mst::scenario {
+
+/// Deterministic fingerprint of an expanded grid: a stable fold over every
+/// cell's key fields (index, seeds, labels, mode, work point).  Every shard
+/// of the same grid computes the same value; any change to the spec, seed
+/// or registry resolution changes it, so stale journals are rejected
+/// loudly instead of merged silently.
+std::uint64_t grid_fingerprint(const std::vector<Cell>& cells);
+
+/// `DIR/shard-<i>-of-<N>.mstj`.
+std::string journal_path(const std::string& dir, std::size_t shard_index,
+                         std::size_t shard_count);
+
+/// One record's payload text.  Exposed (with `decode_record`) so tests can
+/// pin the round trip; the framing (length + CRC32 + fsync) is the
+/// journal's own business.
+std::string encode_record(const CellOutcome& outcome);
+
+/// Inverse of `encode_record`.  The decoded `Cell` carries key fields only
+/// — `platform`/`workload` stay null (reporters never dereference them;
+/// the resuming runner restores the live pointers after validating the
+/// key).  Throws `std::invalid_argument` on malformed payloads.
+CellOutcome decode_record(const std::string& payload);
+
+/// What replaying an existing journal file found.
+struct JournalReplay {
+  std::vector<CellOutcome> outcomes;  ///< valid records, file order
+  bool torn = false;  ///< a torn/corrupt tail was found (and truncated)
+};
+
+/// An open, append-only shard journal.
+///
+/// Construction creates `dir` (and the file) as needed, validates the
+/// header against this run's (shard, grid) identity, replays every valid
+/// record and truncates a torn tail in place, leaving the file ready for
+/// appends.  Throws `std::runtime_error` when the file belongs to a
+/// different run (header mismatch) or cannot be opened.
+///
+/// `append` is thread-safe (the runner's workers call it directly) and
+/// durable: the framed record is written and fsync'd before it returns, so
+/// a cell reported complete stays complete across a SIGKILL.
+class Journal {
+ public:
+  Journal(const std::string& dir, std::size_t shard_index, std::size_t shard_count,
+          std::size_t total_cells, std::uint64_t fingerprint);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  [[nodiscard]] const JournalReplay& replayed() const { return replay_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  void append(const CellOutcome& outcome) MST_EXCLUDES(mutex_);
+
+ private:
+  std::string path_;
+  JournalReplay replay_;
+  Mutex mutex_;
+  int fd_ MST_GUARDED_BY(mutex_) = -1;
+};
+
+/// Reads every `shard-*-of-*.mstj` under `dir`, validates cross-shard
+/// consistency (same shard count, cell count and grid fingerprint; shards
+/// 0..N-1 all present; indices cover the grid exactly once) and returns
+/// the outcomes ordered by canonical cell index.  Read-only: a torn tail
+/// is skipped, not truncated — but the cell it would have carried is then
+/// missing, which fails the coverage check with a "resume shard k" hint.
+/// Throws `std::runtime_error` on any inconsistency.
+std::vector<CellOutcome> merge_journals(const std::string& dir);
+
+}  // namespace mst::scenario

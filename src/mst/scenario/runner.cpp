@@ -3,7 +3,10 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <map>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -13,6 +16,7 @@
 #include "mst/common/mutex.hpp"
 #include "mst/common/thread_annotations.hpp"
 #include "mst/obs/metrics.hpp"
+#include "mst/scenario/journal.hpp"
 
 namespace mst::scenario {
 
@@ -34,14 +38,21 @@ class ProgressSink {
     }
   }
 
-  /// Announces the run before any cell executes: records the grid size on
-  /// the metrics sink and fires the callback's leading `(0, total, false)`
-  /// report, so consumers learn the total up front.
-  void start() MST_EXCLUDES(mutex_) {
+  /// Announces the run before any cell executes: records the shard's cell
+  /// count on the metrics sink, credits the journal-replayed cells (they
+  /// count as completed — the sweep's totals must match the uninterrupted
+  /// run's) and fires the callback's leading `(replayed, total, false)`
+  /// report, so consumers learn the total up front and progress never
+  /// appears to jump backwards after a resume.
+  void start(std::size_t replayed, std::size_t replayed_failed) MST_EXCLUDES(mutex_) {
     total_gauge_.record(static_cast<Time>(total_));
+    completed_counter_.add(static_cast<std::int64_t>(replayed));
+    failed_counter_.add(static_cast<std::int64_t>(replayed_failed));
     if (callback_ == nullptr) return;
     LockGuard lock(mutex_);
-    callback_(0, total_, false);
+    done_ = replayed;
+    failed_ = replayed_failed;
+    callback_(replayed, total_, false);
   }
 
   /// Records one finished cell — counters always, then the user callback
@@ -184,36 +195,132 @@ void run_one(const Cell& cell, const RunOptions& options, const api::Registry& r
   flush_metrics();
 }
 
+/// Journal records identify cells by key fields only; before trusting a
+/// record, the resuming runner checks the live cell agrees on every one of
+/// them.  The grid fingerprint in the journal header already makes a
+/// mismatch nearly impossible — this is the per-record belt to that
+/// suspender.
+bool same_cell_key(const Cell& a, const Cell& b) {
+  return a.index == b.index && a.spec_name == b.spec_name && a.kind == b.kind &&
+         a.cls == b.cls && a.size == b.size && a.instance == b.instance &&
+         a.platform_seed == b.platform_seed && a.algorithm == b.algorithm &&
+         a.mode == b.mode && a.n == b.n && a.deadline == b.deadline && a.seed == b.seed &&
+         a.workload_label == b.workload_label && a.workload_seed == b.workload_seed;
+}
+
+// The resume skip test runs once per owned cell while the batches are
+// built: one byte load.  Completed cells never reach a worker — the solve
+// hot path itself re-checks nothing — and the region pins the lookup
+// allocation-free.
+// mstlint: zero-alloc
+bool journal_done(const std::vector<unsigned char>& done, std::size_t slot) {
+  return done[slot] != 0;
+}
+// mstlint: zero-alloc-end
+
 }  // namespace
 
 std::vector<CellOutcome> run_cells(const std::vector<Cell>& cells, const RunOptions& options,
                                    const api::Registry& registry) {
-  std::vector<CellOutcome> results(cells.size());
-  for (std::size_t i = 0; i < cells.size(); ++i) results[i].cell = cells[i];
+  if (options.shard_count == 0 || options.shard_index >= options.shard_count) {
+    throw std::invalid_argument("run_cells: shard " + std::to_string(options.shard_index) +
+                                "/" + std::to_string(options.shard_count) +
+                                " out of range (need 0 <= index < count)");
+  }
 
-  // Group cells into same-platform batches, first-occurrence order
-  // (`expand` shares each spec's platform via shared_ptr, so pointer
+  // Deterministic partition by canonical cell index, applied before any
+  // batching: shard i of N owns exactly the indices congruent to i mod N,
+  // so per-cell seeds are untouched, same-platform batching is unchanged
+  // within the shard, and the N shards' union is provably the full grid.
+  std::vector<std::size_t> owned;
+  owned.reserve(cells.size() / options.shard_count + 1);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].index % options.shard_count == options.shard_index) owned.push_back(i);
+  }
+
+  std::vector<CellOutcome> results(owned.size());
+  for (std::size_t j = 0; j < owned.size(); ++j) results[j].cell = cells[owned[j]];
+
+  // Crash-safe resume: replay this shard's journal (if any), mark every
+  // valid record's cell as done, and re-absorb its metric snapshot so the
+  // sweep aggregate matches the uninterrupted run's.
+  std::vector<unsigned char> done(owned.size(), 0);
+  std::optional<Journal> journal;
+  std::size_t replayed = 0;
+  std::size_t replayed_failed = 0;
+  obs::Counter appended_counter;
+  obs::Counter skipped_counter;
+  if (!options.journal_dir.empty()) {
+    journal.emplace(options.journal_dir, options.shard_index, options.shard_count,
+                    cells.size(), grid_fingerprint(cells));
+    if (options.metrics != nullptr) {
+      appended_counter = options.metrics->counter("scenario.journal.appended");
+      skipped_counter = options.metrics->counter("scenario.journal.skipped");
+      options.metrics->counter("scenario.journal.replayed")
+          .add(static_cast<std::int64_t>(journal->replayed().outcomes.size()));
+      options.metrics->counter("scenario.journal.torn")
+          .add(journal->replayed().torn ? 1 : 0);
+    }
+    std::map<std::size_t, std::size_t> slot_of;  // canonical index -> result slot
+    for (std::size_t j = 0; j < owned.size(); ++j) slot_of[cells[owned[j]].index] = j;
+    for (const CellOutcome& record : journal->replayed().outcomes) {
+      const auto found = slot_of.find(record.cell.index);
+      if (found == slot_of.end() ||
+          !same_cell_key(record.cell, cells[owned[found->second]])) {
+        throw std::runtime_error(journal->path() + ": journal record for cell " +
+                                 std::to_string(record.cell.index) +
+                                 " does not match this sweep's grid; refusing to resume");
+      }
+      const std::size_t j = found->second;
+      if (done[j] != 0) continue;  // duplicate record: identical by determinism
+      results[j] = record;
+      results[j].cell = cells[owned[j]];  // restore the live platform/workload pointers
+      done[j] = 1;
+      ++replayed;
+      if (!results[j].ok()) ++replayed_failed;
+      if (options.metrics != nullptr) {
+        for (const obs::MetricSample& sample : results[j].metrics) {
+          options.metrics->absorb(sample);
+        }
+      }
+    }
+  }
+
+  // Group the remaining cells into same-platform batches, first-occurrence
+  // order (`expand` shares each spec's platform via shared_ptr, so pointer
   // identity is the grouping key; the linear scan keeps the grouping
   // deterministic — no unordered containers anywhere in the runner).  A
   // worker executes a whole batch with one warm SolveScratch, so every cell
   // after the first reuses the previous solve's buffers.  `batch = false`
   // reproduces the historical per-cell stealing with no scratch at all.
-  std::vector<std::vector<std::size_t>> batches;
+  // Journal-completed cells are filtered out here, before batching — the
+  // solve hot path never sees them.
+  std::vector<std::vector<std::size_t>> batches;  // entries are result slots
   if (options.batch) {
     std::vector<const api::Platform*> seen;
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      const api::Platform* platform = cells[i].platform.get();
+    for (std::size_t j = 0; j < owned.size(); ++j) {
+      if (journal_done(done, j)) {
+        skipped_counter.increment();
+        continue;
+      }
+      const api::Platform* platform = cells[owned[j]].platform.get();
       std::size_t b = 0;
       while (b < seen.size() && seen[b] != platform) ++b;
       if (b == seen.size()) {
         seen.push_back(platform);
         batches.emplace_back();
       }
-      batches[b].push_back(i);
+      batches[b].push_back(j);
     }
   } else {
-    batches.reserve(cells.size());
-    for (std::size_t i = 0; i < cells.size(); ++i) batches.push_back({i});
+    batches.reserve(owned.size());
+    for (std::size_t j = 0; j < owned.size(); ++j) {
+      if (journal_done(done, j)) {
+        skipped_counter.increment();
+        continue;
+      }
+      batches.push_back({j});
+    }
   }
 
   unsigned threads =
@@ -223,19 +330,38 @@ std::vector<CellOutcome> run_cells(const std::vector<Cell>& cells, const RunOpti
     threads = static_cast<unsigned>(batches.size());
   }
 
-  // Work stealing by atomic batch index; slot `i` belongs to cell `i`, so
-  // the result order never depends on scheduling, and the scratch-reusing
-  // solves are bit-identical to scratch-free ones — output stays identical
-  // at any thread count and in both batch modes.
+  // Work stealing by atomic batch index; slot `j` belongs to owned cell
+  // `j`, so the result order never depends on scheduling, and the
+  // scratch-reusing solves are bit-identical to scratch-free ones — output
+  // stays identical at any thread count and in both batch modes.  A
+  // journal failure (disk full, fsync error) in any worker stops the pool
+  // and rethrows on the calling thread: a sweep that cannot record its
+  // progress must fail loudly, not finish unresumably.
   std::atomic<std::size_t> next{0};
-  ProgressSink progress(options.on_progress, cells.size(), options.metrics);
-  progress.start();
+  std::atomic<bool> stop{false};
+  std::exception_ptr journal_failure;
+  Mutex failure_mutex;
+  ProgressSink progress(options.on_progress, owned.size(), options.metrics);
+  progress.start(replayed, replayed_failed);
   auto worker = [&] {
     api::SolveScratch scratch;
-    for (std::size_t b = next.fetch_add(1); b < batches.size(); b = next.fetch_add(1)) {
-      for (std::size_t i : batches[b]) {
-        run_one(cells[i], options, registry, options.batch ? &scratch : nullptr, results[i]);
-        progress.report(!results[i].ok());
+    for (std::size_t b = next.fetch_add(1); b < batches.size() && !stop.load();
+         b = next.fetch_add(1)) {
+      for (std::size_t j : batches[b]) {
+        run_one(cells[owned[j]], options, registry, options.batch ? &scratch : nullptr,
+                results[j]);
+        if (journal.has_value()) {
+          try {
+            journal->append(results[j]);
+            appended_counter.increment();
+          } catch (...) {
+            LockGuard lock(failure_mutex);
+            if (journal_failure == nullptr) journal_failure = std::current_exception();
+            stop.store(true);
+            return;
+          }
+        }
+        progress.report(!results[j].ok());
       }
     }
   };
@@ -248,6 +374,7 @@ std::vector<CellOutcome> run_cells(const std::vector<Cell>& cells, const RunOpti
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
+  if (journal_failure != nullptr) std::rethrow_exception(journal_failure);
   return results;
 }
 

@@ -52,16 +52,40 @@ struct RunOptions {
   bool batch = true;
   /// Decision-form search cap (`SolveOptions::cap`).
   std::size_t cap = 1u << 20;
-  /// Progress callback: invoked once up front with `(0, total, false)` —
-  /// announcing the grid size before any cell runs, so consumers can size
-  /// progress bars without waiting for the first completion — then once per
-  /// finished cell with (cells done so far, total cells, whether that cell
-  /// failed).  Calls are serialized under a mutex (the pool's one
+  /// Deterministic grid partition for distributed sweeps: this run executes
+  /// exactly the cells whose canonical index `i` satisfies
+  /// `i % shard_count == shard_index`.  The partition is applied *before*
+  /// batching, so per-cell seed derivation and same-platform batching are
+  /// unchanged within a shard, and the union of the N shard runs is
+  /// provably the full grid (every index lands in exactly one residue
+  /// class).  The default `0/1` is the whole grid — the historical
+  /// single-process behaviour.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// Crash-safe resume: when nonempty, the runner opens (or creates)
+  /// `journal_dir/shard-<i>-of-<N>.mstj` (scenario/journal.hpp), replays
+  /// every completed cell recorded there — skipping its solve entirely;
+  /// completed cells never even enter a batch — and appends one fsync'd,
+  /// checksummed record per newly finished cell.  A SIGKILL'd run resumes
+  /// from its last completed cell; a torn final record is truncated away.
+  /// Replayed per-cell metric snapshots are absorbed back into `metrics`,
+  /// so the aggregate matches the uninterrupted run's.  The journals of
+  /// all N shards reassemble into the single-process bytes via
+  /// `scenario::merge_journals` (`mstctl --mode=merge`).
+  std::string journal_dir;
+  /// Progress callback: invoked once up front with
+  /// `(replayed, shard_total, false)` — announcing the shard's cell count
+  /// (and how many of them the journal already completed, 0 on a fresh
+  /// run) before any cell runs, so consumers can size progress bars
+  /// without waiting for the first completion, and progress never appears
+  /// to jump backwards after a resume — then once per newly finished cell
+  /// with (cells done so far incl. replayed, shard total, whether that
+  /// cell failed).  Calls are serialized under a mutex (the pool's one
   /// shared-state channel — see ProgressSink in runner.cpp, whose counters
   /// are compiler-checked `MST_GUARDED_BY` under the Clang CI job), and
-  /// `done` is monotone 0, 1 .. total; completion *order* still depends on
-  /// thread scheduling, so a callback that cares about determinism should
-  /// key on counts, never on which cell landed.
+  /// `done` is monotone replayed, replayed+1 .. total; completion *order*
+  /// still depends on thread scheduling, so a callback that cares about
+  /// determinism should key on counts, never on which cell landed.
   std::function<void(std::size_t done, std::size_t total, bool failed)> on_progress;
   /// Optional, borrowed metrics sink for the whole sweep.  Each cell solves
   /// against its own local registry (so per-cell snapshots exist in
@@ -99,7 +123,14 @@ struct CellOutcome {
   [[nodiscard]] bool ok() const { return error.empty(); }
 };
 
-/// Executes the cells; the returned vector is index-aligned with the input.
+/// Executes this shard's cells.  With the default `shard_count == 1` the
+/// returned vector is index-aligned with the input (the historical
+/// contract); with N shards it holds exactly the owned cells' outcomes in
+/// ascending canonical-index order — the rows of this shard's report.
+/// Journal metrics (when `RunOptions::metrics` is set):
+/// `scenario.journal.appended` / `.replayed` / `.skipped` / `.torn`.
+/// Throws `std::invalid_argument` on an out-of-range shard and
+/// `std::runtime_error` when a journal belongs to a different sweep.
 std::vector<CellOutcome> run_cells(const std::vector<Cell>& cells, const RunOptions& options,
                                    const api::Registry& registry = api::registry());
 

@@ -1,0 +1,9 @@
+#pragma once
+
+// Fixture: journal.* resolves to the 'scenario/journal' sub-module.  Its
+// includes of common and of the scenario types it serializes are legal;
+// reaching into the solver stack (sim here) is flagged — persistence code
+// must not be able to invoke algorithms.
+#include "mst/common/time.hpp"
+#include "mst/scenario/runner.hpp"
+#include "mst/sim/engine.hpp"

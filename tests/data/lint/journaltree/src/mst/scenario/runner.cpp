@@ -1,0 +1,4 @@
+// Fixture: the runner including its own journal sub-module is legal (the
+// scenario entry lists scenario/journal), so the only graph finding in
+// this tree is the sim include in journal.hpp.
+#include "mst/scenario/journal.hpp"

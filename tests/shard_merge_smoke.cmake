@@ -1,0 +1,53 @@
+# Byte-identity of the distributed sweep path, driven through the real CLI:
+# run the spec single-process, run it again as ${SHARDS} journaled shard
+# processes, merge the journals, and demand the merged CSV and JSON are
+# byte-identical to the single-process reference (README "Distributed
+# sweeps").  Invoked by ctest as
+#
+#   cmake -DMSTCTL=<mstctl> -DSPEC=<spec> -DSHARDS=<N> -DWORKDIR=<dir>
+#         -P tests/shard_merge_smoke.cmake
+
+foreach(var MSTCTL SPEC SHARDS WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "shard_merge_smoke.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(run_mstctl)
+  execute_process(COMMAND ${MSTCTL} ${ARGN} RESULT_VARIABLE status OUTPUT_QUIET)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "mstctl ${ARGN} failed with status ${status}")
+  endif()
+endfunction()
+
+run_mstctl(--mode=sweep --spec=${SPEC} --threads=2 --out=csv
+           --out-file=${WORKDIR}/ref.csv)
+run_mstctl(--mode=sweep --spec=${SPEC} --threads=2 --out=json
+           --out-file=${WORKDIR}/ref.json)
+
+math(EXPR last_shard "${SHARDS} - 1")
+foreach(i RANGE 0 ${last_shard})
+  run_mstctl(--mode=sweep --spec=${SPEC} --threads=2 --shard=${i}/${SHARDS}
+             --journal=${WORKDIR}/journals)
+endforeach()
+
+run_mstctl(--mode=merge --journal=${WORKDIR}/journals --out=csv
+           --out-file=${WORKDIR}/merged.csv)
+run_mstctl(--mode=merge --journal=${WORKDIR}/journals --out=json
+           --out-file=${WORKDIR}/merged.json)
+
+foreach(kind csv json)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${WORKDIR}/ref.${kind} ${WORKDIR}/merged.${kind}
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+            "merged ${kind} differs from the single-process reference "
+            "(${WORKDIR}/ref.${kind} vs ${WORKDIR}/merged.${kind})")
+  endif()
+endforeach()
+
+message(STATUS "shard/merge byte-identity holds for ${SHARDS} shards")

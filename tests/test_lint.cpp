@@ -166,6 +166,21 @@ TEST(LintTree, ObsLayerFixtureTree) {
   EXPECT_NE(diags[0].message.find("'obs' may not include 'api'"), std::string::npos);
 }
 
+TEST(LintTree, JournalLayerFixtureTree) {
+  // journal.* is its own sub-module ('scenario/journal') with a narrower
+  // surface than scenario: the runner may include the journal and the
+  // journal may include the scenario types it serializes, but an include
+  // into the solver stack (sim) fires — persistence code must not be able
+  // to invoke algorithms.
+  const std::vector<Diagnostic> diags = mstlint::lint_tree(fixture_path("journaltree"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "layering");
+  EXPECT_EQ(diags[0].file, "src/mst/scenario/journal.hpp");
+  EXPECT_EQ(diags[0].line, 9);
+  EXPECT_NE(diags[0].message.find("'scenario/journal' may not include 'sim'"),
+            std::string::npos);
+}
+
 TEST(LintTree, IncludeCycleFixtureTree) {
   const std::vector<Diagnostic> diags = mstlint::lint_tree(fixture_path("cycletree"));
   ASSERT_EQ(diags.size(), 1u);

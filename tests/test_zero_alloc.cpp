@@ -146,7 +146,9 @@ TEST(StreamingZeroAlloc, MetricsAttachedRunAllocatesNothingExtra) {
   const std::vector<obs::MetricSample> samples = registry.snapshot();
   EXPECT_FALSE(samples.empty());
   for (const obs::MetricSample& sample : samples) {
-    if (sample.name == "stream.arrivals") EXPECT_EQ(sample.value, 256 + 2048);
+    if (sample.name == "stream.arrivals") {
+      EXPECT_EQ(sample.value, 256 + 2048);
+    }
   }
 }
 

@@ -14,7 +14,10 @@
 //   mstctl --mode=sweep     --spec=FILE [--threads=N] [--out=csv|json]
 //                           [--out-file=PATH] [--seed=S] [--cap=K]
 //                           [--timing] [--check] [--reps=R]
+//                           [--shard=i/N] [--journal=DIR]
 //                           [--metrics-out=FILE] [--trace-out=FILE]
+//   mstctl --mode=merge     --journal=DIR [--out=csv|json] [--out-file=PATH]
+//                           [--timing]
 //   mstctl --mode=validate  --schedule=FILE
 //   mstctl --mode=rate      --platform=FILE
 //   mstctl --mode=demo      [--dir=.]        # writes sample platform files
@@ -41,6 +44,18 @@
 // adds the (non-deterministic) wall_ms column, --check materializes every
 // schedule and runs the feasibility checker on it.
 //
+// Distributed sweeps: `--shard=i/N` makes `sweep` execute only the cells
+// whose canonical index is congruent to i mod N (per-cell seeds and
+// same-platform batching within the shard are unchanged), and
+// `--journal=DIR` gives the shard a crash-safe append-only journal — one
+// fsync'd, checksummed record per completed cell — so a SIGKILL'd run
+// resumes where it stopped, never recomputing completed cells.  `merge`
+// reassembles the N shard journals into canonical grid order and emits
+// CSV/JSON byte-identical to the single-process run's (README "Distributed
+// sweeps").  Report files (--out-file, --metrics-out, --trace-out) are
+// written atomically — temp file, then rename — so a crash mid-write never
+// leaves a truncated report behind.
+//
 // `stream` runs the no-lookahead streaming driver (mst/sim/streaming.hpp):
 // the workload's release dates arrive online, the policy never learns the
 // task count, and the table reports per-task latency, peak master backlog
@@ -58,12 +73,14 @@
 // compute spans, per-link communication spans, master emissions — and on
 // sweep a one-track-per-cell overview of the grid.
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <type_traits>
 
 #include "mst/mst.hpp"
+#include "mst/scenario/journal.hpp"
 
 namespace {
 
@@ -94,6 +111,36 @@ std::optional<mst::Workload> load_workload(const mst::Args& args) {
   }
 }
 
+/// Writes `text` to `path` atomically: the bytes land in `path + ".tmp"`
+/// first and are renamed over the target (rename(2) is atomic on POSIX), so
+/// a crash mid-write never leaves a truncated report behind — readers see
+/// the old file or the new one, nothing in between.  Non-regular targets
+/// (`--out-file=/dev/null`, a pipe) are written in place: renaming over a
+/// device would replace it with a regular file.
+void write_file_atomic(const std::string& path, const std::string& text) {
+  std::error_code ec;
+  const std::filesystem::file_status status = std::filesystem::status(path, ec);
+  if (!ec && std::filesystem::exists(status) && !std::filesystem::is_regular_file(status)) {
+    std::ofstream file(path);
+    if (!file) throw std::invalid_argument("cannot write file: " + path);
+    file << text;
+    return;
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp);
+    if (!file) throw std::invalid_argument("cannot write file: " + tmp);
+    file << text;
+    file.flush();
+    if (!file) throw std::invalid_argument("cannot write file: " + tmp);
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::invalid_argument("cannot rename " + tmp + " over " + path + ": " +
+                                ec.message());
+  }
+}
+
 /// Observability sinks for `--metrics-out` / `--trace-out`.  Construct one
 /// per mode invocation, point the library calls at `observation()`, then
 /// `write()` the files; members stay disengaged when the flags are absent,
@@ -120,20 +167,17 @@ struct ObsSinks {
     return {metrics_ptr(), trace_ptr()};
   }
 
-  /// Writes whichever files were requested.  `include_wall_time` admits
-  /// wall-time-class metrics into the JSON (mirroring --timing); the
-  /// default output is deterministic.
+  /// Writes whichever files were requested (atomically — see
+  /// write_file_atomic).  `include_wall_time` admits wall-time-class
+  /// metrics into the JSON (mirroring --timing); the default output is
+  /// deterministic.
   void write(bool include_wall_time = false) const {
     if (metrics.has_value()) {
-      std::ofstream file(metrics_path);
-      if (!file) throw std::invalid_argument("cannot write file: " + metrics_path);
-      file << metrics->to_json(include_wall_time);
+      write_file_atomic(metrics_path, metrics->to_json(include_wall_time));
       std::cout << "wrote metrics to " << metrics_path << "\n";
     }
     if (trace.has_value()) {
-      std::ofstream file(trace_path);
-      if (!file) throw std::invalid_argument("cannot write file: " + trace_path);
-      file << trace->to_chrome_json();
+      write_file_atomic(trace_path, trace->to_chrome_json());
       std::cout << "wrote trace to " << trace_path << "\n";
     }
   }
@@ -531,6 +575,70 @@ int run_schedule(const mst::Args& args) {
       result.schedule);
 }
 
+/// Shared tail of `sweep` and `merge`: renders the outcome rows with the
+/// requested reporter and writes them to stdout or atomically to
+/// `--out-file`.  Failed cells become exit status 1, so both entry points
+/// gate CI the same way.  Byte-identity of the two paths is the tentpole
+/// contract: merged shard journals go through exactly this code.
+int emit_report(const std::vector<mst::scenario::CellOutcome>& outcomes, const mst::Args& args,
+                const char* label) {
+  using namespace mst;
+  scenario::ReportOptions report;
+  report.timing = args.has("timing");
+  const std::string out = args.get("out", "csv");
+  std::string text;
+  if (out == "csv") {
+    text = scenario::to_csv(outcomes, report);
+  } else if (out == "json") {
+    text = scenario::to_json(outcomes, report);
+  } else {
+    std::cerr << "unknown --out=" << out << " (expected csv|json)\n";
+    return 2;
+  }
+
+  const std::string out_file = args.get("out-file", "");
+  if (out_file.empty()) {
+    std::cout << text;
+  } else {
+    write_file_atomic(out_file, text);
+    std::cout << "wrote " << outcomes.size() << " rows to " << out_file << "\n";
+  }
+
+  std::size_t failed = 0;
+  for (const scenario::CellOutcome& outcome : outcomes) {
+    if (!outcome.ok()) ++failed;
+  }
+  if (failed > 0) {
+    std::cerr << label << ": " << failed << " of " << outcomes.size() << " cells failed\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// `--shard=i/N` into RunOptions; anything malformed is a usage error.
+void parse_shard(const std::string& shard, mst::scenario::RunOptions& run) {
+  const auto fail = [&] {
+    throw std::invalid_argument("--shard=" + shard +
+                                ": expected i/N with 0 <= i < N (e.g. --shard=0/4)");
+  };
+  const std::size_t slash = shard.find('/');
+  if (slash == 0 || slash == std::string::npos || slash + 1 == shard.size()) fail();
+  std::size_t index_end = 0;
+  std::size_t count_end = 0;
+  unsigned long index = 0;
+  unsigned long count = 0;
+  try {
+    index = std::stoul(shard.substr(0, slash), &index_end);
+    count = std::stoul(shard.substr(slash + 1), &count_end);
+  } catch (const std::exception&) {
+    fail();
+  }
+  if (index_end != slash || count_end != shard.size() - slash - 1) fail();
+  if (count == 0 || index >= count) fail();
+  run.shard_index = index;
+  run.shard_count = count;
+}
+
 int run_sweep(const mst::Args& args) {
   using namespace mst;
   const std::string spec_path = args.get("spec", "");
@@ -557,6 +665,9 @@ int run_sweep(const mst::Args& args) {
   const std::int64_t cap = args.get_int("cap", 1 << 20);
   if (cap < 1) throw std::invalid_argument("--cap must be >= 1");
   run.cap = static_cast<std::size_t>(cap);
+  const std::string shard = args.get("shard", "");
+  if (!shard.empty()) parse_shard(shard, run);
+  run.journal_dir = args.get("journal", "");
 
   ObsSinks obs(args);
   run.metrics = obs.metrics_ptr();
@@ -568,38 +679,30 @@ int run_sweep(const mst::Args& args) {
   // the wall_ms report column: the default metrics file is deterministic.
   obs.write(/*include_wall_time=*/args.has("timing"));
 
-  scenario::ReportOptions report;
-  report.timing = args.has("timing");
-  const std::string out = args.get("out", "csv");
-  std::string text;
-  if (out == "csv") {
-    text = scenario::to_csv(outcomes, report);
-  } else if (out == "json") {
-    text = scenario::to_json(outcomes, report);
-  } else {
-    std::cerr << "unknown --out=" << out << " (expected csv|json)\n";
+  return emit_report(outcomes, args, "sweep");
+}
+
+/// --mode=merge: reassembles the per-shard journals of a distributed sweep
+/// (`--journal=DIR`, the directory the shard runs appended into) into
+/// canonical grid order and emits the report through exactly the sweep code
+/// path — byte-identical CSV/JSON to the single-process run.  Incomplete
+/// coverage (a shard missing, a cell never journaled) is a hard error with
+/// exit 1: resume the incomplete shards, then merge again.
+int run_merge(const mst::Args& args) {
+  using namespace mst;
+  const std::string dir = args.get("journal", "");
+  if (dir.empty()) {
+    std::cerr << "--mode=merge needs --journal=DIR (the shard runs' --journal directory)\n";
     return 2;
   }
-
-  const std::string out_file = args.get("out-file", "");
-  if (out_file.empty()) {
-    std::cout << text;
-  } else {
-    std::ofstream file(out_file);
-    if (!file) throw std::invalid_argument("cannot write file: " + out_file);
-    file << text;
-    std::cout << "wrote " << outcomes.size() << " rows to " << out_file << "\n";
-  }
-
-  std::size_t failed = 0;
-  for (const scenario::CellOutcome& outcome : outcomes) {
-    if (!outcome.ok()) ++failed;
-  }
-  if (failed > 0) {
-    std::cerr << "sweep: " << failed << " of " << outcomes.size() << " cells failed\n";
+  std::vector<scenario::CellOutcome> outcomes;
+  try {
+    outcomes = scenario::merge_journals(dir);
+  } catch (const std::exception& e) {
+    std::cerr << "merge: " << e.what() << "\n";
     return 1;
   }
-  return 0;
+  return emit_report(outcomes, args, "merge");
 }
 
 int run_validate(const mst::Args& args) {
@@ -698,12 +801,13 @@ int main(int argc, char** argv) {
     if (mode == "stream") return run_stream_mode(args);
     if (mode == "schedule") return run_schedule(args);
     if (mode == "sweep") return run_sweep(args);
+    if (mode == "merge") return run_merge(args);
     if (mode == "validate") return run_validate(args);
     if (mode == "rate") return run_rate(args);
     if (mode == "demo") return run_demo(args);
     std::cerr << "unknown --mode=" << mode
-              << " (expected list|solve|max-tasks|count|stream|schedule|sweep|validate|rate|"
-                 "demo)\n";
+              << " (expected list|solve|max-tasks|count|stream|schedule|sweep|merge|validate|"
+                 "rate|demo)\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "mstctl: " << e.what() << "\n";

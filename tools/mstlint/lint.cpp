@@ -645,7 +645,13 @@ const std::vector<std::pair<const char*, std::vector<const char*>>> kLayerDeps =
       "sim", "analysis"}},
     {"scenario",
      {"common", "obs", "platform", "workload", "schedule", "core", "baselines", "heuristics",
-      "sim", "analysis", "api"}},
+      "sim", "analysis", "api", "scenario/journal"}},
+    // The sweep journal is a sub-module with a deliberately narrow surface:
+    // persistence code may reach the cell/outcome types it serializes
+    // (scenario) and the layers those types are made of (common, obs), but
+    // never the solver stack — a journal that can invoke algorithms has
+    // stopped being a journal.
+    {"scenario/journal", {"common", "obs", "scenario"}},
 };
 
 /// Module of a file under the scanned root, or "" when the file is not
@@ -656,7 +662,14 @@ std::string module_of(const std::string& path) {
   if (path.rfind(prefix, 0) != 0) return {};
   const std::size_t slash = path.find('/', prefix.size());
   if (slash == std::string::npos) return {};  // src/mst/mst.hpp umbrella
-  return path.substr(prefix.size(), slash - prefix.size());
+  std::string module = path.substr(prefix.size(), slash - prefix.size());
+  // journal.{hpp,cpp} form their own sub-module of scenario (see
+  // kLayerDeps) so the persistence code's include surface is enforced
+  // separately from the runner's.
+  if (module == "scenario" && path.compare(slash + 1, 8, "journal.") == 0) {
+    return "scenario/journal";
+  }
+  return module;
 }
 
 struct IncludeRef {
@@ -704,7 +717,8 @@ void check_layering(const std::vector<FileRecord>& records, std::vector<Diagnost
       std::string message = known
           ? "module '" + from + "' may not include '" + to +
                 "' (layer order: common -> obs -> platform -> workload -> schedule -> "
-                "core -> baselines -> heuristics -> sim -> analysis -> api -> scenario)"
+                "core -> baselines -> heuristics -> sim -> analysis -> api -> scenario "
+                "-> scenario/journal)"
           : "module '" + from + "' is not in the layer table; add it to kLayerDeps in "
             "tools/mstlint/lint.cpp";
       out.push_back({record.path, include.line, "layering", std::move(message)});
